@@ -1,0 +1,76 @@
+"""§3.2 ablation: allocation strategies under provider volatility.
+
+The coordinator "implements multiple allocation strategies"; the
+deployed default is round-robin.  This bench runs the same volatile
+workload under all four strategies and compares throughput and how
+often jobs landed on flaky providers.
+"""
+
+from conftest import run_once
+
+from repro.agent import BehaviorProfile
+from repro.analysis import render_table
+from repro.config import PlatformConfig
+from repro.core import GPUnionPlatform
+from repro.gpu import RTX_3090, RTX_4090
+from repro.sim import RngStreams
+from repro.units import DAY, HOUR, MINUTE
+from repro.workloads import RESNET50, BERT_BASE, TrainingJobSpec, next_job_id
+
+STRATEGIES = ("round-robin", "best-fit", "reliability", "fair-share")
+
+
+def _run_strategy(strategy: str, seed: int = 9):
+    platform = GPUnionPlatform(
+        seed=seed, config=PlatformConfig(scheduler=strategy))
+    platform.add_provider("stable-1", [RTX_3090] * 2, lab="a")
+    platform.add_provider("stable-2", [RTX_4090] * 2, lab="b")
+    platform.add_provider("flaky", [RTX_4090] * 2, lab="c")
+    platform.add_behavior("flaky", BehaviorProfile(
+        events_per_day=6.0, p_scheduled=0.3, p_emergency=0.4,
+        p_temporary=0.3, mean_rejoin_delay=1 * HOUR,
+        mean_temporary_downtime=30 * MINUTE,
+    ))
+    rng = RngStreams(seed).stream("ablation-jobs")
+    jobs = []
+
+    def feeder(env):
+        for index in range(24):
+            yield env.timeout(rng.expovariate(24 / DAY))
+            model = RESNET50 if index % 2 == 0 else BERT_BASE
+            jobs.append(platform.submit_job(TrainingJobSpec(
+                job_id=next_job_id(), model=model,
+                total_compute=rng.uniform(3 * HOUR, 8 * HOUR),
+                checkpoint_interval=10 * MINUTE,
+            )))
+
+    platform.env.process(feeder(platform.env))
+    platform.run(until=2 * DAY)
+    completed = sum(1 for job in jobs if job.is_done)
+    interruptions = sum(job.interruption_count for job in jobs)
+    lost = sum(job.total_lost_progress for job in jobs)
+    return completed, interruptions, lost, len(jobs)
+
+
+def test_scheduler_strategy_ablation(benchmark):
+    def sweep():
+        return {name: _run_strategy(name) for name in STRATEGIES}
+
+    results = run_once(benchmark, sweep)
+    rows = [["Strategy", "Completed", "Interruptions hit", "Work lost"]]
+    for name in STRATEGIES:
+        completed, interruptions, lost, total = results[name]
+        rows.append([name, f"{completed}/{total}", str(interruptions),
+                     f"{lost / 60:.0f} min"])
+    print()
+    print(render_table(rows, title="Scheduler strategy ablation"))
+
+    # Every strategy keeps the platform functional under churn.
+    for name, (completed, _, _, total) in results.items():
+        assert completed >= total * 0.7, name
+    # Reliability-aware placement steers work away from the flaky
+    # provider: it never hits more interruptions than round-robin + a
+    # small tolerance, and usually strictly fewer.
+    rr_hits = results["round-robin"][1]
+    rel_hits = results["reliability"][1]
+    assert rel_hits <= rr_hits + 2

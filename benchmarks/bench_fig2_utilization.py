@@ -1,0 +1,34 @@
+"""Figure 2: research-group GPU utilization, manual vs GPUnion.
+
+Paper: mean utilization 34% -> 67% after the GPUnion deployment.
+The bench runs a 1-week window of the same two-phase experiment (the
+6-week run in EXPERIMENTS.md shows the same steady-state numbers).
+"""
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.experiments import run_fig2
+
+
+def test_fig2_utilization_improvement(benchmark):
+    result = run_once(benchmark, run_fig2, seed=42, weeks=1)
+    print()
+    print(render_table(result.rows(),
+                       title="Fig. 2: GPU utilization by research group"))
+    print(f"\nimprovement: +{result.improvement_points:.1f} pp "
+          f"(paper: 34% -> 67%)")
+    print(f"sessions served: {result.manual_sessions_served} -> "
+          f"{result.gpunion_sessions_served}")
+
+    # Shape: manual sits around a third, GPUnion roughly doubles it.
+    assert 0.25 <= result.manual_overall <= 0.45
+    assert 0.55 <= result.gpunion_overall <= 0.80
+    assert result.gpunion_overall - result.manual_overall >= 0.20
+    # Every hardware-owning lab gains.
+    for lab, before in result.manual_by_lab.items():
+        assert result.gpunion_by_lab[lab] >= before - 0.02, lab
+    # The idle GPU farm shows the largest relative gain.
+    farm_gain = (result.gpunion_by_lab["ml-infra"]
+                 / max(result.manual_by_lab["ml-infra"], 1e-9))
+    assert farm_gain >= 1.5

@@ -1,0 +1,44 @@
+"""Figure 3: migration performance under interruption scenarios.
+
+Paper: 94% of scheduled departures migrate within the specified time
+with minimal data loss; emergency departures lose about one checkpoint
+interval of work; 67% of temporarily displaced workloads migrate back
+to their original node in time.
+"""
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.experiments import run_fig3
+from repro.units import MINUTE
+
+
+def test_fig3_migration_scenarios(benchmark):
+    result = run_once(benchmark, run_fig3, seed=2)
+    print()
+    print(render_table(result.rows(),
+                       title="Fig. 3: migration by interruption scenario"))
+    print()
+    print(render_table(result.family_rows(),
+                       title="Fig. 3 (cont.): by workload type"))
+    print(f"\ninterruption events: {result.interruption_events}; "
+          f"instrumented jobs completed: {result.jobs_completed}"
+          f"/{result.jobs_total}")
+
+    scheduled = result.by_kind.get("scheduled")
+    emergency = result.by_kind.get("emergency")
+    assert scheduled is not None and scheduled.count >= 3
+    # Scheduled departures: high success, near-zero data loss.
+    assert scheduled.success_rate >= 0.7
+    assert scheduled.mean_lost_progress <= 60.0
+    # Emergency departures: loss bounded by the checkpoint interval
+    # (expected about half of it, never a large multiple).
+    if emergency is not None and emergency.count:
+        assert emergency.mean_lost_progress <= 1.5 * result.checkpoint_interval
+        assert emergency.mean_lost_progress > 0
+        # Emergencies lose work; scheduled exits do not.
+        assert emergency.mean_lost_progress > scheduled.mean_lost_progress
+    # Migrate-back: a clear majority returns home, but not all
+    # (contention re-occupies returning providers).
+    if result.migrate_back.requested >= 3:
+        assert 0.3 <= result.migrate_back.rate <= 1.0

@@ -1,0 +1,24 @@
+"""§4 claim: interactive debugging sessions increased by 40%."""
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.experiments import run_interactive
+
+
+def test_interactive_sessions_increase(benchmark):
+    result = run_once(benchmark, run_interactive, seed=42, weeks=1)
+    print()
+    print(render_table(result.rows(),
+                       title="Interactive sessions served (manual vs GPUnion)"))
+    print(f"\nincrease: +{result.increase * 100:.0f}% (paper: +40%)")
+
+    # Shape: a clear increase, in the tens of percent.
+    assert 0.15 <= result.increase <= 1.2
+    # The gain concentrates where the paper says it does: students
+    # without lab hardware.
+    poor_before = (result.manual_by_group.get("compute-poor labs", 0)
+                   + result.manual_by_group.get("unaffiliated", 0))
+    poor_after = (result.gpunion_by_group.get("compute-poor labs", 0)
+                  + result.gpunion_by_group.get("unaffiliated", 0))
+    assert poor_after > poor_before

@@ -1,0 +1,24 @@
+"""§5.2 scalability: sub-second at 50 nodes, bottleneck past 200."""
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.experiments import run_scalability, scalability_table
+
+
+def test_coordinator_scalability_knee(benchmark):
+    points = run_once(benchmark, run_scalability, seed=3)
+    print()
+    print(render_table(scalability_table(points),
+                       title="Coordinator scheduling latency vs fleet size"))
+
+    by_nodes = {point.nodes: point for point in points}
+    # Sub-second scheduling latency at 50 nodes (paper's deployment claim).
+    assert by_nodes[50].p95_latency < 1.0
+    assert by_nodes[50].mean_latency < 0.5
+    # Latency grows monotonically-ish with fleet size ...
+    assert by_nodes[200].mean_latency > by_nodes[50].mean_latency
+    # ... and explodes past the knee the paper predicts beyond 200.
+    assert by_nodes[400].mean_latency > 10 * by_nodes[200].mean_latency
+    assert by_nodes[400].db_utilization > 0.95
+    assert by_nodes[50].db_utilization < 0.30

@@ -1,0 +1,42 @@
+"""Table 1: platform comparison for campus GPU sharing."""
+
+from conftest import run_once
+
+from repro.analysis import render_table
+from repro.baselines import (
+    ALL_PLATFORMS,
+    GPUNION,
+    gpunion_is_strictly_lightest,
+    quantitative_proxies,
+    table1_matrix,
+)
+
+
+def test_table1_platform_comparison(benchmark):
+    matrix = run_once(benchmark, table1_matrix)
+    print()
+    print(render_table(matrix, title="Table 1: Platform comparison"))
+    print()
+    print(render_table(quantitative_proxies(),
+                       title="Quantitative proxies"))
+
+    # Shape checks: GPUnion is the only voluntary-participation,
+    # provider-autonomous, workload-fault-tolerant platform ...
+    header, *rows = matrix
+    by_label = {row[0]: dict(zip(header[1:], row[1:])) for row in rows}
+    autonomy = by_label["Provider Autonomy"]
+    assert autonomy["GPUnion"] == "Full"
+    assert all(value in ("None", "Limited")
+               for name, value in autonomy.items() if name != "GPUnion")
+    voluntary = by_label["Voluntary Participation"]
+    assert voluntary["GPUnion"] == "Yes"
+    assert all(value == "No"
+               for name, value in voluntary.items() if name != "GPUnion")
+    fault = by_label["Fault Tolerance Model"]
+    assert fault["GPUnion"] == "Workload"
+    assert all(value == "Infrastructure"
+               for name, value in fault.items() if name != "GPUnion")
+    # ... and strictly the lightest to operate.
+    assert gpunion_is_strictly_lightest()
+    assert len(ALL_PLATFORMS) == 5
+    assert GPUNION.core_services_to_deploy == 1

@@ -1,0 +1,16 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures, prints
+the rows the paper reports, and asserts the *shape* of the result
+(who wins, by roughly what factor).  Simulations are deterministic, so
+every bench runs exactly once (``rounds=1``) — the interesting number
+is the reproduced result, not the harness's wall time.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""User-transparent resource invocation (the §5.2 future-work API).
+
+Instead of estimating GPU memory, compute capability, checkpoint
+cadence, and storage placement by hand, a researcher names a model and
+a training duration; GPUnion derives the rest — including a Young/Daly
+checkpoint interval tuned to the fleet's *observed* volatility.
+
+Run with:  python examples/auto_submission.py
+"""
+
+from repro import GPUnionPlatform
+from repro.core import auto_submit, estimate_resources
+from repro.gpu import A6000, RTX_3090, RTX_4090
+from repro.units import GIB, HOUR, MINUTE
+
+
+def show(estimate):
+    print(f"  model:               {estimate.model}")
+    print(f"  GPU memory:          {estimate.gpu_memory / GIB:.0f} GiB")
+    print(f"  min capability:      {estimate.min_compute_capability}")
+    print(f"  checkpoint interval: {estimate.checkpoint_interval / 60:.1f} min")
+    print(f"  fleet MTBF estimate: {estimate.predicted_fleet_mtbf / 3600:.1f} h")
+    print(f"  checkpoint storage:  {estimate.storage_host}")
+
+
+def main():
+    platform = GPUnionPlatform(seed=11)
+    platform.add_provider("ws1", [RTX_3090], lab="vision")
+    platform.add_provider("farm", [RTX_4090] * 2, lab="ml-infra")
+    platform.add_provider("srv", [A6000] * 2, lab="robotics")
+    platform.add_storage_host("lab-nas")
+    platform.run(until=1 * MINUTE)
+
+    print("estimate for a calm fleet:")
+    show(estimate_resources(platform, "gpt2-medium-pretrain"))
+
+    # A provider turns out to be flaky; the estimator notices and
+    # shortens the recommended checkpoint interval.
+    flaky = platform.agents["ws1"]
+    for _ in range(3):
+        flaky.emergency_departure()
+        platform.run(until=platform.env.now + 30 * MINUTE)
+        flaky.reconnect()
+        platform.run(until=platform.env.now + 30 * MINUTE)
+
+    print("\nestimate after observing provider churn:")
+    show(estimate_resources(platform, "gpt2-medium-pretrain"))
+
+    job = auto_submit(platform, "gpt2-medium-pretrain", train_hours=6,
+                      owner="bob", lab="theory")
+    platform.run(until=platform.env.now + 24 * HOUR)
+    print(f"\nauto-submitted job {job.job_id}: done={job.is_done}, "
+          f"checkpoints={job.checkpoints_taken}, ran on {job.current_node}")
+
+
+if __name__ == "__main__":
+    main()

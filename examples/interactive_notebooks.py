@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Interactive research sessions: Jupyter on borrowed GPUs (§3.3).
+
+Students — including ones whose labs own no GPUs — request notebook
+sessions; GPUnion provisions containers with GPU passthrough and hands
+back access URLs.  Shows serving, denial under contention, and the
+session ledger.
+
+Run with:  python examples/interactive_notebooks.py
+"""
+
+from repro import GPUnionPlatform, InteractiveSessionSpec
+from repro.containers import NotebookSession, make_notebook_spec
+from repro.gpu import RTX_3090
+from repro.units import GIB, HOUR, MINUTE
+from repro.workloads import next_session_id
+
+
+def main():
+    platform = GPUnionPlatform(seed=3)
+    platform.add_provider("lab-ws1", [RTX_3090], lab="vision")
+    platform.add_provider("lab-ws2", [RTX_3090], lab="nlp")
+    platform.run(until=1 * MINUTE)
+
+    # The platform provisions the trusted notebook image; show what a
+    # session handle looks like at the container level.
+    spec = make_notebook_spec(platform.images, gpu_memory=6 * GIB)
+    print(f"notebook image: {spec.image_reference}")
+    print(f"pinned digest:  {spec.image_digest[:23]}...")
+    print()
+
+    # Six students ask for sessions over the morning; two 3090s can
+    # co-host bursty notebooks (two per card at 6 GiB each fits 24 GiB)
+    # so most get served, late-comers may be denied.
+    for index in range(6):
+        platform.submit_session(InteractiveSessionSpec(
+            session_id=next_session_id(),
+            user=f"student-{index}",
+            lab="" if index >= 4 else "vision",  # two unaffiliated
+            duration=2 * HOUR,
+            gpu_memory=6 * GIB,
+        ))
+        platform.run(until=platform.env.now + 10 * MINUTE)
+
+    platform.run(until=6 * HOUR)
+
+    print("session ledger:")
+    for record in platform.coordinator.sessions:
+        served = record.served_on or "-"
+        print(f"  {record.spec.session_id}  user={record.spec.user:10s} "
+              f"outcome={record.outcome.value:20s} on={served}")
+    served = platform.coordinator.served_sessions()
+    denied = platform.coordinator.denied_sessions()
+    print(f"\nserved: {len(served)}, denied: {len(denied)}")
+
+    # A live session URL, as the student sees it.
+    agents = list(platform.agents.values())
+    for agent in agents:
+        for container in agent.runtime.containers.values():
+            if container.spec.is_interactive:
+                session = NotebookSession(container, agent.hostname, 0.0)
+                print(f"\nexample access URL: {session.url}")
+                print(f"NVIDIA_VISIBLE_DEVICES={session.visible_devices}")
+                return
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Provider supremacy end-to-end: pause, emergency exit, temporary
+unavailability with migrate-back.
+
+Demonstrates every kill-switch verb from §3.4 and the resilience
+machinery from §3.5 reacting to each.
+
+Run with:  python examples/provider_departure.py
+"""
+
+from repro import GPUnionPlatform, TrainingJobSpec
+from repro.gpu import RTX_3090
+from repro.units import HOUR, MINUTE
+from repro.workloads import RESNET50, next_job_id
+
+
+def banner(text):
+    print()
+    print("=" * 64)
+    print(text)
+    print("=" * 64)
+
+
+def main():
+    platform = GPUnionPlatform(seed=7)
+    platform.add_provider("home", [RTX_3090], lab="vision")
+    platform.add_provider("neighbour", [RTX_3090], lab="nlp")
+
+    job = platform.submit_job(TrainingJobSpec(
+        job_id=next_job_id(), model=RESNET50, total_compute=8 * HOUR,
+        checkpoint_interval=10 * MINUTE,
+    ))
+    platform.run(until=30 * MINUTE)
+    home = platform.agents[job.home_node]
+    banner(f"job {job.job_id} started on its home node {job.home_node}")
+
+    banner("1. PAUSE: the provider stops accepting NEW work")
+    home.pause()
+    platform.run(until=40 * MINUTE)
+    blocked = platform.submit_job(TrainingJobSpec(
+        job_id=next_job_id(), model=RESNET50, total_compute=1 * HOUR))
+    platform.run(until=80 * MINUTE)
+    print(f"running job still on {job.current_node} (pause never evicts)")
+    print(f"new job went to {blocked.current_node} instead")
+    home.resume()
+
+    banner("2. TEMPORARY UNAVAILABILITY: cable pulled, no warning")
+    home.emergency_departure(kind="temporary")
+    platform.run(until=2.2 * HOUR)
+    print(f"heartbeats lost -> detected -> job migrated to "
+          f"{job.current_node}")
+    print(f"interruptions so far: "
+          f"{[(r.kind, f'{r.lost_progress:.0f}s lost') for r in job.interruptions]}")
+
+    banner("3. PROVIDER RETURNS: migrate-back")
+    home.reconnect()
+    platform.run(until=3.5 * HOUR)
+    print(f"job is back on {job.current_node} "
+          f"(home was {job.home_node})")
+
+    banner("4. run to completion")
+    platform.run(until=16 * HOUR)
+    print(f"done={job.is_done}  checkpoints={job.checkpoints_taken}  "
+          f"migrations={job.migrations}")
+    overhead = job.overhead_fraction(platform.env.now)
+    print(f"total interruption overhead: {overhead:.1%} of ideal time")
+    print()
+    print("event log tail:")
+    for event in platform.events.all()[-8:]:
+        print(f"  t={event.timestamp:9.1f}  {event.kind:24s} {event.payload}")
+
+
+if __name__ == "__main__":
+    main()

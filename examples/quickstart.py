@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: share two lab servers, run a training job, survive a
+provider taking their machine back.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import GPUnionPlatform, TrainingJobSpec
+from repro.gpu import RTX_3090, RTX_4090
+from repro.units import HOUR, MINUTE
+from repro.workloads import RESNET50, next_job_id
+
+
+def main():
+    # One campus deployment: a coordinator, a registry, and providers.
+    platform = GPUnionPlatform(seed=42)
+    platform.add_provider("vision-ws", [RTX_3090], lab="vision")
+    platform.add_provider("nlp-ws", [RTX_4090], lab="nlp")
+
+    # A student submits a training job: 4 reference-GPU-hours of
+    # ResNet-50, checkpointing every 10 minutes.
+    job = platform.submit_job(TrainingJobSpec(
+        job_id=next_job_id(),
+        model=RESNET50,
+        total_compute=4 * HOUR,
+        owner="alice",
+        lab="theory",  # her lab owns no GPUs — GPUnion is how she runs
+        checkpoint_interval=10 * MINUTE,
+    ))
+
+    # Let the platform place it and train for an hour.
+    platform.run(until=1 * HOUR)
+    print(f"job is running on {job.current_node} "
+          f"({job.progress / HOUR:.2f} reference-hours done)")
+
+    # Provider supremacy: the host's owner needs the machine NOW.
+    host = platform.agents[job.current_node]
+    print(f"{host.hostname} owner hits the kill-switch (graceful)...")
+    host.graceful_departure()
+
+    # The job checkpoints, migrates, and finishes elsewhere.
+    platform.run(until=12 * HOUR)
+    print(f"job done: {job.is_done}, finished on {job.current_node}")
+    record = job.interruptions[0]
+    print(f"interruption: kind={record.kind}, "
+          f"work lost={record.lost_progress:.0f}s, "
+          f"downtime={record.downtime:.0f}s")
+    print(f"checkpoints taken: {job.checkpoints_taken}, "
+          f"migrations: {job.migrations}")
+    print(f"wall time: {(job.completed_at - job.submitted_at) / HOUR:.2f} h "
+          f"(ideal {4.0:.2f} h on the reference GPU)")
+
+
+if __name__ == "__main__":
+    main()

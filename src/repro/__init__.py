@@ -1,0 +1,43 @@
+"""GPUnion: autonomous GPU sharing on campus — full reproduction.
+
+This package reproduces the system from *GPUnion: Autonomous GPU
+Sharing on Campus* (HotNets '25): a campus-scale, provider-supremacy
+GPU sharing platform with containerized execution, application-level
+checkpointing, and automatic migration — plus every substrate it runs
+on, simulated (GPUs, campus LAN, container runtime, storage).
+
+Quickstart::
+
+    from repro import GPUnionPlatform, TrainingJobSpec
+    from repro.gpu import RTX_3090
+    from repro.workloads import RESNET50, next_job_id
+    from repro.units import HOUR
+
+    platform = GPUnionPlatform(seed=42)
+    platform.add_provider("ws1", [RTX_3090], lab="vision")
+    job = platform.submit_job(TrainingJobSpec(
+        job_id=next_job_id(), model=RESNET50, total_compute=2 * HOUR))
+    platform.run(until=6 * HOUR)
+    assert job.is_done
+"""
+
+from .config import PlatformConfig
+from .core import GPUnionPlatform
+from .errors import GPUnionError
+from .workloads import (
+    InteractiveSessionSpec,
+    TrainingJobSpec,
+    TrainingJobState,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPUnionPlatform",
+    "PlatformConfig",
+    "GPUnionError",
+    "TrainingJobSpec",
+    "TrainingJobState",
+    "InteractiveSessionSpec",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Provider-side components: agent, kill-switch, executors, behaviour."""
+
+from .agent import ProviderAgent
+from .behavior import BehaviorProfile, DepartureEvent, ProviderBehavior
+from .executor import ExecutionOutcome, InteractiveExecutor, TrainingExecutor
+from .killswitch import KillSwitch, ProviderAvailability
+
+__all__ = [
+    "ProviderAgent",
+    "KillSwitch",
+    "ProviderAvailability",
+    "TrainingExecutor",
+    "InteractiveExecutor",
+    "ExecutionOutcome",
+    "ProviderBehavior",
+    "BehaviorProfile",
+    "DepartureEvent",
+]

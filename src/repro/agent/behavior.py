@@ -1,0 +1,116 @@
+"""Provider behaviour models.
+
+The Fig. 3 experiments "simulated three classes of provider behavior:
+scheduled departure (provider initiates graceful shutdown), emergency
+departure (immediate disconnection), and temporary unavailability",
+with "interruption frequency varied from 0.5 to 3.2 events per day per
+node" (§4).  A :class:`ProviderBehavior` drives one agent through such
+a schedule, deterministically from a named RNG stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Tuple
+
+from ..sim import Environment, RngStreams
+from ..units import DAY, HOUR, MINUTE
+from .agent import ProviderAgent
+
+
+@dataclass(frozen=True)
+class BehaviorProfile:
+    """Stochastic description of one provider's interruption habits."""
+
+    events_per_day: float = 1.0
+    #: Probability weights of each departure class.
+    p_scheduled: float = 0.4
+    p_emergency: float = 0.3
+    p_temporary: float = 0.3
+    #: Downtime distribution for temporary departures (mean seconds).
+    mean_temporary_downtime: float = 45 * MINUTE
+    #: Time a departed provider waits before rejoining for good.
+    mean_rejoin_delay: float = 4 * HOUR
+
+    def __post_init__(self):
+        total = self.p_scheduled + self.p_emergency + self.p_temporary
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError("departure-class probabilities must sum to 1")
+        if self.events_per_day < 0:
+            raise ValueError("events_per_day must be >= 0")
+
+
+@dataclass
+class DepartureEvent:
+    """Ledger entry the experiments aggregate per scenario."""
+
+    at: float
+    kind: str
+    node: str
+    returned_at: Optional[float] = None
+
+
+class ProviderBehavior:
+    """Drives one agent through a random interruption schedule."""
+
+    def __init__(
+        self,
+        env: Environment,
+        agent: ProviderAgent,
+        profile: BehaviorProfile,
+        streams: RngStreams,
+    ):
+        self.env = env
+        self.agent = agent
+        self.profile = profile
+        self.rng = streams.stream(f"behavior:{agent.hostname}")
+        self.ledger: List[DepartureEvent] = []
+        self.process = None
+
+    def start(self):
+        """Begin the behaviour process; returns it."""
+        self.process = self.env.process(self._run(),
+                                        name=f"behavior:{self.agent.hostname}")
+        return self.process
+
+    def _draw_kind(self) -> str:
+        point = self.rng.random()
+        if point < self.profile.p_scheduled:
+            return "scheduled"
+        if point < self.profile.p_scheduled + self.profile.p_emergency:
+            return "emergency"
+        return "temporary"
+
+    def _run(self) -> Generator:
+        profile = self.profile
+        if profile.events_per_day <= 0:
+            return
+        rate = profile.events_per_day / DAY
+        while True:
+            yield self.env.timeout(self.rng.expovariate(rate))
+            if self.agent.kill_switch.is_departed:
+                continue  # still away from a previous event
+            kind = self._draw_kind()
+            event = DepartureEvent(self.env.now, kind, self.agent.hostname)
+            self.ledger.append(event)
+            if kind == "scheduled":
+                yield self.agent.graceful_departure()
+                delay = self.rng.expovariate(1 / profile.mean_rejoin_delay)
+                yield self.env.timeout(delay)
+            elif kind == "emergency":
+                self.agent.emergency_departure(kind="emergency")
+                delay = self.rng.expovariate(1 / profile.mean_rejoin_delay)
+                yield self.env.timeout(delay)
+            else:  # temporary
+                self.agent.emergency_departure(kind="temporary")
+                downtime = self.rng.expovariate(
+                    1 / profile.mean_temporary_downtime
+                )
+                yield self.env.timeout(max(2 * MINUTE, downtime))
+            registration = self.agent.reconnect()
+            yield registration
+            event.returned_at = self.env.now
+
+    def events_of(self, kind: str) -> List[DepartureEvent]:
+        """All recorded departures of one class."""
+        return [event for event in self.ledger if event.kind == kind]

@@ -1,0 +1,225 @@
+"""Workload executors: the processes that actually run on providers.
+
+A :class:`TrainingExecutor` drives one training job inside its
+container: restore from checkpoint if migrating in, then alternate
+compute bursts with ALC checkpoints until done.  It reacts to
+:class:`~repro.sim.Interrupt` with three causes:
+
+* ``"graceful"`` — scheduled departure or migrate-back: take a final
+  checkpoint (racing the provider's grace period) and exit cleanly;
+* ``"emergency"`` — the container is already dead; account the loss;
+* ``"cancel"`` — user cancelled the job.
+
+An :class:`InteractiveExecutor` holds a notebook session at its (low)
+duty cycle for its duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..checkpoint import CheckpointEngine, CheckpointPolicy
+from ..containers.runtime import Container, ContainerRuntime, ContainerState
+from ..errors import NetworkError
+from ..gpu.device import GPUDevice
+from ..gpu.specs import speedup_over_reference
+from ..sim import Environment, Interrupt
+from ..storage import CheckpointStore, Volume
+from ..workloads.interactive import InteractiveSessionSpec
+from ..workloads.training import JobStatus, TrainingJobState
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """How an executor run ended on this node."""
+
+    job_id: str
+    result: str  # "completed" | "migrated" | "interrupted" | "cancelled"
+    final_checkpoint_durable: bool = False
+
+
+class TrainingExecutor:
+    """Runs one training job on one GPU until done or interrupted."""
+
+    def __init__(
+        self,
+        env: Environment,
+        job: TrainingJobState,
+        container: Container,
+        runtime: ContainerRuntime,
+        gpu: GPUDevice,
+        volume: Volume,
+        store: CheckpointStore,
+        engine: CheckpointEngine,
+        policy: CheckpointPolicy,
+        hostname: str,
+        predicted_mtbf: Optional[float] = None,
+        restore: bool = False,
+    ):
+        self.env = env
+        self.job = job
+        self.container = container
+        self.runtime = runtime
+        self.gpu = gpu
+        self.volume = volume
+        self.store = store
+        self.engine = engine
+        self.policy = policy
+        self.hostname = hostname
+        self.predicted_mtbf = predicted_mtbf
+        self.restore = restore
+        self.speedup = speedup_over_reference(gpu.spec)
+        self.process = None  # set by the agent when spawned
+
+    # -- helpers -----------------------------------------------------------
+
+    def _owner(self) -> str:
+        return self.container.container_id
+
+    def _compute_on(self) -> None:
+        self.gpu.add_load(self._owner(), self.job.spec.model.train_intensity)
+
+    def _compute_off(self) -> None:
+        self.gpu.remove_load(self._owner())
+
+    def _capture_cost(self) -> float:
+        return self.engine.capture_cost(self.job, self.gpu.spec, self.volume)
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> Generator:
+        """The executor process body; returns an :class:`ExecutionOutcome`."""
+        job = self.job
+        try:
+            if self.restore and self.store.has_checkpoint(job.job_id):
+                yield self.engine.restore(job, self.store, self.hostname,
+                                          self.volume)
+                job.progress = max(job.progress, job.checkpointed_progress)
+            job.status = JobStatus.RUNNING
+            if job.started_at is None:
+                job.started_at = self.env.now
+            if job.interruptions and job.interruptions[-1].downtime == 0.0:
+                # Compute just resumed after an interruption: close the
+                # downtime window (detection + queueing + restore).
+                last = job.interruptions[-1]
+                last.downtime = self.env.now - last.at
+            job.current_node = self.hostname
+            if job.home_node is None:
+                job.home_node = self.hostname
+            return (yield from self._train_loop())
+        except Interrupt as interrupt:
+            return (yield from self._handle_interrupt(interrupt))
+
+    def _train_loop(self) -> Generator:
+        job = self.job
+        while not job.is_done:
+            interval = self.policy.interval_for(
+                job, self._capture_cost(), self.predicted_mtbf
+            )
+            remaining_wall = job.remaining / self.speedup
+            burst = min(interval, remaining_wall)
+            self._compute_on()
+            started = self.env.now
+            try:
+                yield self.env.timeout(burst)
+            except Interrupt as interrupt:
+                job.progress += (self.env.now - started) * self.speedup
+                self._compute_off()
+                raise interrupt
+            self._compute_off()
+            job.progress += burst * self.speedup
+            if job.is_done:
+                break
+            yield from self._checkpoint()
+        self.runtime.stop(self.container)
+        job.status = JobStatus.COMPLETED
+        job.completed_at = self.env.now
+        return ExecutionOutcome(job.job_id, "completed",
+                                final_checkpoint_durable=True)
+
+    def _checkpoint(self) -> Generator:
+        """Periodic ALC checkpoint: blocking capture, async replicate."""
+        job = self.job
+        self.runtime.begin_checkpoint(self.container)
+        captured = yield self.engine.capture(job, self.gpu.spec, self.volume)
+        self.runtime.end_checkpoint(self.container)
+        upload = self.engine.replicate(job, captured, self.hostname, self.store)
+        # Detach: training resumes while the delta ships.  A failed
+        # upload (provider departs mid-transfer) simply leaves the
+        # previous record as the restore point.
+        upload.callbacks.append(lambda event: None)
+
+    # -- interruption handling ---------------------------------------------------
+
+    def _handle_interrupt(self, interrupt: Interrupt) -> Generator:
+        cause = interrupt.cause or {}
+        kind = cause.get("kind") if isinstance(cause, dict) else str(cause)
+        if kind == "graceful":
+            return (yield from self._graceful_exit())
+        if kind == "cancel":
+            self.runtime.kill(self.container)
+            self.job.status = JobStatus.FAILED
+            return ExecutionOutcome(self.job.job_id, "cancelled")
+        # Emergency: the container died under us; the agent already
+        # killed it and the loss accounting happens coordinator-side.
+        self.job.status = JobStatus.MIGRATING
+        return ExecutionOutcome(self.job.job_id, "interrupted")
+
+    def _graceful_exit(self) -> Generator:
+        """Final checkpoint inside the provider's grace window.
+
+        The agent hard-kills the container (and the host's flows) when
+        grace expires, so a too-slow capture or upload surfaces here as
+        an Interrupt or NetworkError — the job then migrates from its
+        previous durable checkpoint instead.
+        """
+        job = self.job
+        durable = False
+        try:
+            if self.container.state is ContainerState.RUNNING:
+                self.runtime.begin_checkpoint(self.container)
+            captured = yield self.engine.capture(job, self.gpu.spec, self.volume)
+            yield self.engine.replicate(job, captured, self.hostname, self.store)
+            durable = True
+        except (Interrupt, NetworkError):
+            durable = False
+        if not self.container.is_terminal:
+            self.runtime.stop(self.container)
+        job.status = JobStatus.MIGRATING
+        return ExecutionOutcome(job.job_id, "migrated",
+                                final_checkpoint_durable=durable)
+
+
+class InteractiveExecutor:
+    """Holds one notebook session for its duration."""
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: InteractiveSessionSpec,
+        container: Container,
+        runtime: ContainerRuntime,
+        gpu: GPUDevice,
+    ):
+        self.env = env
+        self.spec = spec
+        self.container = container
+        self.runtime = runtime
+        self.gpu = gpu
+        self.process = None
+
+    def run(self) -> Generator:
+        """Session process body; returns ``"completed"`` or ``"interrupted"``."""
+        owner = self.container.container_id
+        self.gpu.add_load(owner, self.spec.utilization)
+        try:
+            yield self.env.timeout(self.spec.duration)
+        except Interrupt:
+            self.gpu.remove_load(owner)
+            if not self.container.is_terminal:
+                self.runtime.kill(self.container)
+            return "interrupted"
+        self.gpu.remove_load(owner)
+        self.runtime.stop(self.container)
+        return "completed"

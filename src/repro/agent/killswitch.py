@@ -1,0 +1,73 @@
+"""The kill-switch: provider supremacy made mechanical.
+
+"The agent ... always allows the provider to immediately override the
+system via a local 'kill-switch'.  At any point, a provider can
+terminate running workloads, pause further task scheduling, or
+disconnect entirely" (§3.4).  The switch is a small state machine the
+agent consults before accepting work, plus the three provider verbs:
+
+* ``pause()`` / ``resume()`` — stop/start accepting new allocations;
+* ``graceful_departure(grace)`` — leave after giving workloads a
+  checkpoint window;
+* ``emergency_departure()`` — cut everything *now*, no coordination.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class ProviderAvailability(Enum):
+    """Local availability state the kill-switch controls."""
+
+    ACCEPTING = "accepting"
+    PAUSED = "paused"
+    DEPARTING = "departing"
+    DEPARTED = "departed"
+
+
+class KillSwitch:
+    """Local, instantaneous provider control (no coordinator round-trip).
+
+    The switch itself is pure state; the agent wires its transitions to
+    the actions (notify, checkpoint, kill containers, disconnect).
+    """
+
+    def __init__(self):
+        self.state = ProviderAvailability.ACCEPTING
+        self.activations = 0
+
+    @property
+    def accepting_work(self) -> bool:
+        """Whether new workloads may start on this machine."""
+        return self.state is ProviderAvailability.ACCEPTING
+
+    @property
+    def is_departed(self) -> bool:
+        """Whether the provider has left the platform."""
+        return self.state is ProviderAvailability.DEPARTED
+
+    def pause(self) -> None:
+        """Stop accepting new work; running workloads continue."""
+        if self.state is ProviderAvailability.ACCEPTING:
+            self.state = ProviderAvailability.PAUSED
+            self.activations += 1
+
+    def resume(self) -> None:
+        """Accept new work again (only valid from PAUSED)."""
+        if self.state is ProviderAvailability.PAUSED:
+            self.state = ProviderAvailability.ACCEPTING
+
+    def begin_departure(self) -> None:
+        """Enter the departing state (graceful exit underway)."""
+        if self.state is not ProviderAvailability.DEPARTED:
+            self.state = ProviderAvailability.DEPARTING
+            self.activations += 1
+
+    def mark_departed(self) -> None:
+        """Final state: the machine is no longer part of GPUnion."""
+        self.state = ProviderAvailability.DEPARTED
+
+    def rejoin(self) -> None:
+        """Provider returns to the platform (after any departure)."""
+        self.state = ProviderAvailability.ACCEPTING

@@ -1,0 +1,16 @@
+"""Analysis helpers: stats, ASCII tables."""
+
+from .stats import confidence_interval_95, mean, percentile, ratio, stdev
+from .tables import format_bytes, format_percent, format_seconds, render_table
+
+__all__ = [
+    "mean",
+    "stdev",
+    "percentile",
+    "confidence_interval_95",
+    "ratio",
+    "render_table",
+    "format_percent",
+    "format_seconds",
+    "format_bytes",
+]

@@ -1,0 +1,58 @@
+"""Small statistics helpers used by experiments and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for empty input)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0.0 for < 2 samples)."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    lower = int(math.floor(rank))
+    upper = int(math.ceil(rank))
+    if lower == upper:
+        return ordered[lower]
+    weight = rank - lower
+    return ordered[lower] * (1 - weight) + ordered[upper] * weight
+
+
+def confidence_interval_95(values: Sequence[float]) -> Tuple[float, float]:
+    """Normal-approximation 95 % CI around the mean."""
+    values = list(values)
+    if not values:
+        return (0.0, 0.0)
+    mu = mean(values)
+    half = 1.96 * stdev(values) / math.sqrt(len(values))
+    return (mu - half, mu + half)
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe division (0.0 when the denominator is 0)."""
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator

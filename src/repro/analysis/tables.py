@@ -1,0 +1,57 @@
+"""ASCII table rendering for benchmark/experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def render_table(rows: Sequence[Sequence[str]],
+                 title: Optional[str] = None) -> str:
+    """Render rows (first row = header) as an aligned ASCII table."""
+    if not rows:
+        return ""
+    cells = [[str(cell) for cell in row] for row in rows]
+    columns = max(len(row) for row in cells)
+    widths = [0] * columns
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(separator))
+    header, *body = cells
+    lines.append(" | ".join(
+        cell.ljust(widths[index]) for index, cell in enumerate(header)))
+    lines.append(separator)
+    for row in body:
+        padded = row + [""] * (columns - len(row))
+        lines.append(" | ".join(
+            cell.ljust(widths[index]) for index, cell in enumerate(padded)))
+    return "\n".join(lines)
+
+
+def format_percent(fraction: float, digits: int = 1) -> str:
+    """0.345 → '34.5%'."""
+    return f"{fraction * 100:.{digits}f}%"
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-friendly duration."""
+    if seconds < 1:
+        return f"{seconds * 1000:.1f} ms"
+    if seconds < 120:
+        return f"{seconds:.1f} s"
+    if seconds < 7200:
+        return f"{seconds / 60:.1f} min"
+    return f"{seconds / 3600:.1f} h"
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-friendly size."""
+    for unit, scale in (("TiB", 1024**4), ("GiB", 1024**3),
+                        ("MiB", 1024**2), ("KiB", 1024)):
+        if nbytes >= scale:
+            return f"{nbytes / scale:.2f} {unit}"
+    return f"{nbytes:.0f} B"

@@ -1,0 +1,33 @@
+"""Baselines: manual coordination, reservations, centralized, Table 1."""
+
+from .centralized import CentralizedOrchestrator, PodRecord
+from .comparison import (
+    ALL_PLATFORMS,
+    GPUNION,
+    KUBERNETES,
+    OPENSTACK,
+    PlatformProfile,
+    gpunion_is_strictly_lightest,
+    quantitative_proxies,
+    table1_matrix,
+)
+from .manual import ManualCoordinationSimulation, ManualJobRecord
+from .reservation import AutonomyViolation, ReservationRecord, ReservationSystem
+
+__all__ = [
+    "ManualCoordinationSimulation",
+    "ManualJobRecord",
+    "ReservationSystem",
+    "ReservationRecord",
+    "AutonomyViolation",
+    "CentralizedOrchestrator",
+    "PodRecord",
+    "PlatformProfile",
+    "ALL_PLATFORMS",
+    "OPENSTACK",
+    "KUBERNETES",
+    "GPUNION",
+    "table1_matrix",
+    "quantitative_proxies",
+    "gpunion_is_strictly_lightest",
+]

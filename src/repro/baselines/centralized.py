@@ -1,0 +1,160 @@
+"""Centralized-orchestration baseline (Kubernetes-style).
+
+Kubernetes "fundamentally rel[ies] on centralized control models that
+expect persistent node availability" (§1): a departed node is a
+*failure*, the pod restarts from scratch elsewhere, and no
+application-level checkpoint ever exists.  This model quantifies what
+that costs on volatile volunteer hardware — the work wasted per
+departure — for the ablation benchmark that compares failure-handling
+philosophies (§5.1: "In those systems, volatility is treated as
+failure; in GPUnion, it is first-class behavior").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Sequence
+
+from ..gpu.device import GPUDevice
+from ..gpu.node import GPUNode
+from ..gpu.specs import speedup_over_reference
+from ..sim import Environment, Interrupt
+from ..units import MINUTE
+from ..workloads.training import TrainingJobSpec
+
+
+@dataclass
+class PodRecord:
+    """One job's life under restart-from-scratch orchestration."""
+
+    spec: TrainingJobSpec
+    submitted_at: float
+    restarts: int = 0
+    wasted_work: float = 0.0  # reference-seconds discarded on restarts
+    completed_at: Optional[float] = None
+
+    @property
+    def is_done(self) -> bool:
+        """Whether the pod ever finished."""
+        return self.completed_at is not None
+
+
+class CentralizedOrchestrator:
+    """Shared pool, but node loss = restart from zero.
+
+    Restart latency models detection + rescheduling + image start on
+    the standard Kubernetes control loop (~tens of seconds).
+    """
+
+    def __init__(self, env: Environment, restart_latency: float = 90.0):
+        self.env = env
+        self.restart_latency = restart_latency
+        self.nodes: List[GPUNode] = []
+        self.records: List[PodRecord] = []
+        self._queue: List[PodRecord] = []
+        self._node_down: Dict[str, bool] = {}
+        self._running: Dict[str, List] = {}  # hostname → [(record, proc, gpu)]
+
+    def add_node(self, node: GPUNode) -> None:
+        """Enroll a node into the pool."""
+        self.nodes.append(node)
+        self._node_down[node.hostname] = False
+        self._running[node.hostname] = []
+
+    def submit(self, spec: TrainingJobSpec) -> PodRecord:
+        """Submit a job; it runs with no checkpointing whatsoever."""
+        record = PodRecord(spec=spec, submitted_at=self.env.now)
+        self.records.append(record)
+        self._queue.append(record)
+        self._schedule()
+        return record
+
+    def _free_gpu(self) -> Optional[tuple]:
+        for node in self.nodes:
+            if self._node_down[node.hostname]:
+                continue
+            for gpu in node.gpus:
+                if not gpu.owners:
+                    return node, gpu
+        return None
+
+    def _schedule(self) -> None:
+        while self._queue:
+            placement = self._free_gpu()
+            if placement is None:
+                return
+            node, gpu = placement
+            record = self._queue.pop(0)
+            if (gpu.memory_free < record.spec.model.gpu_memory
+                    or not gpu.spec.supports_capability(
+                        record.spec.model.min_compute_capability)):
+                # Head-of-line blocked by constraints; push to back.
+                self._queue.append(record)
+                if len(self._queue) == 1:
+                    return
+                continue
+            process = self.env.process(
+                self._run(record, node, gpu),
+                name=f"pod:{record.spec.job_id}",
+            )
+            self._running[node.hostname].append((record, process, gpu))
+
+    def _run(self, record: PodRecord, node: GPUNode,
+             gpu: GPUDevice) -> Generator:
+        spec = record.spec
+        owner = f"pod:{spec.job_id}:{record.restarts}"
+        gpu.allocate_memory(owner, spec.model.gpu_memory)
+        gpu.add_load(owner, spec.model.train_intensity)
+        started = self.env.now
+        speedup = speedup_over_reference(gpu.spec)
+        try:
+            yield self.env.timeout(spec.total_compute / speedup)
+        except Interrupt:
+            # Node lost: ALL progress is gone; requeue from zero.
+            elapsed = self.env.now - started
+            record.wasted_work += elapsed * speedup
+            record.restarts += 1
+            gpu.remove_load(owner)
+            gpu.free_memory(owner)
+            yield self.env.timeout(self.restart_latency)
+            self._queue.append(record)
+            self._schedule()
+            return
+        gpu.remove_load(owner)
+        gpu.free_memory(owner)
+        record.completed_at = self.env.now
+        self._remove_running(node.hostname, record)
+        self._schedule()
+
+    def _remove_running(self, hostname: str, record: PodRecord) -> None:
+        self._running[hostname] = [
+            entry for entry in self._running[hostname] if entry[0] is not record
+        ]
+
+    def node_departed(self, node: GPUNode) -> int:
+        """A provider pulled their machine; every pod on it dies.
+
+        Returns the number of pods killed.
+        """
+        self._node_down[node.hostname] = True
+        victims = self._running[node.hostname]
+        self._running[node.hostname] = []
+        for record, process, gpu in victims:
+            if process.is_alive:
+                process.interrupt("node-departed")
+        return len(victims)
+
+    def node_returned(self, node: GPUNode) -> None:
+        """The node is back; it may receive pods again."""
+        self._node_down[node.hostname] = False
+        self._schedule()
+
+    # -- results ----------------------------------------------------------
+
+    def total_wasted_work(self) -> float:
+        """Reference-seconds of training redone because of restarts."""
+        return sum(record.wasted_work for record in self.records)
+
+    def total_restarts(self) -> int:
+        """Pod restarts across all jobs."""
+        return sum(record.restarts for record in self.records)

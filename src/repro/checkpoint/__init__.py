@@ -1,0 +1,26 @@
+"""Resilient-execution substrate: ALC engine, policies, CRIU baseline."""
+
+from .alc import CheckpointEngine, RestoreResult
+from .criu import (
+    MIN_KERNEL,
+    CriuCapability,
+    CriuCheckpointer,
+    check_dump_support,
+    check_restore_support,
+)
+from .incremental import IncrementalPlan
+from .policy import CheckpointPolicy, FixedIntervalPolicy, YoungDalyPolicy
+
+__all__ = [
+    "CheckpointEngine",
+    "RestoreResult",
+    "IncrementalPlan",
+    "CheckpointPolicy",
+    "FixedIntervalPolicy",
+    "YoungDalyPolicy",
+    "CriuCheckpointer",
+    "CriuCapability",
+    "check_dump_support",
+    "check_restore_support",
+    "MIN_KERNEL",
+]

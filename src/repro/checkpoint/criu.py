@@ -1,0 +1,120 @@
+"""CRIU baseline model.
+
+The paper evaluates and rejects system-level checkpointing: "System
+level solutions like CRIU (Checkpoint/Restore in Userspace), while
+powerful, fail to support CUDA contexts reliably and impose strict
+requirements on kernel versions and driver compatibility.  More
+importantly, they cannot support cross-GPU architecture migration"
+(§3.5).  This module reproduces those failure modes so the ablation
+benchmark can show *why* ALC wins on a heterogeneous campus fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional, Tuple
+
+from ..containers.runtime import Container
+from ..errors import CriuUnsupportedError
+from ..gpu.node import HostFacts
+from ..sim import Environment, Event
+from ..storage import Volume
+from ..units import GIB
+
+#: Oldest kernel CRIU's container integration is reliable on.
+MIN_KERNEL = (4, 18)
+
+
+@dataclass(frozen=True)
+class CriuCapability:
+    """Result of a CRIU pre-flight check."""
+
+    supported: bool
+    reason: str = ""
+
+
+def check_dump_support(container: Container, facts: HostFacts) -> CriuCapability:
+    """Whether CRIU can dump this container on this host.
+
+    The dominant real-world blocker is CUDA: device state lives in the
+    driver and cannot be captured from userspace, so any container with
+    GPUs attached is undumpable.
+    """
+    if container.gpus:
+        return CriuCapability(
+            False, "CUDA contexts cannot be checkpointed from userspace"
+        )
+    if facts.kernel_version < MIN_KERNEL:
+        return CriuCapability(
+            False,
+            f"kernel {facts.kernel_version} < required {MIN_KERNEL}",
+        )
+    return CriuCapability(True)
+
+
+def check_restore_support(
+    src_arch: str,
+    dst_arch: str,
+    src_facts: HostFacts,
+    dst_facts: HostFacts,
+) -> CriuCapability:
+    """Whether a CRIU image dumped on ``src`` restores on ``dst``.
+
+    Cross-GPU-architecture restore is impossible (device state encodes
+    the architecture), and driver versions must match because the dump
+    embeds driver-managed mappings.
+    """
+    if src_arch != dst_arch:
+        return CriuCapability(
+            False,
+            f"cross-architecture restore {src_arch} -> {dst_arch} unsupported",
+        )
+    if src_facts.nvidia_driver != dst_facts.nvidia_driver:
+        return CriuCapability(
+            False,
+            f"driver mismatch {src_facts.nvidia_driver} vs {dst_facts.nvidia_driver}",
+        )
+    if dst_facts.kernel_version < MIN_KERNEL:
+        return CriuCapability(False, "destination kernel too old")
+    return CriuCapability(True)
+
+
+class CriuCheckpointer:
+    """System-level checkpointing via CRIU (the rejected alternative).
+
+    Dump size is the whole process image — framework heap, loaded
+    libraries, CPU-side tensors — not just semantic state, so CRIU
+    images are several times larger than ALC artifacts even when they
+    work at all.
+    """
+
+    #: Process image overhead beyond model state (framework + heap).
+    RUNTIME_IMAGE_BYTES = 6 * GIB
+
+    def __init__(self, env: Environment):
+        self.env = env
+
+    def dump_bytes(self, container: Container) -> float:
+        """Size of a CRIU image for this container."""
+        state = self.RUNTIME_IMAGE_BYTES
+        gpu_memory = sum(
+            gpu.memory_of(container.container_id) for gpu in container.gpus
+        )
+        return state + gpu_memory
+
+    def dump(self, container: Container, facts: HostFacts,
+             volume: Volume) -> Event:
+        """Attempt a CRIU dump; the process fails with
+        :class:`CriuUnsupportedError` when pre-flight checks fail.
+        """
+        return self.env.process(self._dump(container, facts, volume),
+                                name=f"criu-dump:{container.container_id}")
+
+    def _dump(self, container: Container, facts: HostFacts,
+              volume: Volume) -> Generator:
+        capability = check_dump_support(container, facts)
+        if not capability.supported:
+            raise CriuUnsupportedError(capability.reason)
+        nbytes = self.dump_bytes(container)
+        yield volume.write(f"criu/{container.container_id}", nbytes)
+        return nbytes

@@ -1,0 +1,59 @@
+"""Incremental checkpoint sizing.
+
+Section 4's network analysis hinges on "the incremental nature of state
+synchronization — where only modified memory pages and file system
+deltas are transmitted".  This module models the delta: between two
+checkpoints only ``dirty_fraction`` of the model/optimizer state has
+changed (optimizer moments churn, most weights move slightly but page
+granularity is what matters), plus a small file-system delta (logs,
+metrics files).
+
+Chains are re-anchored with a full checkpoint every ``full_every``
+versions so a restore never replays an unbounded delta chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import MIB
+from ..workloads.models import WorkloadModel
+
+
+@dataclass(frozen=True)
+class IncrementalPlan:
+    """Policy knobs for incremental checkpointing."""
+
+    full_every: int = 6  # every Nth checkpoint is a full snapshot
+    fs_delta_bytes: float = 64 * MIB  # logs/metrics churn per interval
+
+    def __post_init__(self):
+        if self.full_every < 1:
+            raise ValueError("full_every must be >= 1")
+        if self.fs_delta_bytes < 0:
+            raise ValueError("fs_delta_bytes must be >= 0")
+
+    def is_full(self, version: int) -> bool:
+        """Whether checkpoint ``version`` (1-based) is a full snapshot."""
+        return (version - 1) % self.full_every == 0
+
+    def checkpoint_bytes(self, model: WorkloadModel, version: int) -> float:
+        """On-the-wire size of checkpoint ``version`` for ``model``."""
+        if self.is_full(version):
+            return model.state_bytes + self.fs_delta_bytes
+        return model.state_bytes * model.dirty_fraction + self.fs_delta_bytes
+
+    def full_bytes(self, model: WorkloadModel) -> float:
+        """Size of a full snapshot."""
+        return model.state_bytes + self.fs_delta_bytes
+
+    def delta_bytes(self, model: WorkloadModel) -> float:
+        """Size of an incremental delta."""
+        return model.state_bytes * model.dirty_fraction + self.fs_delta_bytes
+
+    def mean_checkpoint_bytes(self, model: WorkloadModel) -> float:
+        """Long-run average bytes per checkpoint under this plan."""
+        fulls = 1
+        deltas = self.full_every - 1
+        total = fulls * self.full_bytes(model) + deltas * self.delta_bytes(model)
+        return total / self.full_every

@@ -1,0 +1,48 @@
+"""OCI-style container layer: images, runtime, isolation, notebooks."""
+
+from .image import DEFAULT_ALLOWLIST, ContainerImage, ImageRegistry
+from .isolation import (
+    DEFAULT_DENIED_SYSCALLS,
+    CgroupAssignment,
+    IsolationPolicy,
+    Namespace,
+    SeccompProfile,
+    validate_host_support,
+)
+from .jupyter import (
+    DEFAULT_NOTEBOOK_IMAGE,
+    NotebookSession,
+    make_notebook_spec,
+)
+from .runtime import (
+    TERMINAL_STATES,
+    Container,
+    ContainerRuntime,
+    ContainerState,
+    LifecycleEvent,
+)
+from .spec import ContainerSpec, ExecutionMode, GpuRequirements, ResourceLimits
+
+__all__ = [
+    "ContainerImage",
+    "ImageRegistry",
+    "DEFAULT_ALLOWLIST",
+    "IsolationPolicy",
+    "SeccompProfile",
+    "Namespace",
+    "CgroupAssignment",
+    "DEFAULT_DENIED_SYSCALLS",
+    "validate_host_support",
+    "Container",
+    "ContainerRuntime",
+    "ContainerState",
+    "LifecycleEvent",
+    "TERMINAL_STATES",
+    "ContainerSpec",
+    "ExecutionMode",
+    "GpuRequirements",
+    "ResourceLimits",
+    "NotebookSession",
+    "make_notebook_spec",
+    "DEFAULT_NOTEBOOK_IMAGE",
+]

@@ -1,0 +1,158 @@
+"""Container images and the campus image registry.
+
+"Container images must pass SHA256 verification before deployment, and
+the system maintains an allow list of trusted base images to ensure
+security compliance" (§3.3).  This module models exactly that supply
+chain: layered images with content digests, a registry that serves
+them, and the two security checks (digest match, trusted base).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ImageVerificationError
+from ..units import GIB, MIB
+
+
+def _digest_of(name: str, tag: str, layer_sizes: Tuple[float, ...]) -> str:
+    payload = f"{name}:{tag}:" + ",".join(f"{size:.0f}" for size in layer_sizes)
+    return "sha256:" + hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ContainerImage:
+    """An immutable OCI image.
+
+    The digest is derived from name, tag, and layer sizes — enough to
+    make tamper detection meaningful in the model: change anything and
+    the digest no longer matches what the registry advertises.
+    """
+
+    name: str
+    tag: str
+    layer_sizes: Tuple[float, ...]
+    base_image: str
+
+    @property
+    def reference(self) -> str:
+        """Full reference, e.g. ``pytorch/pytorch:2.1-cuda12``."""
+        return f"{self.name}:{self.tag}"
+
+    @property
+    def digest(self) -> str:
+        """Content-addressed SHA-256 digest."""
+        return _digest_of(self.name, self.tag, self.layer_sizes)
+
+    @property
+    def size_bytes(self) -> float:
+        """Total compressed size across layers."""
+        return sum(self.layer_sizes)
+
+
+#: Base images GPUnion trusts out of the box.
+DEFAULT_ALLOWLIST = (
+    "nvidia/cuda",
+    "pytorch/pytorch",
+    "tensorflow/tensorflow",
+    "jupyter/datascience-notebook",
+    "ubuntu",
+)
+
+
+class ImageRegistry:
+    """The campus-local registry plus the trusted-base allowlist.
+
+    Parameters
+    ----------
+    hostname:
+        Host the registry runs on; pulls are network transfers from it.
+    allowlist:
+        Trusted base-image names.  Deployment of an image whose
+        ``base_image`` is not listed fails verification.
+    """
+
+    def __init__(
+        self,
+        hostname: str = "registry",
+        allowlist: Tuple[str, ...] = DEFAULT_ALLOWLIST,
+    ):
+        self.hostname = hostname
+        self._allowlist = set(allowlist)
+        self._images: Dict[str, ContainerImage] = {}
+        self._seed_standard_images()
+
+    def _seed_standard_images(self) -> None:
+        """Publish the images the campus deployment ships with."""
+        standard = [
+            ContainerImage(
+                "pytorch/pytorch", "2.1-cuda12",
+                (2.2 * GIB, 1.4 * GIB, 350 * MIB), "pytorch/pytorch",
+            ),
+            ContainerImage(
+                "tensorflow/tensorflow", "2.15-gpu",
+                (2.8 * GIB, 1.1 * GIB, 250 * MIB), "tensorflow/tensorflow",
+            ),
+            ContainerImage(
+                "jupyter/datascience-notebook", "cuda12",
+                (1.9 * GIB, 900 * MIB, 400 * MIB), "jupyter/datascience-notebook",
+            ),
+            ContainerImage(
+                "nvidia/cuda", "12.2-runtime",
+                (1.6 * GIB, 500 * MIB), "nvidia/cuda",
+            ),
+        ]
+        for image in standard:
+            self.publish(image)
+
+    # -- publication -----------------------------------------------------------
+
+    def publish(self, image: ContainerImage) -> str:
+        """Add an image to the registry; returns its digest."""
+        self._images[image.reference] = image
+        return image.digest
+
+    def resolve(self, reference: str) -> ContainerImage:
+        """Look up an image by ``name:tag``."""
+        try:
+            return self._images[reference]
+        except KeyError:
+            raise ImageVerificationError(
+                f"image {reference!r} not found in registry"
+            ) from None
+
+    @property
+    def references(self) -> List[str]:
+        """All published image references (sorted)."""
+        return sorted(self._images)
+
+    # -- security checks ---------------------------------------------------------
+
+    def allow_base(self, base_name: str) -> None:
+        """Add a base image to the allowlist."""
+        self._allowlist.add(base_name)
+
+    def is_trusted_base(self, base_name: str) -> bool:
+        """Whether ``base_name`` is on the allowlist."""
+        return base_name in self._allowlist
+
+    def verify(self, reference: str, expected_digest: str) -> ContainerImage:
+        """The pre-deployment check from §3.3.
+
+        Validates that the digest the user pinned matches the registry
+        content, and that the image builds on a trusted base.  Raises
+        :class:`ImageVerificationError` on any mismatch.
+        """
+        image = self.resolve(reference)
+        if image.digest != expected_digest:
+            raise ImageVerificationError(
+                f"digest mismatch for {reference!r}: "
+                f"expected {expected_digest}, registry has {image.digest}"
+            )
+        if not self.is_trusted_base(image.base_image):
+            raise ImageVerificationError(
+                f"{reference!r} builds on untrusted base {image.base_image!r}"
+            )
+        return image

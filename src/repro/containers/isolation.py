@@ -1,0 +1,131 @@
+"""Host-guest isolation profiles.
+
+"Each job is deployed inside an isolated user-space container,
+leveraging Linux kernel primitives such as namespaces, cgroups, and
+Seccomp profiles to ensure strict resource boundaries" (§3.3).  The
+model here captures the *policy* surface: which namespaces are
+unshared, which syscalls the seccomp profile denies, and what the
+cgroup limits are — so tests can assert that every deployed container
+actually carries a strict-isolation policy, and that hosts lacking the
+required kernel features refuse the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import FrozenSet, Tuple
+
+from ..errors import ContainerError
+from ..gpu.node import HostFacts
+from .spec import ResourceLimits
+
+
+class Namespace(Enum):
+    """Linux namespace kinds a container can unshare."""
+
+    PID = "pid"
+    NET = "net"
+    MNT = "mnt"
+    UTS = "uts"
+    IPC = "ipc"
+    USER = "user"
+    CGROUP = "cgroup"
+
+
+#: Syscalls GPUnion's default seccomp profile denies: everything that
+#: could reach across the host-guest boundary.
+DEFAULT_DENIED_SYSCALLS = frozenset(
+    {
+        "mount",
+        "umount2",
+        "reboot",
+        "kexec_load",
+        "init_module",
+        "finit_module",
+        "delete_module",
+        "bpf",
+        "ptrace",
+        "process_vm_readv",
+        "process_vm_writev",
+        "perf_event_open",
+        "setns",
+    }
+)
+
+
+@dataclass(frozen=True)
+class SeccompProfile:
+    """A deny-list seccomp policy."""
+
+    denied_syscalls: FrozenSet[str] = DEFAULT_DENIED_SYSCALLS
+
+    def permits(self, syscall: str) -> bool:
+        """Whether the profile lets ``syscall`` through."""
+        return syscall not in self.denied_syscalls
+
+
+@dataclass(frozen=True)
+class IsolationPolicy:
+    """The complete isolation envelope around one container."""
+
+    namespaces: FrozenSet[Namespace] = frozenset(
+        {Namespace.PID, Namespace.NET, Namespace.MNT,
+         Namespace.UTS, Namespace.IPC}
+    )
+    seccomp: SeccompProfile = field(default_factory=SeccompProfile)
+    readonly_rootfs: bool = True
+    no_new_privileges: bool = True
+
+    @property
+    def is_strict(self) -> bool:
+        """The bar every GPUnion deployment must clear (§3.1).
+
+        Strict means: PID/NET/MNT namespaces unshared, a seccomp
+        profile that blocks host-mutation syscalls, and no privilege
+        escalation.
+        """
+        required = {Namespace.PID, Namespace.NET, Namespace.MNT}
+        blocks_mutation = not self.seccomp.permits("mount")
+        return (
+            required.issubset(self.namespaces)
+            and blocks_mutation
+            and self.no_new_privileges
+        )
+
+
+def validate_host_support(facts: HostFacts, policy: IsolationPolicy) -> None:
+    """Check that a host can enforce ``policy``.
+
+    Raises :class:`ContainerError` when the host lacks the container
+    toolkit or runs a kernel too old for the requested namespaces —
+    the "variations in drivers, OS configurations, and security
+    policies" challenge from §3.2.
+    """
+    if not facts.has_container_toolkit:
+        raise ContainerError(
+            "host lacks the NVIDIA Container Toolkit; GPU passthrough unavailable"
+        )
+    if facts.kernel_version < (4, 6) and Namespace.CGROUP in policy.namespaces:
+        raise ContainerError(
+            f"kernel {facts.kernel_version} lacks cgroup namespaces (needs >= 4.6)"
+        )
+    if facts.kernel_version < (3, 8) and Namespace.USER in policy.namespaces:
+        raise ContainerError(
+            f"kernel {facts.kernel_version} lacks user namespaces (needs >= 3.8)"
+        )
+
+
+@dataclass(frozen=True)
+class CgroupAssignment:
+    """A container's cgroup: limits actually applied on the host."""
+
+    container_id: str
+    limits: ResourceLimits
+
+    def within_limits(self, cpu_cores: float, memory_bytes: float) -> bool:
+        """Whether observed usage respects the cgroup ceiling."""
+        return (
+            cpu_cores <= self.limits.cpu_cores
+            and memory_bytes <= self.limits.memory_bytes
+        )

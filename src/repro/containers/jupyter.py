@@ -1,0 +1,88 @@
+"""Interactive research environments.
+
+"For interactive research, the system automatically provisions Jupyter
+notebook environments with pre-configured deep learning frameworks and
+GPU access through the NVIDIA Visible Devices environment variable"
+(§3.3).  This module builds the interactive :class:`ContainerSpec` and
+wraps the resulting container in a session handle with an access URL
+and token, the way students actually consume GPUnion.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..units import GIB
+from .image import ImageRegistry
+from .runtime import Container, ContainerState
+from .spec import ContainerSpec, ExecutionMode, GpuRequirements
+
+#: The notebook image the platform provisions by default.
+DEFAULT_NOTEBOOK_IMAGE = "jupyter/datascience-notebook:cuda12"
+
+#: Port Jupyter listens on inside the container.
+NOTEBOOK_PORT = 8888
+
+
+def make_notebook_spec(
+    registry: ImageRegistry,
+    gpu_memory: float = 8 * GIB,
+    min_capability: Tuple[int, int] = (7, 0),
+    image_reference: str = DEFAULT_NOTEBOOK_IMAGE,
+) -> ContainerSpec:
+    """Build the spec for an interactive notebook container.
+
+    The digest is resolved from the registry (users of interactive
+    sessions don't pin digests by hand; the platform pins the trusted
+    notebook image for them).
+    """
+    image = registry.resolve(image_reference)
+    return ContainerSpec(
+        image_reference=image_reference,
+        image_digest=image.digest,
+        command=("start-notebook.sh",),
+        mode=ExecutionMode.INTERACTIVE,
+        gpu=GpuRequirements(
+            gpu_count=1,
+            memory_per_gpu=gpu_memory,
+            min_compute_capability=min_capability,
+        ),
+    )
+
+
+def _session_token(container_id: str) -> str:
+    return hashlib.sha256(f"notebook:{container_id}".encode()).hexdigest()[:32]
+
+
+@dataclass
+class NotebookSession:
+    """A live interactive session handle returned to the student."""
+
+    container: Container
+    hostname: str
+    started_at: float
+
+    @property
+    def token(self) -> str:
+        """The Jupyter access token."""
+        return _session_token(self.container.container_id)
+
+    @property
+    def url(self) -> str:
+        """The URL the student opens on the campus LAN."""
+        return f"http://{self.hostname}:{NOTEBOOK_PORT}/?token={self.token}"
+
+    @property
+    def is_live(self) -> bool:
+        """Whether the notebook is still reachable."""
+        return self.container.state in (
+            ContainerState.RUNNING,
+            ContainerState.CHECKPOINTING,
+        )
+
+    @property
+    def visible_devices(self) -> str:
+        """GPUs exposed to the notebook kernel."""
+        return self.container.visible_devices

@@ -1,0 +1,84 @@
+"""Container and workload specifications.
+
+A :class:`ContainerSpec` is what a user submits: which image to run
+(pinned by digest), what command, which execution mode (interactive
+Jupyter vs batch), and the GPU requirements the scheduler must satisfy
+(memory, minimum CUDA compute capability, device count) — the exact
+constraint set §3.5 says allocation decisions consider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+from ..units import GIB
+
+
+class ExecutionMode(Enum):
+    """The two execution modes from §3.3."""
+
+    BATCH = "batch"
+    INTERACTIVE = "interactive"
+
+
+@dataclass(frozen=True)
+class GpuRequirements:
+    """Hardware constraints a placement must satisfy."""
+
+    gpu_count: int = 1
+    memory_per_gpu: float = 8 * GIB
+    min_compute_capability: Tuple[int, int] = (7, 0)
+
+    def __post_init__(self):
+        if self.gpu_count < 0:
+            raise ValueError("gpu_count must be >= 0")
+        if self.memory_per_gpu < 0:
+            raise ValueError("memory_per_gpu must be >= 0")
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """cgroup-enforced host-side limits."""
+
+    cpu_cores: float = 8.0
+    memory_bytes: float = 32 * GIB
+
+    def __post_init__(self):
+        if self.cpu_cores <= 0 or self.memory_bytes <= 0:
+            raise ValueError("limits must be positive")
+
+
+@dataclass(frozen=True)
+class ContainerSpec:
+    """Everything needed to deploy one workload container."""
+
+    image_reference: str
+    image_digest: str
+    command: Tuple[str, ...] = ("python", "train.py")
+    mode: ExecutionMode = ExecutionMode.BATCH
+    env: Dict[str, str] = field(default_factory=dict)
+    gpu: GpuRequirements = field(default_factory=GpuRequirements)
+    limits: ResourceLimits = field(default_factory=ResourceLimits)
+    mounts: Tuple[str, ...] = ()
+
+    @property
+    def is_interactive(self) -> bool:
+        """Whether this spec provisions an interactive session."""
+        return self.mode is ExecutionMode.INTERACTIVE
+
+    def with_env(self, **extra: str) -> "ContainerSpec":
+        """Copy of this spec with additional environment variables."""
+        merged = dict(self.env)
+        merged.update(extra)
+        return ContainerSpec(
+            image_reference=self.image_reference,
+            image_digest=self.image_digest,
+            command=self.command,
+            mode=self.mode,
+            env=merged,
+            gpu=self.gpu,
+            limits=self.limits,
+            mounts=self.mounts,
+        )

@@ -1,0 +1,122 @@
+"""User-transparent resource invocation (§5.2 future work).
+
+"GPUnion currently requires users to estimate their own resource needs
+and then request those resources.  This process is cumbersome, and
+inaccurate estimates can easily lead to resource waste.  Exposing
+GPUnion through a programming interface, such as a Python package, and
+incorporating intelligent mechanisms for resource estimation,
+requesting, and scheduling would greatly improve both efficiency and
+utilization."
+
+This module implements that interface: :func:`auto_submit` takes what a
+researcher actually knows — the model architecture and roughly how long
+they want to train — and derives everything the platform needs:
+
+* GPU memory and compute-capability constraints from the model profile;
+* a checkpoint interval from the Young/Daly optimum against the
+  fleet's *observed* volatility (not a guess);
+* a storage preference (the least-loaded checkpoint store).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..gpu.specs import REFERENCE_SPEC
+from ..units import HOUR, MINUTE
+from ..workloads.models import WorkloadModel, model_by_name
+from ..workloads.training import TrainingJobSpec, TrainingJobState, next_job_id
+from .platform import GPUnionPlatform
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """What the estimator derived for a job (shown to the user)."""
+
+    model: str
+    gpu_memory: float
+    min_compute_capability: tuple
+    checkpoint_interval: float
+    predicted_fleet_mtbf: float
+    storage_host: Optional[str]
+
+
+def _fleet_mtbf(platform: GPUnionPlatform) -> float:
+    """Harmonic-style fleet MTBF: pessimistic toward volatile nodes."""
+    predictor = platform.coordinator.predictor
+    records = platform.coordinator.registry.all_records()
+    if not records:
+        return predictor.DEFAULT_MTBF
+    rates = [1.0 / predictor.predicted_mtbf(record.node_id)
+             for record in records]
+    mean_rate = sum(rates) / len(rates)
+    return 1.0 / mean_rate if mean_rate > 0 else predictor.DEFAULT_MTBF
+
+
+def _capture_cost_estimate(model: WorkloadModel) -> float:
+    """Rough checkpoint pause: PCIe read-out + disk write + overhead."""
+    pcie = model.state_bytes / REFERENCE_SPEC.pcie_bandwidth
+    disk = model.state_bytes / 2e9
+    return pcie + disk + 1.0
+
+
+def estimate_resources(
+    platform: GPUnionPlatform,
+    model: Union[str, WorkloadModel],
+) -> ResourceEstimate:
+    """Derive a job's resource envelope from the model profile alone."""
+    profile = model_by_name(model) if isinstance(model, str) else model
+    mtbf = _fleet_mtbf(platform)
+    cost = _capture_cost_estimate(profile)
+    optimum = math.sqrt(2.0 * cost * mtbf)
+    interval = min(60 * MINUTE, max(2 * MINUTE, optimum))
+    storage = _pick_storage(platform)
+    return ResourceEstimate(
+        model=profile.name,
+        gpu_memory=profile.gpu_memory,
+        min_compute_capability=profile.min_compute_capability,
+        checkpoint_interval=interval,
+        predicted_fleet_mtbf=mtbf,
+        storage_host=storage,
+    )
+
+
+def _pick_storage(platform: GPUnionPlatform) -> Optional[str]:
+    """Least-loaded checkpoint store (by bytes already stored)."""
+    stores = platform.stores
+    if not stores:
+        return None
+    return min(sorted(stores),
+               key=lambda hostname: stores[hostname].total_bytes())
+
+
+def auto_submit(
+    platform: GPUnionPlatform,
+    model: Union[str, WorkloadModel],
+    train_hours: float,
+    owner: str = "anonymous",
+    lab: str = "unaffiliated",
+    priority: int = 5,
+) -> TrainingJobState:
+    """Submit a training job from just a model name and a duration.
+
+    >>> # platform = GPUnionPlatform(...); providers added; run a bit
+    >>> # job = auto_submit(platform, "resnet50-cifar", train_hours=4)
+    """
+    if train_hours <= 0:
+        raise ValueError("train_hours must be positive")
+    estimate = estimate_resources(platform, model)
+    profile = model_by_name(model) if isinstance(model, str) else model
+    spec = TrainingJobSpec(
+        job_id=next_job_id(prefix="auto"),
+        model=profile,
+        total_compute=train_hours * HOUR,
+        owner=owner,
+        lab=lab,
+        priority=priority,
+        checkpoint_interval=estimate.checkpoint_interval,
+        storage_host=estimate.storage_host,
+    )
+    return platform.submit_job(spec)

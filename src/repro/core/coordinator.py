@@ -1,0 +1,583 @@
+"""The central scheduler and coordinator.
+
+"The central scheduler serves as the coordination hub for resource
+discovery, allocation decisions, and workload management" (§3.2).
+Unlike traditional cluster schedulers it expects volatility: providers
+may pause, depart gracefully (with a checkpoint window), or vanish
+silently (detected by heartbeat loss), and every running workload must
+survive that via requeue-and-restore migration.
+
+The coordinator's moving parts:
+
+* :class:`~repro.core.registry.NodeRegistry` — who is here, with what
+  GPUs, and the free-memory view updated on every dispatch/release;
+* :class:`~repro.core.queue.DispatchQueue` — the priority queue of
+  pending resource requests (§3.5);
+* a pluggable :class:`~repro.core.scheduler.Scheduler` strategy;
+* :class:`~repro.core.reliability.ReliabilityPredictor` — volatility
+  predictions fed to both placement and checkpoint policies;
+* :class:`~repro.core.heartbeat.HeartbeatMonitor` — failure detection;
+* the migrate-back scan that returns displaced jobs to providers who
+  reconnect (§4's temporary-unavailability behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Set
+
+from ..config import PlatformConfig
+from ..errors import NetworkError
+from ..monitoring import EventLog, SystemDatabase
+from ..network import CampusLAN, FlowNetwork, RpcLayer
+from ..sim import Environment
+from ..storage import CheckpointStore
+from ..workloads.interactive import (
+    InteractiveSessionSpec,
+    SessionOutcome,
+    SessionRecord,
+)
+from ..workloads.training import JobStatus, TrainingJobSpec, TrainingJobState
+from .heartbeat import HeartbeatMonitor
+from .messages import Placement, RequestKind, ResourceRequest
+from .queue import DispatchQueue
+from .registry import GpuInventory, NodeRecord, NodeRegistry, NodeStatus
+from .reliability import ReliabilityPredictor
+from .scheduler import SchedulingContext, make_scheduler
+
+StoreResolver = Callable[[TrainingJobSpec], CheckpointStore]
+
+
+@dataclass
+class RunningWorkload:
+    """Coordinator-side record of one placed workload."""
+
+    kind: RequestKind
+    node_id: str
+    hostname: str
+    gpu_uuid: str
+    reserved_bytes: float
+    allocation_id: int
+    request: ResourceRequest
+    job: Optional[TrainingJobState] = None
+    session: Optional[InteractiveSessionSpec] = None
+
+
+class Coordinator:
+    """GPUnion's coordination hub (one per campus deployment)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        hostname: str,
+        lan: CampusLAN,
+        network: FlowNetwork,
+        rpc: RpcLayer,
+        config: PlatformConfig,
+        store_resolver: Optional[StoreResolver] = None,
+        database: Optional[SystemDatabase] = None,
+        event_log: Optional[EventLog] = None,
+    ):
+        self.env = env
+        self.hostname = hostname
+        self.lan = lan
+        self.network = network
+        self.rpc = rpc
+        self.config = config
+        self.store_resolver = store_resolver
+        self.db = database if database is not None else SystemDatabase()
+        self.events = event_log if event_log is not None else EventLog(env)
+
+        self.registry = NodeRegistry(env)
+        self.predictor = ReliabilityPredictor(env)
+        self.monitor = HeartbeatMonitor(env, self.registry, config,
+                                        on_failure=self._on_node_failure)
+        self.queue = DispatchQueue(env)
+        self.scheduler = make_scheduler(config.scheduler)
+
+        self.jobs: Dict[str, TrainingJobState] = {}
+        self.sessions: List[SessionRecord] = []
+        self._running: Dict[str, RunningWorkload] = {}
+        self._parked: List[ResourceRequest] = []
+        self._migrating_back: Set[str] = set()
+        self._departure_hints: Dict[str, str] = {}
+        self._session_requested_at: Dict[str, float] = {}
+
+        self._bind_endpoint()
+        if config.heartbeat_mode == "rpc":
+            self.monitor.start_checker()
+        self.env.process(self._dispatch_loop(), name="dispatch-loop")
+        self.env.process(self._retry_loop(), name="dispatch-retry")
+
+    # -- wiring ------------------------------------------------------------
+
+    def _bind_endpoint(self) -> None:
+        endpoint = self.rpc.bind(self.hostname)
+        endpoint.register("register-node", self._handle_register)
+        endpoint.register("heartbeat", self._handle_heartbeat)
+        endpoint.register("node-status", self._handle_node_status)
+        endpoint.register("departing", self._handle_departing)
+        endpoint.register("departed", self._handle_departed)
+        endpoint.register("job-update", self._handle_job_update)
+        endpoint.register("session-update", self._handle_session_update)
+
+    def note_departure_hint(self, node_id: str, kind: str) -> None:
+        """Accounting-only: label the next detected failure of a node.
+
+        The wire carries nothing during a silent departure; experiments
+        use this to split "emergency" from "temporary" statistics.
+        """
+        self._departure_hints[node_id] = kind
+
+    # -- public user API ------------------------------------------------------
+
+    def submit_job(self, spec: TrainingJobSpec) -> TrainingJobState:
+        """Accept a training job; returns its live state object."""
+        state = TrainingJobState(spec, submitted_at=self.env.now)
+        self.jobs[spec.job_id] = state
+        request = ResourceRequest(
+            kind=RequestKind.TRAINING,
+            training=spec,
+            priority=spec.priority,
+            enqueued_at=self.env.now,
+        )
+        self.queue.push(request)
+        self.events.emit("job-submitted", job_id=spec.job_id, lab=spec.lab)
+        return state
+
+    def submit_session(self, spec: InteractiveSessionSpec) -> None:
+        """Accept an interactive session request."""
+        self._session_requested_at[spec.session_id] = self.env.now
+        request = ResourceRequest(
+            kind=RequestKind.INTERACTIVE,
+            session=spec,
+            priority=2,  # sessions are latency-sensitive
+            enqueued_at=self.env.now,
+        )
+        self.queue.push(request)
+
+    def cancel_job(self, job_id: str):
+        """Cancel a job wherever it is (queued, parked, or running).
+
+        Returns the termination RPC event when the job was running,
+        else ``None``.
+        """
+        if self.queue.withdraw(job_id) is not None:
+            self.jobs[job_id].status = JobStatus.CANCELLED
+            return None
+        for index, request in enumerate(self._parked):
+            if request.request_id == job_id:
+                del self._parked[index]
+                self.jobs[job_id].status = JobStatus.CANCELLED
+                return None
+        running = self._running.get(job_id)
+        if running is None:
+            return None
+        return self.rpc.call(self.hostname, running.hostname, "terminate",
+                             {"job_id": job_id})
+
+    # -- registration and liveness -----------------------------------------------
+
+    def _handle_register(self, payload: dict) -> str:
+        gpus = [
+            GpuInventory(
+                uuid=gpu["uuid"],
+                model=gpu["model"],
+                memory_total=gpu["memory_total"],
+                memory_free=gpu["memory_total"],
+                compute_capability=tuple(gpu["compute_capability"]),
+            )
+            for gpu in payload["gpus"]
+        ]
+        record = self.registry.register(
+            node_id=payload["node_id"],
+            hostname=payload["hostname"],
+            owner_lab=payload.get("owner_lab", ""),
+            gpus=gpus,
+        )
+        self.predictor.observe_join(record.node_id)
+        self.monitor.node_returned(record.node_id)
+        self.db.upsert_node(record.node_id, record.hostname, record.owner_lab,
+                            self.env.now, "available", record.auth_token)
+        self.events.emit("node-registered", node=record.node_id,
+                         hostname=record.hostname)
+        # Parked work reacts to the new capacity first (the dispatch
+        # loop is the hot path); the migrate-back scan is a slower
+        # control action and may find the returning GPUs already taken
+        # — producing §4's "not in time" migrate-back failures.
+        self._release_parked()
+        if self.config.migrate_back:
+            self.env.process(self._migrate_back_scan(record),
+                             name=f"migrate-back:{record.node_id}")
+        return record.auth_token
+
+    def _handle_heartbeat(self, payload: dict):
+        node_id = payload["node_id"]
+        self.monitor.receive(node_id)
+        self.db.record_heartbeat(node_id, self.env.now)
+        return "ok"
+
+    def _handle_node_status(self, payload: dict):
+        node_id = payload["node_id"]
+        status = payload["status"]
+        if status == "paused":
+            self.registry.set_status(node_id, NodeStatus.PAUSED)
+            self.events.emit("node-paused", node=node_id)
+        elif status == "available":
+            self.registry.set_status(node_id, NodeStatus.AVAILABLE)
+            self.events.emit("node-resumed", node=node_id)
+            self._release_parked()
+        return "ok"
+
+    def _handle_departing(self, payload: dict):
+        node_id = payload["node_id"]
+        self.registry.set_status(node_id, NodeStatus.PAUSED)
+        self.events.emit("node-departing", node=node_id)
+        return "ok"
+
+    def _handle_departed(self, payload: dict):
+        node_id = payload["node_id"]
+        self.registry.set_status(node_id, NodeStatus.DEPARTED)
+        self.db.set_node_status(node_id, "departed")
+        self.predictor.observe_interruption(node_id)
+        self.events.emit("node-departed", node=node_id)
+        # Graceful executors normally report before this point; anything
+        # still booked on the node gets the failure path as a backstop.
+        self._reclaim_node_workloads(node_id, kind="scheduled")
+        return "ok"
+
+    def _on_node_failure(self, record: NodeRecord) -> None:
+        kind = self._departure_hints.pop(record.node_id, "emergency")
+        self.predictor.observe_interruption(record.node_id)
+        self.db.set_node_status(record.node_id, "unavailable")
+        self.events.emit("node-failed", node=record.node_id, cause=kind)
+        self._reclaim_node_workloads(record.node_id, kind=kind)
+
+    def _reclaim_node_workloads(self, node_id: str, kind: str) -> None:
+        doomed = [
+            (workload_id, running)
+            for workload_id, running in self._running.items()
+            if running.node_id == node_id
+        ]
+        for workload_id, running in doomed:
+            del self._running[workload_id]
+            self.registry.release_gpu(node_id, running.gpu_uuid,
+                                      running.reserved_bytes)
+            self.db.close_allocation(running.allocation_id, self.env.now,
+                                     f"node-lost:{kind}")
+            if running.kind is RequestKind.TRAINING:
+                job = running.job
+                # Silent departures happened one detection delay before
+                # the coordinator learns of them; downtime accounting
+                # starts at the true interruption instant.
+                when = self.env.now
+                if kind in ("emergency", "temporary"):
+                    when -= self.config.failure_detection_delay
+                job.record_interruption(at=when, kind=kind,
+                                        node=running.hostname)
+                job.status = JobStatus.MIGRATING
+                self.events.emit("job-displaced", job_id=job.job_id,
+                                 node=node_id, cause=kind)
+                self._requeue_job(job, reason="migration")
+            else:
+                self._close_session(running, SessionOutcome.INTERRUPTED)
+        self._release_parked()
+
+    # -- workload updates from agents ------------------------------------------------
+
+    def _handle_job_update(self, payload: dict):
+        job_id = payload["job_id"]
+        result = payload["result"]
+        running = self._running.pop(job_id, None)
+        if running is None:
+            return "stale"  # already reclaimed via the failure path
+        self.registry.release_gpu(running.node_id, running.gpu_uuid,
+                                  running.reserved_bytes)
+        self.db.close_allocation(running.allocation_id, self.env.now, result)
+        job = running.job
+        if result == "completed":
+            self.events.emit("job-completed", job_id=job_id,
+                             node=running.hostname)
+        elif result == "migrated":
+            kind = ("migrate-back" if job_id in self._migrating_back
+                    else "scheduled")
+            self._migrating_back.discard(job_id)
+            job.record_interruption(at=self.env.now, kind=kind,
+                                    node=running.hostname)
+            self.events.emit("job-checkpoint-final", job_id=job_id,
+                             durable=payload.get("durable", False))
+            preferred = None
+            if kind == "migrate-back" and job.home_node is not None:
+                try:
+                    preferred = self.registry.by_hostname(job.home_node).node_id
+                except KeyError:
+                    preferred = None
+            self._requeue_job(job, reason=kind, preferred_node=preferred)
+        elif result == "interrupted":
+            job.record_interruption(at=self.env.now, kind="emergency",
+                                    node=running.hostname)
+            self._requeue_job(job, reason="migration")
+        elif result == "cancelled":
+            self.events.emit("job-cancelled", job_id=job_id)
+        elif result == "failed-to-start":
+            self.events.emit("job-start-failed", job_id=job_id,
+                             node=running.hostname)
+            self._requeue_job(
+                job, reason="retry",
+                exclude=frozenset({running.node_id}),
+            )
+        self._release_parked()
+        return "ok"
+
+    def _requeue_job(
+        self,
+        job: TrainingJobState,
+        reason: str,
+        preferred_node: Optional[str] = None,
+        exclude: frozenset = frozenset(),
+    ) -> None:
+        job.migrations += 1
+        store = (self.store_resolver(job.spec)
+                 if self.store_resolver is not None else None)
+        restore = bool(store is not None and store.has_checkpoint(job.job_id))
+        request = ResourceRequest(
+            kind=RequestKind.TRAINING,
+            training=job.spec,
+            priority=max(0, job.spec.priority - 1),  # migrations jump the line
+            restore=restore,
+            exclude_nodes=exclude,
+            preferred_node=preferred_node,
+            enqueued_at=self.env.now,
+            allow_shared=True,  # resume fast; co-locate if needed
+        )
+        self.queue.push(request)
+        self.events.emit("job-migration-queued", job_id=job.job_id,
+                         reason=reason, restore=restore)
+
+    def _handle_session_update(self, payload: dict):
+        session_id = payload["session_id"]
+        result = payload["result"]
+        running = self._running.pop(session_id, None)
+        if running is None:
+            return "stale"
+        self.registry.release_gpu(running.node_id, running.gpu_uuid,
+                                  running.reserved_bytes)
+        self.db.close_allocation(running.allocation_id, self.env.now, result)
+        outcome = (SessionOutcome.SERVED if result == "completed"
+                   else SessionOutcome.INTERRUPTED)
+        self._close_session(running, outcome)
+        self._release_parked()
+        return "ok"
+
+    def _close_session(self, running: RunningWorkload,
+                       outcome: SessionOutcome) -> None:
+        for record in self.sessions:
+            if (record.spec.session_id == running.session.session_id
+                    and record.ended_at is None):
+                record.ended_at = self.env.now
+                if outcome is SessionOutcome.INTERRUPTED:
+                    record.outcome = SessionOutcome.INTERRUPTED
+                    self.events.emit("session-interrupted",
+                                     session_id=record.spec.session_id)
+                else:
+                    self.events.emit("session-finished",
+                                     session_id=record.spec.session_id)
+                return
+
+    # -- dispatching --------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> Generator:
+        while True:
+            request = yield self.queue.pop()
+            yield from self._dispatch(request)
+
+    def _retry_loop(self) -> Generator:
+        while True:
+            yield self.env.timeout(self.config.dispatch_retry_interval)
+            self._release_parked()
+
+    def _release_parked(self) -> None:
+        if not self._parked:
+            return
+        parked, self._parked = self._parked, []
+        for request in parked:
+            self.queue.push(request)
+
+    def _context(self) -> SchedulingContext:
+        load: Dict[str, int] = {}
+        for running in self._running.values():
+            load[running.node_id] = load.get(running.node_id, 0) + 1
+        return SchedulingContext(predictor=self.predictor, active_load=load)
+
+    def _dispatch(self, request: ResourceRequest) -> Generator:
+        tried: Set[str] = set(request.exclude_nodes)
+        while True:
+            candidates = [
+                record for record in self.registry.schedulable()
+                if record.node_id not in tried
+            ]
+            placement = self.scheduler.select(request, candidates,
+                                              self._context())
+            if placement is None:
+                if request.kind is RequestKind.INTERACTIVE:
+                    self._deny_session(request)
+                else:
+                    self._parked.append(request)
+                return
+            reserve = request.gpu_memory_needed
+            if request.exclusive:
+                # Training owns the whole card (frameworks grab memory
+                # greedily and saturate compute).
+                gpu_view = self.registry.get(placement.node_id).gpus[
+                    placement.gpu_uuid]
+                reserve = gpu_view.memory_free
+            self.registry.reserve_gpu(placement.node_id, placement.gpu_uuid,
+                                      reserve)
+            accepted = yield from self._send_dispatch(request, placement,
+                                                      reserve)
+            if accepted:
+                return
+            self.registry.release_gpu(placement.node_id, placement.gpu_uuid,
+                                      reserve)
+            tried.add(placement.node_id)
+
+    def _send_dispatch(self, request: ResourceRequest, placement: Placement,
+                       reserve: Optional[float] = None) -> Generator:
+        if request.kind is RequestKind.TRAINING:
+            job = self.jobs[request.training.job_id]
+            store = (self.store_resolver(job.spec)
+                     if self.store_resolver is not None else None)
+            payload = {
+                "job": job,
+                "gpu_uuid": placement.gpu_uuid,
+                "restore": request.restore,
+                "predicted_mtbf": self.predictor.predicted_mtbf(placement.node_id),
+                "store": store,
+            }
+            method = "dispatch-training"
+        else:
+            payload = {
+                "session": request.session,
+                "gpu_uuid": placement.gpu_uuid,
+            }
+            method = "dispatch-session"
+        try:
+            reply = yield self.rpc.call(self.hostname, placement.hostname,
+                                        method, payload)
+        except NetworkError:
+            return False
+        if not reply.get("accepted"):
+            return False
+        allocation_id = self.db.record_allocation(
+            request.request_id, placement.node_id, placement.gpu_uuid,
+            self.env.now,
+        )
+        running = RunningWorkload(
+            kind=request.kind,
+            node_id=placement.node_id,
+            hostname=placement.hostname,
+            gpu_uuid=placement.gpu_uuid,
+            reserved_bytes=(reserve if reserve is not None
+                            else request.gpu_memory_needed),
+            allocation_id=allocation_id,
+            request=request,
+            job=self.jobs.get(request.request_id),
+            session=request.session,
+        )
+        self._running[request.request_id] = running
+        if request.kind is RequestKind.TRAINING:
+            self.events.emit("job-dispatched", job_id=request.request_id,
+                             node=placement.node_id,
+                             hostname=placement.hostname,
+                             restore=request.restore)
+            if request.preferred_node is not None:
+                self.events.emit(
+                    "migrate-back-result",
+                    job_id=request.request_id,
+                    success=placement.node_id == request.preferred_node,
+                )
+        else:
+            record = SessionRecord(
+                spec=request.session,
+                requested_at=self._session_requested_at.get(
+                    request.session.session_id, self.env.now),
+                outcome=SessionOutcome.SERVED,
+                served_on=placement.hostname,
+                started_at=self.env.now,
+            )
+            self.sessions.append(record)
+            self.events.emit("session-served",
+                             session_id=request.session.session_id,
+                             node=placement.node_id)
+        return True
+
+    def _deny_session(self, request: ResourceRequest) -> None:
+        record = SessionRecord(
+            spec=request.session,
+            requested_at=self._session_requested_at.get(
+                request.session.session_id, self.env.now),
+            outcome=SessionOutcome.DENIED_NO_CAPACITY,
+        )
+        self.sessions.append(record)
+        self.events.emit("session-denied",
+                         session_id=request.session.session_id)
+
+    # -- migrate-back ----------------------------------------------------------------------
+
+    def _migrate_back_scan(self, record: NodeRecord) -> Generator:
+        """Ask current hosts to release jobs whose home just returned."""
+        yield self.env.timeout(self.config.migrate_back_scan_delay)
+        if record.status is not NodeStatus.AVAILABLE:
+            return  # departed again before the control loop ran
+        for job_id, running in list(self._running.items()):
+            if running.kind is not RequestKind.TRAINING:
+                continue
+            job = running.job
+            if job is None or job.home_node != record.hostname:
+                continue
+            if running.node_id == record.node_id:
+                continue  # already home
+            fits = record.free_gpus(job.spec.model.gpu_memory,
+                                    job.spec.model.min_compute_capability,
+                                    exclusive=True)
+            if not fits:
+                # Displaced but cannot return: the home GPUs were taken
+                # (by queued work placed on the returning node) — this
+                # is the "not in time" bucket of §4's 67 % result.
+                self.events.emit("migrate-back-skipped", job_id=job_id,
+                                 home=record.hostname)
+                continue
+            self._migrating_back.add(job_id)
+            self.events.emit("migrate-back-requested", job_id=job_id,
+                             home=record.hostname)
+            try:
+                yield self.rpc.call(self.hostname, running.hostname,
+                                    "migrate-away", {"job_id": job_id})
+            except NetworkError:
+                self._migrating_back.discard(job_id)
+
+    # -- introspection -----------------------------------------------------------------------
+
+    @property
+    def running_count(self) -> int:
+        """Workloads currently placed on providers."""
+        return len(self._running)
+
+    @property
+    def parked_count(self) -> int:
+        """Requests waiting for capacity."""
+        return len(self._parked)
+
+    def running_on(self, node_id: str) -> List[str]:
+        """Workload ids currently booked on a node."""
+        return [wid for wid, running in self._running.items()
+                if running.node_id == node_id]
+
+    def served_sessions(self) -> List[SessionRecord]:
+        """Session ledger entries that got a GPU."""
+        return [record for record in self.sessions if record.was_served]
+
+    def denied_sessions(self) -> List[SessionRecord]:
+        """Session ledger entries denied for capacity."""
+        return [record for record in self.sessions
+                if record.outcome is SessionOutcome.DENIED_NO_CAPACITY]

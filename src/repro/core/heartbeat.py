@@ -1,0 +1,111 @@
+"""Heartbeat-based failure detection.
+
+"The system implements heartbeat-based failure detection with
+configurable timeouts, i.e., nodes that miss three consecutive
+heartbeats are marked as unavailable, triggering automatic workload
+migration" (§3.5).
+
+Two operating modes with identical semantics:
+
+* ``rpc`` — agents send real heartbeat messages over the LAN and a
+  checker process scans for staleness.  Accurate, but for a six-week
+  simulation the per-beat events dominate run time.
+* ``virtual`` — no periodic events.  The monitor is told when a node
+  goes silent (the simulator knows the instant the cable is pulled,
+  even though the *coordinator logic* must not act on it early) and
+  schedules the detection callback at exactly
+  ``missed_heartbeats × interval`` later, cancelling it if heartbeats
+  resume first.  This is the event-free limit of the rpc mode.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Optional
+
+from ..config import PlatformConfig
+from ..sim import Environment
+from .registry import NodeRecord, NodeRegistry, NodeStatus
+
+FailureCallback = Callable[[NodeRecord], None]
+
+
+class HeartbeatMonitor:
+    """Marks silent nodes unavailable and notifies the coordinator."""
+
+    def __init__(
+        self,
+        env: Environment,
+        registry: NodeRegistry,
+        config: PlatformConfig,
+        on_failure: FailureCallback,
+    ):
+        self.env = env
+        self.registry = registry
+        self.config = config
+        self.on_failure = on_failure
+        self._generations: Dict[str, int] = {}
+        self._checker_running = False
+
+    # -- common --------------------------------------------------------------
+
+    def receive(self, node_id: str) -> None:
+        """A heartbeat arrived from ``node_id``."""
+        self.registry.touch_heartbeat(node_id)
+        # Any pending virtual detection is superseded.
+        self._generations[node_id] = self._generations.get(node_id, 0) + 1
+
+    def node_returned(self, node_id: str) -> None:
+        """Cancel pending detection: the node is talking to us again."""
+        self._generations[node_id] = self._generations.get(node_id, 0) + 1
+
+    def _declare_failed(self, node_id: str) -> None:
+        try:
+            record = self.registry.get(node_id)
+        except KeyError:
+            return
+        if record.status in (NodeStatus.UNAVAILABLE, NodeStatus.DEPARTED):
+            return
+        self.registry.set_status(node_id, NodeStatus.UNAVAILABLE)
+        self.on_failure(record)
+
+    # -- virtual mode -----------------------------------------------------------
+
+    def node_went_silent(self, node_id: str) -> None:
+        """Virtual-mode hook: schedule detection after the timeout.
+
+        Called by the agent model at the instant of a *silent*
+        departure (emergency kill-switch, power loss).  The coordinator
+        only learns about it when the detection fires — exactly when
+        the third heartbeat would have been missed.
+        """
+        self._generations[node_id] = self._generations.get(node_id, 0) + 1
+        generation = self._generations[node_id]
+        delay = self.config.failure_detection_delay
+        wake = self.env.timeout(delay)
+        wake.callbacks.append(
+            lambda _ev: self._maybe_detect(node_id, generation)
+        )
+
+    def _maybe_detect(self, node_id: str, generation: int) -> None:
+        if self._generations.get(node_id) != generation:
+            return  # heartbeats resumed or a newer silence superseded us
+        self._declare_failed(node_id)
+
+    # -- rpc mode ------------------------------------------------------------------
+
+    def start_checker(self) -> None:
+        """Start the periodic staleness scan (rpc mode only)."""
+        if self._checker_running:
+            return
+        self._checker_running = True
+        self.env.process(self._checker(), name="heartbeat-checker")
+
+    def _checker(self) -> Generator:
+        timeout = self.config.failure_detection_delay
+        while True:
+            yield self.env.timeout(self.config.heartbeat_interval)
+            for record in self.registry.all_records():
+                if record.status in (NodeStatus.UNAVAILABLE, NodeStatus.DEPARTED):
+                    continue
+                if self.env.now - record.last_heartbeat > timeout:
+                    self._declare_failed(record.node_id)

@@ -1,0 +1,103 @@
+"""Coordinator-side request and record types.
+
+These are the payloads that move through the dispatch queue and over
+the RPC layer: resource requests (training jobs, interactive sessions)
+and the placement decisions the scheduler produces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import FrozenSet, Optional, Tuple
+
+from ..workloads.interactive import InteractiveSessionSpec
+from ..workloads.training import TrainingJobSpec
+
+_request_seq = itertools.count(1)
+
+
+class RequestKind(Enum):
+    """What kind of workload a resource request carries."""
+
+    TRAINING = "training"
+    INTERACTIVE = "interactive"
+
+
+@dataclass(frozen=True)
+class ResourceRequest:
+    """One entry in the central pending-request priority queue (§3.5)."""
+
+    kind: RequestKind
+    training: Optional[TrainingJobSpec] = None
+    session: Optional[InteractiveSessionSpec] = None
+    priority: int = 5
+    seq: int = field(default_factory=lambda: next(_request_seq))
+    restore: bool = False  # relaunch from checkpoint (migration path)
+    exclude_nodes: FrozenSet[str] = frozenset()
+    preferred_node: Optional[str] = None  # migrate-back target
+    enqueued_at: float = 0.0
+    #: Migration relaunches may squeeze onto a partially-used card
+    #: (temporary co-location) instead of waiting for a fully free one.
+    allow_shared: bool = False
+
+    def __post_init__(self):
+        if self.kind is RequestKind.TRAINING and self.training is None:
+            raise ValueError("training request needs a TrainingJobSpec")
+        if self.kind is RequestKind.INTERACTIVE and self.session is None:
+            raise ValueError("interactive request needs a session spec")
+
+    @property
+    def request_id(self) -> str:
+        """Identifier of the underlying workload."""
+        if self.kind is RequestKind.TRAINING:
+            return self.training.job_id
+        return self.session.session_id
+
+    @property
+    def gpu_memory_needed(self) -> float:
+        """GPU memory the placement must provide (bytes)."""
+        if self.kind is RequestKind.TRAINING:
+            return self.training.model.gpu_memory
+        return self.session.gpu_memory
+
+    @property
+    def exclusive(self) -> bool:
+        """Whether the workload needs the whole GPU.
+
+        Training saturates a card's compute (and frameworks grab memory
+        greedily), so training placements are exclusive; interactive
+        notebooks are bursty and may share a card with each other, and
+        migration relaunches may temporarily co-locate (§4: displaced
+        work resumes quickly rather than queueing for a free card).
+        """
+        return self.kind is RequestKind.TRAINING and not self.allow_shared
+
+    @property
+    def min_capability(self) -> Tuple[int, int]:
+        """Minimum CUDA compute capability required."""
+        if self.kind is RequestKind.TRAINING:
+            return self.training.model.min_compute_capability
+        return (7, 0)
+
+    def sort_key(self) -> Tuple[int, int]:
+        """Priority-queue ordering: priority class, then FIFO."""
+        return (self.priority, self.seq)
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A scheduling decision: which node and GPU take a request."""
+
+    node_id: str
+    hostname: str
+    gpu_uuid: str
+
+
+@dataclass(frozen=True)
+class DispatchResult:
+    """Agent's answer to a dispatch RPC."""
+
+    accepted: bool
+    reason: str = ""

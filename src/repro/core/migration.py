@@ -1,0 +1,191 @@
+"""Migration statistics.
+
+Aggregates per-interruption-class outcomes from job states — the raw
+material of Fig. 3: success rates for scheduled departures, work loss
+for emergencies, downtime distributions, and migrate-back counts from
+the coordinator's event log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..monitoring import EventLog
+from ..units import MINUTE
+from ..workloads.training import InterruptionRecord, TrainingJobState
+
+__all__ = [
+    "DEFAULT_MIGRATION_DEADLINE",
+    "MigrationStats",
+    "build_migration_report",
+    "MigrateBackSummary",
+    "migrate_back_summary",
+    "displaced_return_stats",
+]
+
+#: An interruption "successfully migrated within the specified time" if
+#: compute resumed within this window (detection + queue + restore).
+DEFAULT_MIGRATION_DEADLINE = 5 * MINUTE
+
+
+@dataclass
+class MigrationStats:
+    """Aggregated outcomes for one interruption class."""
+
+    kind: str
+    count: int = 0
+    resumed: int = 0  # compute eventually resumed elsewhere
+    within_deadline: int = 0
+    total_downtime: float = 0.0
+    total_lost_progress: float = 0.0
+    lost_samples: List[float] = field(default_factory=list)
+    downtime_samples: List[float] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction migrated within the deadline (0 if no events)."""
+        if self.count == 0:
+            return 0.0
+        return self.within_deadline / self.count
+
+    @property
+    def mean_downtime(self) -> float:
+        """Mean downtime across resumed interruptions (seconds)."""
+        if not self.downtime_samples:
+            return 0.0
+        return sum(self.downtime_samples) / len(self.downtime_samples)
+
+    @property
+    def mean_lost_progress(self) -> float:
+        """Mean redone work per interruption (reference seconds)."""
+        if not self.lost_samples:
+            return 0.0
+        return sum(self.lost_samples) / len(self.lost_samples)
+
+
+def build_migration_report(
+    jobs: Iterable[TrainingJobState],
+    deadline: float = DEFAULT_MIGRATION_DEADLINE,
+    now: Optional[float] = None,
+) -> Dict[str, MigrationStats]:
+    """Aggregate interruption records by class across ``jobs``.
+
+    ``now`` (when given) lets still-open interruptions (downtime not
+    yet closed) count as not-resumed rather than as zero downtime.
+    """
+    report: Dict[str, MigrationStats] = {}
+    for job in jobs:
+        for record in job.interruptions:
+            stats = report.setdefault(record.kind, MigrationStats(record.kind))
+            stats.count += 1
+            stats.lost_samples.append(record.lost_progress)
+            stats.total_lost_progress += record.lost_progress
+            resumed = record.downtime > 0.0
+            if resumed:
+                stats.resumed += 1
+                stats.downtime_samples.append(record.downtime)
+                stats.total_downtime += record.downtime
+                if record.downtime <= deadline:
+                    stats.within_deadline += 1
+    return report
+
+
+@dataclass(frozen=True)
+class MigrateBackSummary:
+    """Outcome of migrate-back attempts after provider returns."""
+
+    requested: int
+    returned_home: int
+
+    @property
+    def rate(self) -> float:
+        """Fraction of displaced jobs that made it back home."""
+        if self.requested == 0:
+            return 0.0
+        return self.returned_home / self.requested
+
+
+def displaced_return_stats(
+    events: EventLog,
+    window: float = 15 * MINUTE,
+    cause: str = "temporary",
+) -> MigrateBackSummary:
+    """Per-displaced-job migrate-back accounting (§4's 67 % metric).
+
+    For every node failure of class ``cause``: take the jobs displaced
+    from it; when the node next registers, a displaced job counts as
+    *migrated back in time* if it was dispatched onto that node within
+    ``window`` of the return.  Jobs that completed elsewhere before the
+    return leave the denominator (nothing left to migrate).
+    """
+    failures = []  # (time, node_id, displaced job ids)
+    for event in events.of_kind("node-failed"):
+        if event.payload.get("cause") != cause:
+            continue
+        node_id = event.payload["node"]
+        displaced = {
+            d.payload["job_id"]
+            for d in events.of_kind("job-displaced")
+            if d.payload["node"] == node_id
+            and abs(d.timestamp - event.timestamp) < 1.0
+        }
+        failures.append((event.timestamp, node_id, displaced))
+
+    registrations = events.of_kind("node-registered")
+    dispatches = events.of_kind("job-dispatched")
+    completions = events.of_kind("job-completed")
+
+    requested = 0
+    returned = 0
+    for failed_at, node_id, displaced in failures:
+        return_time = None
+        for reg in registrations:
+            if reg.payload["node"] == node_id and reg.timestamp > failed_at:
+                return_time = reg.timestamp
+                break
+        if return_time is None:
+            continue  # provider never came back within the run
+        for job_id in displaced:
+            done_before = any(
+                c.payload["job_id"] == job_id and c.timestamp <= return_time
+                for c in completions
+            )
+            if done_before:
+                continue
+            requested += 1
+            back = any(
+                d.payload["job_id"] == job_id
+                and d.payload["node"] == node_id
+                and return_time <= d.timestamp <= return_time + window
+                for d in dispatches
+            )
+            if back:
+                returned += 1
+    return MigrateBackSummary(requested=requested, returned_home=returned)
+
+
+def migrate_back_summary(events: EventLog,
+                         job_ids: Optional[set] = None) -> MigrateBackSummary:
+    """Read migrate-back outcomes from the coordinator event log.
+
+    The denominator is every displaced job whose home provider
+    reconnected while it was still running — including those that could
+    not go home because the returning GPUs were already taken
+    ("migrate-back-skipped").  ``job_ids`` restricts accounting to a
+    measured subset (e.g. Fig. 3's 20 instrumented jobs).
+    """
+
+    def _count(kind: str, predicate) -> int:
+        return sum(
+            1 for event in events.of_kind(kind)
+            if (job_ids is None or event.payload.get("job_id") in job_ids)
+            and predicate(event)
+        )
+
+    requested = _count("migrate-back-requested", lambda event: True)
+    skipped = _count("migrate-back-skipped", lambda event: True)
+    returned = _count("migrate-back-result",
+                      lambda event: event.payload.get("success"))
+    return MigrateBackSummary(requested=requested + skipped,
+                              returned_home=returned)

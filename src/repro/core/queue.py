@@ -1,0 +1,60 @@
+"""Central dispatch queue.
+
+"A round-robin scheduler ... processes pending resource requests from
+a priority queue stored in the central database" (§3.5).  The queue
+orders requests by priority class then FIFO, and supports withdrawal
+(a user cancels, or a migrate-back supersedes a pending request).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Environment, Event, PriorityStore
+from .messages import ResourceRequest
+
+
+class DispatchQueue:
+    """Priority + FIFO ordered queue of :class:`ResourceRequest`."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._store = PriorityStore(env)
+        self.total_enqueued = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def push(self, request: ResourceRequest) -> None:
+        """Enqueue a request."""
+        self.total_enqueued += 1
+        self._store.put((request.sort_key(), request))
+
+    def pop(self) -> Event:
+        """Event that fires with the next request (priority order)."""
+        get_event = self._store.get()
+        result = self.env.event()
+
+        def unwrap(event):
+            if event.ok:
+                _, request = event.value
+                result.succeed(request)
+            else:
+                result.fail(event.value)
+
+        if get_event.callbacks is None:
+            unwrap(get_event)
+        else:
+            get_event.callbacks.append(unwrap)
+        return result
+
+    def withdraw(self, request_id: str) -> Optional[ResourceRequest]:
+        """Remove a pending request by workload id (None if absent)."""
+        removed = self._store.remove(
+            lambda item: item[1].request_id == request_id
+        )
+        return removed[1] if removed else None
+
+    def pending_ids(self):
+        """Ids of all queued requests (priority order)."""
+        return [item[1].request_id for item in self._store.items]

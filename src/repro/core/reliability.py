@@ -1,0 +1,117 @@
+"""Provider volatility prediction.
+
+The scheduler "incorporat[es] provider reliability predictions and
+degradation mechanisms" (§3.2) and allocation decisions consider
+"provider volatility predictions" (§3.5).  The predictor keeps a
+per-node availability history and derives:
+
+* **availability score** — long-run fraction of time the node was up;
+* **predicted MTBF** — mean time between interruptions, the input the
+  Young/Daly checkpoint policy needs;
+* **degradation factor** — a multiplier that de-prioritises nodes
+  right after they misbehave and decays back toward 1.0.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..sim import Environment
+from ..units import DAY, HOUR
+
+
+@dataclass
+class _NodeHistory:
+    joined_at: float
+    interruptions: int = 0
+    downtime: float = 0.0
+    down_since: Optional[float] = None
+    last_interruption_at: Optional[float] = None
+
+
+class ReliabilityPredictor:
+    """Tracks departures/returns and predicts per-node volatility."""
+
+    #: Without any history we assume a node interrupts about daily —
+    #: conservative for checkpoint planning, neutral for ranking.
+    DEFAULT_MTBF = 1 * DAY
+
+    #: Degradation decays with this time constant after an interruption.
+    DEGRADATION_DECAY = 6 * HOUR
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._history: Dict[str, _NodeHistory] = {}
+
+    def observe_join(self, node_id: str) -> None:
+        """A node registered (or re-registered)."""
+        history = self._history.get(node_id)
+        if history is None:
+            self._history[node_id] = _NodeHistory(joined_at=self.env.now)
+            return
+        if history.down_since is not None:
+            history.downtime += self.env.now - history.down_since
+            history.down_since = None
+
+    def observe_interruption(self, node_id: str) -> None:
+        """A node departed / was marked unavailable."""
+        history = self._history.setdefault(
+            node_id, _NodeHistory(joined_at=self.env.now)
+        )
+        if history.down_since is None:
+            history.interruptions += 1
+            history.down_since = self.env.now
+            history.last_interruption_at = self.env.now
+
+    def observe_return(self, node_id: str) -> None:
+        """A previously-unavailable node came back."""
+        self.observe_join(node_id)
+
+    # -- predictions --------------------------------------------------------
+
+    def _uptime(self, history: _NodeHistory) -> float:
+        known = self.env.now - history.joined_at
+        down = history.downtime
+        if history.down_since is not None:
+            down += self.env.now - history.down_since
+        return max(0.0, known - down)
+
+    def availability(self, node_id: str) -> float:
+        """Long-run up fraction in [0, 1] (1.0 with no history)."""
+        history = self._history.get(node_id)
+        if history is None:
+            return 1.0
+        known = self.env.now - history.joined_at
+        if known <= 0:
+            return 1.0
+        return self._uptime(history) / known
+
+    def predicted_mtbf(self, node_id: str) -> float:
+        """Expected uptime between interruptions (seconds)."""
+        history = self._history.get(node_id)
+        if history is None or history.interruptions == 0:
+            return self.DEFAULT_MTBF
+        return max(60.0, self._uptime(history) / history.interruptions)
+
+    def degradation(self, node_id: str) -> float:
+        """Penalty in (0, 1]: low right after an interruption.
+
+        Recovers exponentially toward 1.0 so a formerly flaky provider
+        earns trust back — the paper's "degradation mechanisms".
+        """
+        history = self._history.get(node_id)
+        if history is None or history.last_interruption_at is None:
+            return 1.0
+        elapsed = self.env.now - history.last_interruption_at
+        return 1.0 - math.exp(-elapsed / self.DEGRADATION_DECAY)
+
+    def score(self, node_id: str) -> float:
+        """Composite ranking score for reliability-aware placement."""
+        return self.availability(node_id) * self.degradation(node_id)
+
+    def interruption_count(self, node_id: str) -> int:
+        """Interruptions observed for ``node_id``."""
+        history = self._history.get(node_id)
+        return history.interruptions if history else 0

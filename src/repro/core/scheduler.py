@@ -1,0 +1,168 @@
+"""Placement strategies.
+
+"The scheduler implements multiple allocation strategies, including
+distribution for fairness and assignment based on priority for
+time-sensitive workloads" (§3.2), with "a round-robin scheduler"
+as the deployed default (§3.5) and placement constrained by "GPU
+memory requirements, CUDA compute capability constraints and provider
+volatility predictions".
+
+Every strategy sees the same filtered candidate set (status, memory,
+capability, exclusions already applied by the coordinator) and picks a
+``(node, gpu)`` pair.  Migrate-back preference is honoured uniformly:
+if the request's preferred node is a candidate, it wins.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .messages import Placement, ResourceRequest
+from .registry import GpuInventory, NodeRecord
+from .reliability import ReliabilityPredictor
+
+
+@dataclass
+class SchedulingContext:
+    """Inputs beyond the candidate list that strategies may consult."""
+
+    predictor: Optional[ReliabilityPredictor] = None
+    active_load: Dict[str, int] = field(default_factory=dict)  # node_id → workloads
+
+
+def _best_gpu(record: NodeRecord, request: ResourceRequest) -> Optional[GpuInventory]:
+    """The candidate GPU on ``record`` with the most free memory."""
+    options = record.free_gpus(request.gpu_memory_needed,
+                               request.min_capability,
+                               exclusive=request.exclusive)
+    if not options:
+        return None
+    return max(options, key=lambda gpu: (gpu.memory_free, gpu.uuid))
+
+
+def _tightest_gpu(record: NodeRecord, request: ResourceRequest) -> Optional[GpuInventory]:
+    """The candidate GPU leaving the least memory stranded."""
+    options = record.free_gpus(request.gpu_memory_needed,
+                               request.min_capability,
+                               exclusive=request.exclusive)
+    if not options:
+        return None
+    return min(options, key=lambda gpu: (gpu.memory_free, gpu.uuid))
+
+
+class Scheduler(ABC):
+    """A placement strategy."""
+
+    name = "abstract"
+
+    def select(self, request: ResourceRequest, candidates: List[NodeRecord],
+               context: SchedulingContext) -> Optional[Placement]:
+        """Pick a placement, honouring migrate-back preference first."""
+        if request.preferred_node:
+            for record in candidates:
+                if record.node_id != request.preferred_node:
+                    continue
+                gpu = _best_gpu(record, request)
+                if gpu is not None:
+                    return Placement(record.node_id, record.hostname, gpu.uuid)
+        return self._choose(request, candidates, context)
+
+    @abstractmethod
+    def _choose(self, request: ResourceRequest, candidates: List[NodeRecord],
+                context: SchedulingContext) -> Optional[Placement]:
+        """Strategy-specific choice among eligible candidates."""
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through providers in stable order (the deployed default)."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._cursor = 0
+
+    def _choose(self, request, candidates, context):
+        if not candidates:
+            return None
+        ordered = sorted(candidates, key=lambda record: record.node_id)
+        n = len(ordered)
+        for offset in range(n):
+            record = ordered[(self._cursor + offset) % n]
+            gpu = _best_gpu(record, request)
+            if gpu is not None:
+                self._cursor = (self._cursor + offset + 1) % n
+                return Placement(record.node_id, record.hostname, gpu.uuid)
+        return None
+
+
+class BestFitScheduler(Scheduler):
+    """Minimise stranded GPU memory: pack tight, keep big cards free."""
+
+    name = "best-fit"
+
+    def _choose(self, request, candidates, context):
+        best: Optional[Placement] = None
+        best_leftover = float("inf")
+        for record in sorted(candidates, key=lambda r: r.node_id):
+            gpu = _tightest_gpu(record, request)
+            if gpu is None:
+                continue
+            leftover = gpu.memory_free - request.gpu_memory_needed
+            if leftover < best_leftover:
+                best_leftover = leftover
+                best = Placement(record.node_id, record.hostname, gpu.uuid)
+        return best
+
+
+class ReliabilityAwareScheduler(Scheduler):
+    """Prefer providers with high availability and no recent flaps."""
+
+    name = "reliability"
+
+    def _choose(self, request, candidates, context):
+        predictor = context.predictor
+
+        def rank(record: NodeRecord):
+            score = predictor.score(record.node_id) if predictor else 1.0
+            return (-score, record.node_id)
+
+        for record in sorted(candidates, key=rank):
+            gpu = _best_gpu(record, request)
+            if gpu is not None:
+                return Placement(record.node_id, record.hostname, gpu.uuid)
+        return None
+
+
+class FairShareScheduler(Scheduler):
+    """Spread load: place on the provider running the fewest workloads."""
+
+    name = "fair-share"
+
+    def _choose(self, request, candidates, context):
+        def rank(record: NodeRecord):
+            return (context.active_load.get(record.node_id, 0), record.node_id)
+
+        for record in sorted(candidates, key=rank):
+            gpu = _best_gpu(record, request)
+            if gpu is not None:
+                return Placement(record.node_id, record.hostname, gpu.uuid)
+        return None
+
+
+_STRATEGIES = {
+    "round-robin": RoundRobinScheduler,
+    "best-fit": BestFitScheduler,
+    "reliability": ReliabilityAwareScheduler,
+    "fair-share": FairShareScheduler,
+}
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a strategy by config name."""
+    try:
+        return _STRATEGIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(_STRATEGIES))
+        raise ValueError(f"unknown scheduler {name!r}; known: {known}") from None

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the GPUnion platform.
+
+Every error raised by platform components derives from
+:class:`GPUnionError`, so callers can catch the whole family or a
+specific subsystem's failures.
+"""
+
+from __future__ import annotations
+
+
+class GPUnionError(Exception):
+    """Base class for all GPUnion platform errors."""
+
+
+class RegistrationError(GPUnionError):
+    """Node registration or authentication failed."""
+
+
+class AuthenticationError(RegistrationError):
+    """A request carried a missing, unknown, or revoked auth token."""
+
+
+class SchedulingError(GPUnionError):
+    """The scheduler could not produce a valid placement."""
+
+
+class NoCompatibleNodeError(SchedulingError):
+    """No registered node satisfies the request's GPU constraints."""
+
+
+class CapacityError(SchedulingError):
+    """Compatible nodes exist but none has free capacity right now."""
+
+
+class DispatchError(GPUnionError):
+    """Launching a workload on a provider node failed."""
+
+
+class ImageVerificationError(DispatchError):
+    """Container image digest mismatch or untrusted base image."""
+
+
+class ContainerError(GPUnionError):
+    """Container runtime operation failed."""
+
+
+class InvalidTransitionError(ContainerError):
+    """A container lifecycle verb was applied in the wrong state."""
+
+
+class GpuAllocationError(ContainerError):
+    """Requested GPU memory/devices could not be allocated."""
+
+
+class CheckpointError(GPUnionError):
+    """Creating, storing, or restoring a checkpoint failed."""
+
+
+class CheckpointNotFoundError(CheckpointError):
+    """No checkpoint exists for the requested job."""
+
+
+class CriuUnsupportedError(CheckpointError):
+    """The CRIU baseline cannot checkpoint this workload (e.g. CUDA)."""
+
+
+class MigrationError(GPUnionError):
+    """Workload migration failed."""
+
+
+class StorageError(GPUnionError):
+    """Data store or distributed file system operation failed."""
+
+
+class NetworkError(GPUnionError):
+    """A network transfer or RPC failed (peer gone, link down)."""
+
+
+class ProviderDepartedError(NetworkError):
+    """The provider node left the platform mid-operation."""

@@ -1,0 +1,56 @@
+"""Experiments reproducing every table and figure in the paper."""
+
+from .campus import (
+    PAPER_LABS,
+    PAPER_SERVERS,
+    ServerSpec,
+    build_gpunion_campus,
+    build_manual_campus,
+    campus_demand,
+    total_gpus,
+)
+from .fig2_utilization import Fig2Result, run_fig2, weekly_series
+from .fig3_migration import (
+    Fig3Result,
+    run_fig3,
+    sweep_interruption_frequency,
+)
+from .interactive import InteractiveResult, run_interactive
+from .network_traffic import (
+    TrafficResult,
+    run_network_traffic,
+    traffic_table,
+)
+from .scalability import (
+    ScalabilityPoint,
+    run_scalability,
+    scalability_table,
+)
+from .training_impact import ImpactRow, impact_table, run_training_impact
+
+__all__ = [
+    "PAPER_SERVERS",
+    "PAPER_LABS",
+    "ServerSpec",
+    "build_gpunion_campus",
+    "build_manual_campus",
+    "campus_demand",
+    "total_gpus",
+    "Fig2Result",
+    "run_fig2",
+    "weekly_series",
+    "Fig3Result",
+    "run_fig3",
+    "sweep_interruption_frequency",
+    "InteractiveResult",
+    "run_interactive",
+    "ImpactRow",
+    "run_training_impact",
+    "impact_table",
+    "TrafficResult",
+    "run_network_traffic",
+    "traffic_table",
+    "ScalabilityPoint",
+    "run_scalability",
+    "scalability_table",
+]

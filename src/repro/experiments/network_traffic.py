@@ -1,0 +1,117 @@
+"""Network traffic analysis (§4).
+
+"Our measurements across various workload types revealed that the
+incremental checkpointing mechanism produces negligible network
+overhead, with backup traffic consuming less than 2% of available
+campus bandwidth during peak operation periods."
+
+The experiment runs the live campus for several days, meters every
+checkpoint/migration byte per minute, and reports the peak-minute and
+average backup rates as fractions of the backbone.  The ablation arm
+re-runs with incremental checkpointing disabled (every checkpoint is a
+full snapshot) to show what the delta mechanism saves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..checkpoint import IncrementalPlan
+from ..units import DAY, GIB, MINUTE, gbps
+from ..workloads.interactive import InteractiveSessionSpec
+from ..workloads.training import TrainingJobSpec
+from .campus import build_gpunion_campus, campus_demand
+
+#: Campus backbone capacity the fractions are measured against.
+BACKBONE = gbps(10)
+
+#: Traffic categories that count as "backup traffic".
+BACKUP_CATEGORIES = ("checkpoint", "migration")
+
+
+@dataclass
+class TrafficResult:
+    """Backup-traffic measurements for one checkpointing mode."""
+
+    mode: str  # "incremental" | "full-only"
+    days: float
+    total_backup_bytes: float
+    peak_fraction: float  # peak-minute rate / backbone
+    average_fraction: float
+    peak_fraction_by_category: Dict[str, float]
+
+    def row(self) -> List[str]:
+        """One table row."""
+        return [
+            self.mode,
+            f"{self.total_backup_bytes / GIB:.1f} GiB",
+            f"{self.average_fraction * 100:.2f}%",
+            f"{self.peak_fraction * 100:.2f}%",
+        ]
+
+
+#: "Peak operation periods" (§4) are measured over 10-minute windows:
+#: a single multi-GiB snapshot shouldn't count as sustained load.
+PEAK_WINDOW = 10 * MINUTE
+
+
+def _run_mode(seed: int, days: float, incremental: bool) -> TrafficResult:
+    platform = build_gpunion_campus(seed=seed, traffic_window=PEAK_WINDOW)
+    if not incremental:
+        # Ablation: every checkpoint ships the full state.
+        platform.engine.plan = IncrementalPlan(full_every=1)
+    horizon = days * DAY
+    trace = campus_demand(seed, horizon)
+
+    def feeder(env):
+        last = 0.0
+        for arrival in trace:
+            if arrival.time > last:
+                yield env.timeout(arrival.time - last)
+                last = arrival.time
+            if isinstance(arrival.spec, TrainingJobSpec):
+                platform.submit_job(arrival.spec)
+            elif isinstance(arrival.spec, InteractiveSessionSpec):
+                platform.submit_session(arrival.spec)
+
+    platform.env.process(feeder(platform.env), name="traffic-feeder")
+    platform.run(until=horizon)
+
+    meter = platform.traffic
+    total = sum(meter.total_bytes(cat) for cat in BACKUP_CATEGORIES)
+    # Peak over the *sum* of backup categories per window.
+    combined: Dict[int, float] = {}
+    for category in BACKUP_CATEGORIES:
+        for start, nbytes in meter.series(category):
+            index = int(start // meter.window)
+            combined[index] = combined.get(index, 0.0) + nbytes
+    peak_rate = (max(combined.values()) / meter.window) if combined else 0.0
+    return TrafficResult(
+        mode="incremental" if incremental else "full-only",
+        days=days,
+        total_backup_bytes=total,
+        peak_fraction=peak_rate / BACKBONE,
+        average_fraction=(total / horizon) / BACKBONE,
+        peak_fraction_by_category={
+            category: meter.peak_rate(category) / BACKBONE
+            for category in BACKUP_CATEGORIES
+        },
+    )
+
+
+def run_network_traffic(seed: int = 42, days: float = 3.0) -> List[TrafficResult]:
+    """Both arms: incremental (deployed) vs full-only (ablation)."""
+    return [
+        _run_mode(seed, days, incremental=True),
+        _run_mode(seed, days, incremental=False),
+    ]
+
+
+def traffic_table(results: List[TrafficResult]) -> List[List[str]]:
+    """Render results (header first)."""
+    rows = [["Checkpoint mode", "Backup volume", "Avg of backbone",
+             "Peak 10-min window of backbone"]]
+    for result in results:
+        rows.append(result.row())
+    return rows

@@ -1,0 +1,154 @@
+"""Training impact of interruptions (§4).
+
+"Despite frequent interruptions, training convergence was minimally
+affected.  Jobs experiencing 2-4 interruptions showed only 3-7%
+increases in total training time compared to uninterrupted execution.
+Memory-intensive models showed higher sensitivity to interruption due
+to longer checkpoint creation times."
+
+This experiment runs one job at a time on a two-provider pair and
+injects an exact number of emergency departures, measuring the wall
+time overhead versus the uninterrupted run of the same job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List
+
+from ..core import GPUnionPlatform
+from ..gpu.specs import RTX_3090, speedup_over_reference
+from ..units import HOUR, MINUTE
+from ..workloads import (
+    GPT2_MEDIUM,
+    RESNET50,
+    TrainingJobSpec,
+    WorkloadModel,
+    next_job_id,
+)
+
+
+@dataclass(frozen=True)
+class ImpactRow:
+    """One cell of the training-impact table."""
+
+    model: str
+    memory_intensive: bool
+    interruptions: int
+    ideal_hours: float
+    actual_hours: float
+
+    @property
+    def overhead(self) -> float:
+        """Fractional increase over uninterrupted execution."""
+        if self.ideal_hours <= 0:
+            return 0.0
+        return self.actual_hours / self.ideal_hours - 1.0
+
+
+def _run_single(
+    seed: int,
+    model: WorkloadModel,
+    interruptions: int,
+    total_compute: float,
+    checkpoint_interval: float,
+) -> ImpactRow:
+    """One job, one provider pair, an exact interruption schedule."""
+    platform = GPUnionPlatform(seed=seed)
+    platform.add_provider("prov-a", [RTX_3090], lab="a")
+    platform.add_provider("prov-b", [RTX_3090], lab="b")
+    spec = TrainingJobSpec(
+        job_id=next_job_id(),
+        model=model,
+        total_compute=total_compute,
+        checkpoint_interval=checkpoint_interval,
+    )
+    job = platform.submit_job(spec)
+
+    # Evenly spaced emergency departures of whichever node hosts the
+    # job, each provider returning promptly afterwards.
+    ideal = total_compute / speedup_over_reference(RTX_3090)
+
+    def saboteur(env) -> Generator:
+        if interruptions == 0:
+            return
+        gap = ideal / (interruptions + 1)
+        for _ in range(interruptions):
+            yield env.timeout(gap)
+            node = job.current_node
+            if node is None or job.is_done:
+                return
+            agent = platform.agents[node]
+            if not agent.kill_switch.is_departed:
+                agent.emergency_departure()
+                yield env.timeout(10 * MINUTE)
+                agent.reconnect()
+
+    platform.env.process(saboteur(platform.env), name="saboteur")
+    platform.run(until=ideal * 3 + 4 * HOUR)
+    if not job.is_done:
+        raise RuntimeError(
+            f"{spec.job_id} did not finish; interruptions={interruptions}"
+        )
+    actual = job.completed_at - job.submitted_at
+    # Count provider-initiated interruptions only: the platform's own
+    # migrate-back moves are consequences, not provider events.
+    provider_events = sum(
+        1 for record in job.interruptions
+        if record.kind in ("scheduled", "emergency", "temporary")
+    )
+    return ImpactRow(
+        model=model.name,
+        memory_intensive=model.is_memory_intensive,
+        interruptions=provider_events,
+        ideal_hours=ideal / HOUR,
+        actual_hours=actual / HOUR,
+    )
+
+
+def run_training_impact(
+    seed: int = 5,
+    interruption_counts=(0, 1, 2, 3, 4),
+    total_compute: float = 8 * HOUR,
+    checkpoint_interval: float = 10 * MINUTE,
+    models=(RESNET50, GPT2_MEDIUM),
+) -> List[ImpactRow]:
+    """The full sweep: models × interruption counts.
+
+    The 0-interruption run of each model is its own baseline, so the
+    overheads include steady-state checkpoint pauses exactly as the
+    paper's comparison does.
+    """
+    rows = []
+    for model in models:
+        baseline = _run_single(seed, model, 0, total_compute,
+                               checkpoint_interval)
+        for count in interruption_counts:
+            if count == 0:
+                row = baseline
+            else:
+                row = _run_single(seed, model, count, total_compute,
+                                  checkpoint_interval)
+            rows.append(ImpactRow(
+                model=row.model,
+                memory_intensive=row.memory_intensive,
+                interruptions=row.interruptions,
+                ideal_hours=baseline.actual_hours,  # vs uninterrupted run
+                actual_hours=row.actual_hours,
+            ))
+    return rows
+
+
+def impact_table(rows: List[ImpactRow]) -> List[List[str]]:
+    """Render the sweep as table rows (header first)."""
+    table = [["Model", "Memory-intensive", "Interruptions",
+              "Wall time", "Overhead"]]
+    for row in rows:
+        table.append([
+            row.model,
+            "yes" if row.memory_intensive else "no",
+            str(row.interruptions),
+            f"{row.actual_hours:.2f} h",
+            f"{row.overhead * 100:+.1f}%",
+        ])
+    return table

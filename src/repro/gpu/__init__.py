@@ -1,0 +1,39 @@
+"""Simulated GPU hardware substrate."""
+
+from .device import GPUDevice, UtilizationMeter
+from .node import GPUNode, HostFacts
+from .specs import (
+    A100_40GB,
+    A100_80GB,
+    A6000,
+    CATALOG,
+    GPUSpec,
+    REFERENCE_SPEC,
+    RTX_2080TI,
+    RTX_3090,
+    RTX_4090,
+    T4,
+    V100_32GB,
+    lookup,
+    speedup_over_reference,
+)
+
+__all__ = [
+    "GPUDevice",
+    "UtilizationMeter",
+    "GPUNode",
+    "HostFacts",
+    "GPUSpec",
+    "CATALOG",
+    "REFERENCE_SPEC",
+    "RTX_3090",
+    "RTX_4090",
+    "RTX_2080TI",
+    "A100_40GB",
+    "A100_80GB",
+    "A6000",
+    "V100_32GB",
+    "T4",
+    "lookup",
+    "speedup_over_reference",
+]

@@ -1,0 +1,196 @@
+"""Runtime GPU device state.
+
+A :class:`GPUDevice` tracks what the platform cares about at run time:
+memory allocations (per owning container), compute load, and the derived
+telemetry (utilization, temperature, power) that the provider agent
+exports through the NVML facade.
+
+Utilization is metered exactly: a :class:`UtilizationMeter` integrates
+the load signal over simulated time, so the six-week Fig. 2 experiment
+can ask for the *true* time-weighted average over any window instead of
+sampling.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import GpuAllocationError
+from ..sim import Environment
+from .specs import GPUSpec
+
+_uuid_counter = itertools.count()
+
+
+def _make_uuid(model: str, index: int) -> str:
+    token = next(_uuid_counter)
+    stem = model.split()[-1].lower()
+    return f"GPU-{stem}-{index}-{token:08x}"
+
+
+class UtilizationMeter:
+    """Integrates a piecewise-constant signal over simulation time.
+
+    Records every level change as a breakpoint, enabling exact
+    time-weighted averages over arbitrary windows — the primitive behind
+    every utilization figure in the evaluation.
+    """
+
+    def __init__(self, env: Environment, initial: float = 0.0):
+        self.env = env
+        self._breakpoints: List[Tuple[float, float]] = [(env.now, initial)]
+
+    @property
+    def current(self) -> float:
+        """The signal level right now."""
+        return self._breakpoints[-1][1]
+
+    def set_level(self, level: float) -> None:
+        """Change the signal level at the current simulation time."""
+        when = self.env.now
+        last_time, last_level = self._breakpoints[-1]
+        if level == last_level:
+            return
+        if when == last_time:
+            self._breakpoints[-1] = (when, level)
+        else:
+            self._breakpoints.append((when, level))
+
+    def average(self, since: float = 0.0, until: Optional[float] = None) -> float:
+        """Exact time-weighted mean of the signal over ``[since, until]``."""
+        if until is None:
+            until = self.env.now
+        if until <= since:
+            return self._breakpoints[-1][1] if until >= self._breakpoints[-1][0] else 0.0
+        total = 0.0
+        points = self._breakpoints
+        for i, (start, level) in enumerate(points):
+            end = points[i + 1][0] if i + 1 < len(points) else until
+            lo = max(start, since)
+            hi = min(end, until)
+            if hi > lo:
+                total += level * (hi - lo)
+        return total / (until - since)
+
+    def breakpoints(self) -> Tuple[Tuple[float, float], ...]:
+        """Snapshot of all recorded ``(time, level)`` breakpoints."""
+        return tuple(self._breakpoints)
+
+
+class GPUDevice:
+    """One physical GPU: spec + live allocation and load state.
+
+    Memory is allocated per *owner* (a container id); compute load is a
+    set of named contributions whose sum (capped at 1.0) is the device
+    utilization.  Temperature and power derive from utilization.
+    """
+
+    #: Temperature model endpoints (degrees Celsius).
+    IDLE_TEMP_C = 35.0
+    MAX_TEMP_C = 82.0
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: GPUSpec,
+        index: int = 0,
+        uuid: Optional[str] = None,
+    ):
+        self.env = env
+        self.spec = spec
+        self.index = index
+        self.uuid = uuid or _make_uuid(spec.model, index)
+        self._memory_owners: Dict[str, float] = {}
+        self._loads: Dict[str, float] = {}
+        self.meter = UtilizationMeter(env)
+
+    # -- memory ----------------------------------------------------------
+
+    @property
+    def memory_total(self) -> float:
+        """Total device memory in bytes."""
+        return self.spec.memory_bytes
+
+    @property
+    def memory_used(self) -> float:
+        """Bytes currently allocated across all owners."""
+        return sum(self._memory_owners.values())
+
+    @property
+    def memory_free(self) -> float:
+        """Bytes still available."""
+        return self.memory_total - self.memory_used
+
+    def allocate_memory(self, owner: str, nbytes: float) -> None:
+        """Reserve ``nbytes`` for ``owner`` (one allocation per owner)."""
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        if owner in self._memory_owners:
+            raise GpuAllocationError(f"{owner} already holds memory on {self.uuid}")
+        if nbytes > self.memory_free:
+            raise GpuAllocationError(
+                f"{self.uuid}: requested {nbytes:.0f} B but only "
+                f"{self.memory_free:.0f} B free"
+            )
+        self._memory_owners[owner] = nbytes
+
+    def free_memory(self, owner: str) -> float:
+        """Release ``owner``'s allocation, returning the freed bytes."""
+        try:
+            return self._memory_owners.pop(owner)
+        except KeyError:
+            raise GpuAllocationError(f"{owner} holds no memory on {self.uuid}") from None
+
+    def memory_of(self, owner: str) -> float:
+        """Bytes held by ``owner`` (0 if none)."""
+        return self._memory_owners.get(owner, 0.0)
+
+    @property
+    def owners(self) -> Tuple[str, ...]:
+        """Ids of containers currently holding memory."""
+        return tuple(self._memory_owners)
+
+    # -- compute load ------------------------------------------------------
+
+    @property
+    def utilization(self) -> float:
+        """Instantaneous compute utilization in [0, 1]."""
+        return min(1.0, sum(self._loads.values()))
+
+    def add_load(self, owner: str, intensity: float = 1.0) -> None:
+        """Register a compute contribution from ``owner``."""
+        if not 0.0 <= intensity <= 1.0:
+            raise ValueError(f"intensity must be in [0, 1], got {intensity}")
+        self._loads[owner] = intensity
+        self.meter.set_level(self.utilization)
+
+    def remove_load(self, owner: str) -> None:
+        """Drop ``owner``'s compute contribution (idempotent)."""
+        self._loads.pop(owner, None)
+        self.meter.set_level(self.utilization)
+
+    def average_utilization(self, since: float = 0.0, until: Optional[float] = None) -> float:
+        """Time-weighted mean utilization over a window."""
+        return self.meter.average(since, until)
+
+    # -- derived telemetry -------------------------------------------------
+
+    @property
+    def temperature_c(self) -> float:
+        """Die temperature derived linearly from utilization."""
+        span = self.MAX_TEMP_C - self.IDLE_TEMP_C
+        return self.IDLE_TEMP_C + span * self.utilization
+
+    @property
+    def power_watts(self) -> float:
+        """Board power derived linearly from utilization."""
+        span = self.spec.tdp_watts - self.spec.idle_watts
+        return self.spec.idle_watts + span * self.utilization
+
+    def __repr__(self) -> str:
+        return (
+            f"GPUDevice({self.spec.model!r}, index={self.index}, "
+            f"util={self.utilization:.2f}, "
+            f"mem={self.memory_used / self.memory_total:.0%})"
+        )

@@ -1,0 +1,128 @@
+"""Host machine model.
+
+A :class:`GPUNode` is one physical server on the campus network: CPUs,
+RAM, a local disk, zero or more GPUs, and the OS/driver facts that the
+checkpoint subsystem cares about (CRIU is kernel- and driver-sensitive;
+§3.5 of the paper).  Lab ownership is recorded via ``owner_lab`` so the
+Fig. 2 experiment can compute per-research-group utilization.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim import Environment
+from ..units import GIB
+from .device import GPUDevice
+from .specs import GPUSpec
+
+_node_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class HostFacts:
+    """OS-level facts that constrain system-level checkpointing.
+
+    The paper rejects CRIU partly because it "imposes strict
+    requirements on kernel versions and driver compatibility"; these
+    fields let the CRIU baseline model enforce exactly that.
+    """
+
+    os_name: str = "Ubuntu 22.04"
+    kernel_version: Tuple[int, int] = (5, 15)
+    nvidia_driver: Tuple[int, int] = (535, 104)
+    docker_version: Tuple[int, int] = (24, 0)
+    has_container_toolkit: bool = True
+
+
+class GPUNode:
+    """One campus server participating (or not) in GPUnion."""
+
+    def __init__(
+        self,
+        env: Environment,
+        hostname: str,
+        gpu_specs: Sequence[GPUSpec] = (),
+        cpu_cores: int = 32,
+        ram_bytes: float = 128 * GIB,
+        disk_bytes: float = 2048 * GIB,
+        owner_lab: str = "unassigned",
+        facts: Optional[HostFacts] = None,
+    ):
+        self.env = env
+        self.hostname = hostname
+        self.node_id = f"node-{next(_node_counter):04d}"
+        self.cpu_cores = cpu_cores
+        self.ram_bytes = ram_bytes
+        self.disk_bytes = disk_bytes
+        self.owner_lab = owner_lab
+        self.facts = facts or HostFacts()
+        self.gpus: List[GPUDevice] = [
+            GPUDevice(env, spec, index=i) for i, spec in enumerate(gpu_specs)
+        ]
+
+    @property
+    def gpu_count(self) -> int:
+        """Number of GPUs installed in this host."""
+        return len(self.gpus)
+
+    @property
+    def total_gpu_memory(self) -> float:
+        """Sum of GPU memory across all devices (bytes)."""
+        return sum(gpu.memory_total for gpu in self.gpus)
+
+    def gpu_by_index(self, index: int) -> GPUDevice:
+        """Device at PCI ``index`` (raises ``IndexError`` if absent)."""
+        return self.gpus[index]
+
+    def gpu_by_uuid(self, uuid: str) -> GPUDevice:
+        """Device with the given UUID (raises ``KeyError`` if absent)."""
+        for gpu in self.gpus:
+            if gpu.uuid == uuid:
+                return gpu
+        raise KeyError(f"{self.hostname}: no GPU with uuid {uuid}")
+
+    def free_gpus(self, min_memory: float = 0.0) -> List[GPUDevice]:
+        """Devices with no memory owners and at least ``min_memory`` free."""
+        return [
+            gpu
+            for gpu in self.gpus
+            if not gpu.owners and gpu.memory_free >= min_memory
+        ]
+
+    def gpus_with_free_memory(self, min_memory: float) -> List[GPUDevice]:
+        """Devices (possibly shared) with ``min_memory`` bytes free."""
+        return [gpu for gpu in self.gpus if gpu.memory_free >= min_memory]
+
+    def average_utilization(self, since: float = 0.0, until: Optional[float] = None) -> float:
+        """Mean utilization across this node's GPUs over a window."""
+        if not self.gpus:
+            return 0.0
+        values = [gpu.average_utilization(since, until) for gpu in self.gpus]
+        return sum(values) / len(values)
+
+    def describe(self) -> Dict[str, object]:
+        """Summary dict used by resource advertisements."""
+        return {
+            "node_id": self.node_id,
+            "hostname": self.hostname,
+            "owner_lab": self.owner_lab,
+            "cpu_cores": self.cpu_cores,
+            "ram_bytes": self.ram_bytes,
+            "gpus": [
+                {
+                    "uuid": gpu.uuid,
+                    "model": gpu.spec.model,
+                    "memory_total": gpu.memory_total,
+                    "memory_free": gpu.memory_free,
+                    "compute_capability": gpu.spec.compute_capability,
+                }
+                for gpu in self.gpus
+            ],
+        }
+
+    def __repr__(self) -> str:
+        models = ", ".join(gpu.spec.model.split()[-1] for gpu in self.gpus) or "CPU-only"
+        return f"GPUNode({self.hostname!r}, lab={self.owner_lab!r}, [{models}])"

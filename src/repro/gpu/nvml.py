@@ -1,0 +1,176 @@
+"""PyNVML-compatible telemetry facade.
+
+The paper's provider agent "integrates with PyNVML to collect real-time
+GPU telemetry including memory utilization, temperature, and power
+consumption" (§3.4).  This module reproduces the slice of the NVML API
+the agent consumes, backed by the simulated devices, so agent code reads
+exactly like code written against the real ``pynvml`` package:
+
+>>> from repro.sim import Environment
+>>> from repro.gpu import GPUNode, RTX_3090, nvml
+>>> node = GPUNode(Environment(), "ws1", [RTX_3090])
+>>> ctx = nvml.NvmlContext(node)
+>>> ctx.nvmlDeviceGetCount()
+1
+>>> handle = ctx.nvmlDeviceGetHandleByIndex(0)
+>>> ctx.nvmlDeviceGetMemoryInfo(handle).used
+0.0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .device import GPUDevice
+from .node import GPUNode
+
+
+class NVMLError(Exception):
+    """Mirrors ``pynvml.NVMLError`` for invalid handles/indices."""
+
+
+@dataclass(frozen=True)
+class MemoryInfo:
+    """Result of ``nvmlDeviceGetMemoryInfo`` (bytes)."""
+
+    total: float
+    used: float
+    free: float
+
+
+@dataclass(frozen=True)
+class UtilizationRates:
+    """Result of ``nvmlDeviceGetUtilizationRates`` (percent)."""
+
+    gpu: float
+    memory: float
+
+
+class DeviceHandle:
+    """Opaque handle wrapping a simulated device (as NVML returns)."""
+
+    __slots__ = ("_device",)
+
+    def __init__(self, device: GPUDevice):
+        self._device = device
+
+
+class NvmlContext:
+    """An initialised NVML session bound to one host's devices."""
+
+    def __init__(self, node: GPUNode):
+        self._node = node
+        self._initialized = True
+
+    def nvmlShutdown(self) -> None:
+        """End the session; further calls raise :class:`NVMLError`."""
+        self._initialized = False
+
+    def _check(self) -> None:
+        if not self._initialized:
+            raise NVMLError("NVML not initialized")
+
+    def nvmlDeviceGetCount(self) -> int:
+        """Number of devices visible on this host."""
+        self._check()
+        return self._node.gpu_count
+
+    def nvmlDeviceGetHandleByIndex(self, index: int) -> DeviceHandle:
+        """Handle for the device at ``index``."""
+        self._check()
+        try:
+            return DeviceHandle(self._node.gpu_by_index(index))
+        except IndexError:
+            raise NVMLError(f"invalid device index {index}") from None
+
+    def nvmlDeviceGetHandleByUUID(self, uuid: str) -> DeviceHandle:
+        """Handle for the device with ``uuid``."""
+        self._check()
+        try:
+            return DeviceHandle(self._node.gpu_by_uuid(uuid))
+        except KeyError:
+            raise NVMLError(f"invalid device uuid {uuid}") from None
+
+    def nvmlDeviceGetName(self, handle: DeviceHandle) -> str:
+        """Marketing name of the device."""
+        self._check()
+        return handle._device.spec.model
+
+    def nvmlDeviceGetUUID(self, handle: DeviceHandle) -> str:
+        """Stable device UUID."""
+        self._check()
+        return handle._device.uuid
+
+    def nvmlDeviceGetMemoryInfo(self, handle: DeviceHandle) -> MemoryInfo:
+        """Total/used/free memory in bytes."""
+        self._check()
+        device = handle._device
+        return MemoryInfo(
+            total=device.memory_total,
+            used=device.memory_used,
+            free=device.memory_free,
+        )
+
+    def nvmlDeviceGetUtilizationRates(self, handle: DeviceHandle) -> UtilizationRates:
+        """Compute and memory utilization in percent."""
+        self._check()
+        device = handle._device
+        memory_pct = 100.0 * device.memory_used / device.memory_total
+        return UtilizationRates(gpu=100.0 * device.utilization, memory=memory_pct)
+
+    def nvmlDeviceGetTemperature(self, handle: DeviceHandle) -> float:
+        """Die temperature in degrees Celsius."""
+        self._check()
+        return handle._device.temperature_c
+
+    def nvmlDeviceGetPowerUsage(self, handle: DeviceHandle) -> float:
+        """Board power draw in milliwatts (NVML convention)."""
+        self._check()
+        return handle._device.power_watts * 1000.0
+
+    def nvmlDeviceGetCudaComputeCapability(self, handle: DeviceHandle):
+        """Compute capability ``(major, minor)``."""
+        self._check()
+        return handle._device.spec.compute_capability
+
+
+@dataclass(frozen=True)
+class GpuReading:
+    """One device's telemetry snapshot (pythonic agent-facing form)."""
+
+    uuid: str
+    model: str
+    memory_total: float
+    memory_used: float
+    utilization: float
+    temperature_c: float
+    power_watts: float
+    compute_capability: tuple
+
+
+def read_telemetry(node: GPUNode) -> List[GpuReading]:
+    """Collect one snapshot of every device on ``node`` via NVML calls.
+
+    This is the exact routine the provider agent runs each heartbeat.
+    """
+    ctx = NvmlContext(node)
+    readings = []
+    for index in range(ctx.nvmlDeviceGetCount()):
+        handle = ctx.nvmlDeviceGetHandleByIndex(index)
+        memory = ctx.nvmlDeviceGetMemoryInfo(handle)
+        rates = ctx.nvmlDeviceGetUtilizationRates(handle)
+        readings.append(
+            GpuReading(
+                uuid=ctx.nvmlDeviceGetUUID(handle),
+                model=ctx.nvmlDeviceGetName(handle),
+                memory_total=memory.total,
+                memory_used=memory.used,
+                utilization=rates.gpu / 100.0,
+                temperature_c=ctx.nvmlDeviceGetTemperature(handle),
+                power_watts=ctx.nvmlDeviceGetPowerUsage(handle) / 1000.0,
+                compute_capability=ctx.nvmlDeviceGetCudaComputeCapability(handle),
+            )
+        )
+    ctx.nvmlShutdown()
+    return readings

@@ -1,0 +1,203 @@
+"""GPU model catalog.
+
+The paper's campus deployment mixes consumer cards (RTX 3090/4090) with
+data-center parts (A100, A6000).  Placement decisions in GPUnion depend
+on three spec dimensions — memory capacity, CUDA compute capability, and
+training throughput — so those are modelled from published spec sheets.
+Absolute numbers only need to be *relatively* faithful: the evaluation
+compares shapes, not FLOPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..units import GIB, gbps
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static datasheet facts about a GPU model.
+
+    Attributes
+    ----------
+    model:
+        Marketing name, e.g. ``"NVIDIA GeForce RTX 3090"``.
+    architecture:
+        Microarchitecture family (drives cross-architecture migration
+        constraints in the CRIU baseline).
+    memory_bytes:
+        On-board memory capacity.
+    compute_capability:
+        CUDA compute capability ``(major, minor)``.
+    fp32_tflops:
+        Peak single-precision throughput.
+    train_tflops:
+        Effective mixed-precision training throughput; the workload
+        model scales step times by this relative to a reference card.
+    memory_bandwidth:
+        HBM/GDDR bandwidth in bytes/s.
+    tdp_watts / idle_watts:
+        Power model endpoints.
+    pcie_bandwidth:
+        Host-device transfer rate (bounds checkpoint read-out of GPU
+        state) in bytes/s.
+    """
+
+    model: str
+    architecture: str
+    memory_bytes: float
+    compute_capability: Tuple[int, int]
+    fp32_tflops: float
+    train_tflops: float
+    memory_bandwidth: float
+    tdp_watts: float
+    idle_watts: float
+    pcie_bandwidth: float
+
+    @property
+    def memory_gib(self) -> float:
+        """Memory capacity in GiB (display helper)."""
+        return self.memory_bytes / GIB
+
+    def supports_capability(self, required: Tuple[int, int]) -> bool:
+        """Whether this card satisfies a minimum compute capability."""
+        return self.compute_capability >= tuple(required)
+
+
+RTX_3090 = GPUSpec(
+    model="NVIDIA GeForce RTX 3090",
+    architecture="Ampere",
+    memory_bytes=24 * GIB,
+    compute_capability=(8, 6),
+    fp32_tflops=35.6,
+    train_tflops=71.0,
+    memory_bandwidth=936e9,
+    tdp_watts=350.0,
+    idle_watts=25.0,
+    pcie_bandwidth=gbps(128),  # PCIe 4.0 x16
+)
+
+RTX_4090 = GPUSpec(
+    model="NVIDIA GeForce RTX 4090",
+    architecture="Ada Lovelace",
+    memory_bytes=24 * GIB,
+    compute_capability=(8, 9),
+    fp32_tflops=82.6,
+    train_tflops=165.0,
+    memory_bandwidth=1008e9,
+    tdp_watts=450.0,
+    idle_watts=22.0,
+    pcie_bandwidth=gbps(128),
+)
+
+A100_40GB = GPUSpec(
+    model="NVIDIA A100 40GB",
+    architecture="Ampere",
+    memory_bytes=40 * GIB,
+    compute_capability=(8, 0),
+    fp32_tflops=19.5,
+    train_tflops=156.0,
+    memory_bandwidth=1555e9,
+    tdp_watts=400.0,
+    idle_watts=50.0,
+    pcie_bandwidth=gbps(128),
+)
+
+A100_80GB = GPUSpec(
+    model="NVIDIA A100 80GB",
+    architecture="Ampere",
+    memory_bytes=80 * GIB,
+    compute_capability=(8, 0),
+    fp32_tflops=19.5,
+    train_tflops=156.0,
+    memory_bandwidth=2039e9,
+    tdp_watts=400.0,
+    idle_watts=50.0,
+    pcie_bandwidth=gbps(128),
+)
+
+A6000 = GPUSpec(
+    model="NVIDIA RTX A6000",
+    architecture="Ampere",
+    memory_bytes=48 * GIB,
+    compute_capability=(8, 6),
+    fp32_tflops=38.7,
+    train_tflops=77.0,
+    memory_bandwidth=768e9,
+    tdp_watts=300.0,
+    idle_watts=22.0,
+    pcie_bandwidth=gbps(128),
+)
+
+V100_32GB = GPUSpec(
+    model="NVIDIA Tesla V100 32GB",
+    architecture="Volta",
+    memory_bytes=32 * GIB,
+    compute_capability=(7, 0),
+    fp32_tflops=14.1,
+    train_tflops=112.0,
+    memory_bandwidth=900e9,
+    tdp_watts=300.0,
+    idle_watts=40.0,
+    pcie_bandwidth=gbps(64),  # PCIe 3.0 x16
+)
+
+T4 = GPUSpec(
+    model="NVIDIA T4",
+    architecture="Turing",
+    memory_bytes=16 * GIB,
+    compute_capability=(7, 5),
+    fp32_tflops=8.1,
+    train_tflops=65.0,
+    memory_bandwidth=300e9,
+    tdp_watts=70.0,
+    idle_watts=10.0,
+    pcie_bandwidth=gbps(64),
+)
+
+RTX_2080TI = GPUSpec(
+    model="NVIDIA GeForce RTX 2080 Ti",
+    architecture="Turing",
+    memory_bytes=11 * GIB,
+    compute_capability=(7, 5),
+    fp32_tflops=13.4,
+    train_tflops=54.0,
+    memory_bandwidth=616e9,
+    tdp_watts=250.0,
+    idle_watts=20.0,
+    pcie_bandwidth=gbps(64),
+)
+
+#: All known specs, keyed by a short catalog name.
+CATALOG: Dict[str, GPUSpec] = {
+    "rtx3090": RTX_3090,
+    "rtx4090": RTX_4090,
+    "a100-40g": A100_40GB,
+    "a100-80g": A100_80GB,
+    "a6000": A6000,
+    "v100-32g": V100_32GB,
+    "t4": T4,
+    "rtx2080ti": RTX_2080TI,
+}
+
+#: The card GPUnion's workload model normalises step times against.
+REFERENCE_SPEC = RTX_3090
+
+
+def lookup(name: str) -> GPUSpec:
+    """Return the catalog spec for ``name``.
+
+    Raises ``KeyError`` with the available names if unknown.
+    """
+    try:
+        return CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(CATALOG))
+        raise KeyError(f"unknown GPU spec {name!r}; known specs: {known}") from None
+
+
+def speedup_over_reference(spec: GPUSpec) -> float:
+    """Training throughput of ``spec`` relative to the reference card."""
+    return spec.train_tflops / REFERENCE_SPEC.train_tflops

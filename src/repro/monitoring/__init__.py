@@ -1,0 +1,27 @@
+"""Monitoring substrate: metrics, exporters, system DB, event log."""
+
+from .database import DatabaseCostModel, SystemDatabase
+from .events import EventLog, PlatformEvent
+from .exporter import NodeExporter
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricRegistry,
+)
+
+__all__ = [
+    "MetricRegistry",
+    "Metric",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "NodeExporter",
+    "SystemDatabase",
+    "DatabaseCostModel",
+    "EventLog",
+    "PlatformEvent",
+]

@@ -1,0 +1,67 @@
+"""Structured platform event log.
+
+Operational events (node joins, kill-switch activations, migrations,
+checkpoint completions) are appended here with timestamps, giving
+experiments a queryable audit trail independent of metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..sim import Environment
+
+
+@dataclass(frozen=True)
+class PlatformEvent:
+    """One structured event."""
+
+    timestamp: float
+    kind: str
+    payload: Dict[str, Any]
+
+
+class EventLog:
+    """Append-only, queryable event history."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._events: List[PlatformEvent] = []
+
+    def emit(self, kind: str, **payload: Any) -> PlatformEvent:
+        """Record an event at the current simulation time."""
+        event = PlatformEvent(self.env.now, kind, dict(payload))
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def all(self) -> List[PlatformEvent]:
+        """Every recorded event, in order."""
+        return list(self._events)
+
+    def of_kind(self, kind: str) -> List[PlatformEvent]:
+        """Events matching ``kind``, in order."""
+        return [event for event in self._events if event.kind == kind]
+
+    def count(self, kind: str) -> int:
+        """Number of events of ``kind``."""
+        return sum(1 for event in self._events if event.kind == kind)
+
+    def between(self, since: float, until: float,
+                kind: Optional[str] = None) -> List[PlatformEvent]:
+        """Events in ``[since, until)``, optionally filtered by kind."""
+        return [
+            event for event in self._events
+            if since <= event.timestamp < until
+            and (kind is None or event.kind == kind)
+        ]
+
+    def last(self, kind: str) -> Optional[PlatformEvent]:
+        """Most recent event of ``kind`` (``None`` if none)."""
+        for event in reversed(self._events):
+            if event.kind == kind:
+                return event
+        return None

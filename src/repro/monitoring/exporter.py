@@ -1,0 +1,77 @@
+"""Per-node metrics exporters.
+
+Each provider node runs an exporter that turns NVML telemetry and
+container-runtime lifecycle events into Prometheus metric families —
+the §3.5 split between "hardware metrics (GPU utilization, memory
+usage, temperature, etc.)" and "application metrics (container
+lifecycle events, resource allocation history, etc.)".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..containers.runtime import ContainerRuntime
+from ..gpu.node import GPUNode
+from ..gpu.nvml import read_telemetry
+from ..sim import Environment
+from .metrics import MetricRegistry
+
+
+class NodeExporter:
+    """Exports one node's hardware + application metrics."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: GPUNode,
+        runtime: Optional[ContainerRuntime] = None,
+    ):
+        self.env = env
+        self.node = node
+        self.runtime = runtime
+        self.registry = MetricRegistry()
+        self._lifecycle_cursor = 0
+        self._declare_families()
+
+    def _declare_families(self) -> None:
+        reg = self.registry
+        reg.gauge("gpu_utilization", "GPU compute utilization (0-1)")
+        reg.gauge("gpu_memory_used_bytes", "GPU memory in use")
+        reg.gauge("gpu_memory_total_bytes", "GPU memory capacity")
+        reg.gauge("gpu_temperature_celsius", "GPU die temperature")
+        reg.gauge("gpu_power_watts", "GPU board power draw")
+        reg.counter("container_lifecycle_events_total",
+                    "Container state transitions observed")
+        reg.gauge("containers_running", "Containers currently live")
+
+    def collect(self) -> MetricRegistry:
+        """Take one scrape: refresh all families and return the registry."""
+        for reading in read_telemetry(self.node):
+            labels = {"uuid": reading.uuid, "hostname": self.node.hostname}
+            self.registry.get("gpu_utilization").set(
+                reading.utilization, **labels)
+            self.registry.get("gpu_memory_used_bytes").set(
+                reading.memory_used, **labels)
+            self.registry.get("gpu_memory_total_bytes").set(
+                reading.memory_total, **labels)
+            self.registry.get("gpu_temperature_celsius").set(
+                reading.temperature_c, **labels)
+            self.registry.get("gpu_power_watts").set(
+                reading.power_watts, **labels)
+        if self.runtime is not None:
+            log = self.runtime.lifecycle_log
+            counter = self.registry.get("container_lifecycle_events_total")
+            for event in log[self._lifecycle_cursor:]:
+                counter.inc(state=event.state.value,
+                            hostname=self.node.hostname)
+            self._lifecycle_cursor = len(log)
+            self.registry.get("containers_running").set(
+                len(self.runtime.running_containers()),
+                hostname=self.node.hostname,
+            )
+        return self.registry
+
+    def scrape_text(self) -> str:
+        """One scrape rendered in Prometheus exposition format."""
+        return self.collect().expose()

@@ -1,0 +1,238 @@
+"""Prometheus-style metric primitives.
+
+"Comprehensive monitoring is achieved through Prometheus metrics
+exporters that collect both hardware metrics ... and application
+metrics" (§3.5).  This module reproduces the metric model those
+exporters use: counters, gauges, and histograms with label sets, plus
+text exposition in the Prometheus format so scrape output is
+recognisable to anyone who has operated the real thing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _labelset(labels: Dict[str, str]) -> LabelSet:
+    return tuple(sorted(labels.items()))
+
+
+def _render_labels(labels: LabelSet) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + inner + "}"
+
+
+class Metric:
+    """Base: a named metric family with help text and label children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = ""):
+        if not name or not name.replace("_", "").isalnum():
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help_text = help_text
+
+    def samples(self) -> List[Tuple[str, LabelSet, float]]:
+        """``(sample_name, labels, value)`` rows for exposition."""
+        raise NotImplementedError
+
+    def expose(self) -> str:
+        """Prometheus text-format block for this family."""
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        for sample_name, labels, value in self.samples():
+            lines.append(f"{sample_name}{_render_labels(labels)} {value}")
+        return "\n".join(lines)
+
+
+class Counter(Metric):
+    """Monotonically increasing count (events, bytes, restarts)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = ""):
+        super().__init__(name, help_text)
+        self._values: Dict[LabelSet, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled child."""
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        key = _labelset(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current value of the labelled child (0 if never touched)."""
+        return self._values.get(_labelset(labels), 0.0)
+
+    def samples(self):
+        return [(self.name, labels, value)
+                for labels, value in sorted(self._values.items())]
+
+
+class Gauge(Metric):
+    """A value that goes up and down (utilization, temperature)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = ""):
+        super().__init__(name, help_text)
+        self._values: Dict[LabelSet, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the labelled child to ``value``."""
+        self._values[_labelset(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Adjust the labelled child by ``amount``."""
+        key = _labelset(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        """Decrease the labelled child by ``amount``."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        """Current value (0 if never set)."""
+        return self._values.get(_labelset(labels), 0.0)
+
+    def samples(self):
+        return [(self.name, labels, value)
+                for labels, value in sorted(self._values.items())]
+
+
+DEFAULT_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+                   2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0)
+
+
+@dataclass
+class _HistogramChild:
+    bucket_counts: List[int]
+    total: float = 0.0
+    count: int = 0
+
+
+class Histogram(Metric):
+    """Distribution of observations (latencies, checkpoint durations)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help_text)
+        if list(buckets) != sorted(buckets) or not buckets:
+            raise ValueError("buckets must be non-empty and sorted")
+        self.buckets = tuple(buckets)
+        self._children: Dict[LabelSet, _HistogramChild] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation."""
+        key = _labelset(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = _HistogramChild(bucket_counts=[0] * len(self.buckets))
+            self._children[key] = child
+        for index, upper in enumerate(self.buckets):
+            if value <= upper:
+                child.bucket_counts[index] += 1
+        child.total += value
+        child.count += 1
+
+    def count(self, **labels: str) -> int:
+        """Number of observations for the labelled child."""
+        child = self._children.get(_labelset(labels))
+        return child.count if child else 0
+
+    def mean(self, **labels: str) -> float:
+        """Mean observation (0 if none)."""
+        child = self._children.get(_labelset(labels))
+        if not child or child.count == 0:
+            return 0.0
+        return child.total / child.count
+
+    def quantile(self, q: float, **labels: str) -> float:
+        """Approximate quantile from bucket boundaries."""
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must be in [0, 1]")
+        child = self._children.get(_labelset(labels))
+        if not child or child.count == 0:
+            return 0.0
+        threshold = q * child.count
+        for index, upper in enumerate(self.buckets):
+            if child.bucket_counts[index] >= threshold:
+                return upper
+        return math.inf
+
+    def samples(self):
+        rows = []
+        for labels, child in sorted(self._children.items()):
+            for index, upper in enumerate(self.buckets):
+                bucket_labels = labels + (("le", f"{upper}"),)
+                rows.append((f"{self.name}_bucket", bucket_labels,
+                             child.bucket_counts[index]))
+            rows.append((f"{self.name}_bucket", labels + (("le", "+Inf"),),
+                         child.count))
+            rows.append((f"{self.name}_sum", labels, child.total))
+            rows.append((f"{self.name}_count", labels, child.count))
+        return rows
+
+
+class MetricRegistry:
+    """A named collection of metric families (one per exporter)."""
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """Get-or-create a counter family."""
+        return self._get_or_create(name, Counter, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        """Get-or-create a gauge family."""
+        return self._get_or_create(name, Gauge, help_text)
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        """Get-or-create a histogram family."""
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise ValueError(f"{name!r} already registered as {existing.kind}")
+            return existing
+        metric = Histogram(name, help_text, buckets)
+        self._metrics[name] = metric
+        return metric
+
+    def _get_or_create(self, name, cls, help_text):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(f"{name!r} already registered as {existing.kind}")
+            return existing
+        metric = cls(name, help_text)
+        self._metrics[name] = metric
+        return metric
+
+    @property
+    def names(self) -> List[str]:
+        """Registered family names (sorted)."""
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Metric:
+        """Fetch a family by name (raises ``KeyError`` if absent)."""
+        return self._metrics[name]
+
+    def expose(self) -> str:
+        """Full Prometheus text exposition of every family."""
+        return "\n".join(
+            self._metrics[name].expose() for name in self.names
+        )

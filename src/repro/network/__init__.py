@@ -1,0 +1,20 @@
+"""Campus LAN substrate: topology, fair-share flows, RPC, metering."""
+
+from .flows import Flow, FlowNetwork, max_min_rates
+from .lan import CampusLAN, HostPort, Link
+from .rpc import DEFAULT_MESSAGE_SIZE, RpcEndpoint, RpcError, RpcLayer
+from .traffic import TrafficMeter
+
+__all__ = [
+    "CampusLAN",
+    "HostPort",
+    "Link",
+    "Flow",
+    "FlowNetwork",
+    "max_min_rates",
+    "RpcLayer",
+    "RpcEndpoint",
+    "RpcError",
+    "DEFAULT_MESSAGE_SIZE",
+    "TrafficMeter",
+]

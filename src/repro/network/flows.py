@@ -1,0 +1,228 @@
+"""Max-min fair bandwidth sharing.
+
+Concurrent transfers (checkpoint uploads, image pulls, migration state
+moves) share the campus links.  This engine allocates each flow its
+max-min fair rate via progressive filling — the standard model of what
+per-flow fair queuing plus TCP achieves in steady state — and replays
+flow progress exactly at every arrival/departure, so transfer completion
+times reflect real contention rather than a fixed per-transfer rate.
+
+The engine is the costly path of the whole simulation, so rate
+recomputation happens only on flow arrival/completion/topology change,
+and wake-ups use a generation counter instead of cancellable timers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Dict, List, Optional
+
+from ..errors import NetworkError
+from ..sim import Environment, Event
+from .lan import CampusLAN, Link
+
+_flow_ids = itertools.count(1)
+
+
+class Flow:
+    """One in-progress transfer.
+
+    Attributes
+    ----------
+    done:
+        Event fired with the flow when the last byte (plus propagation
+        latency) has arrived, or failed with :class:`NetworkError` if
+        the flow was killed (endpoint departed).
+    """
+
+    __slots__ = (
+        "flow_id", "src", "dst", "size", "links", "transferred",
+        "rate", "done", "category", "started_at",
+    )
+
+    def __init__(self, env: Environment, src: str, dst: str, size: float,
+                 links: List[Link], category: str):
+        self.flow_id = next(_flow_ids)
+        self.src = src
+        self.dst = dst
+        self.size = float(size)
+        self.links = links
+        self.transferred = 0.0
+        self.rate = 0.0
+        self.done: Event = env.event()
+        self.category = category
+        self.started_at = env.now
+
+    @property
+    def remaining(self) -> float:
+        """Bytes not yet delivered."""
+        return max(0.0, self.size - self.transferred)
+
+
+def max_min_rates(flows: List[Flow]) -> Dict[Flow, float]:
+    """Progressive-filling max-min fair allocation.
+
+    Repeatedly finds the most constrained link, freezes its flows at
+    the equal share it can sustain, removes consumed capacity, and
+    iterates until every flow is frozen.
+    """
+    rates: Dict[Flow, float] = {}
+    active = [flow for flow in flows if flow.links]
+    for flow in flows:
+        if not flow.links:
+            rates[flow] = math.inf  # local copies are disk-bound, not ours
+    remaining_capacity: Dict[Link, float] = {}
+    link_flows: Dict[Link, List[Flow]] = {}
+    for flow in active:
+        for link in flow.links:
+            remaining_capacity.setdefault(link, link.capacity)
+            link_flows.setdefault(link, []).append(flow)
+    unfrozen = set(active)
+    while unfrozen:
+        # Fair share each link could give its unfrozen flows.
+        best_share = math.inf
+        best_link: Optional[Link] = None
+        for link, members in link_flows.items():
+            live = [flow for flow in members if flow in unfrozen]
+            if not live:
+                continue
+            share = max(0.0, remaining_capacity[link]) / len(live)
+            if share < best_share:
+                best_share = share
+                best_link = link
+        if best_link is None:
+            break
+        for flow in [f for f in link_flows[best_link] if f in unfrozen]:
+            rates[flow] = best_share
+            unfrozen.discard(flow)
+            for link in flow.links:
+                remaining_capacity[link] -= best_share
+    return rates
+
+
+class FlowNetwork:
+    """Event-driven transfer engine over a :class:`CampusLAN`.
+
+    Usage::
+
+        net = FlowNetwork(env, lan)
+        done = net.transfer("ws1", "nas", size=4 * GIB)
+        result = yield done   # fires when the transfer completes
+    """
+
+    def __init__(self, env: Environment, lan: CampusLAN):
+        self.env = env
+        self.lan = lan
+        self._flows: List[Flow] = []
+        self._generation = 0
+        self._last_update = env.now
+        self._observers: List[Callable[[Flow, float], None]] = []
+
+    @property
+    def active_flows(self) -> List[Flow]:
+        """Snapshot of in-flight flows."""
+        return list(self._flows)
+
+    def add_observer(self, callback: Callable[[Flow, float], None]) -> None:
+        """Register ``callback(flow, bytes_delta)`` for progress events.
+
+        Observers see every byte exactly once (traffic metering hooks
+        in here).
+        """
+        self._observers.append(callback)
+
+    # -- public API --------------------------------------------------------
+
+    def transfer(
+        self,
+        src: str,
+        dst: str,
+        size: float,
+        category: str = "data",
+    ) -> Event:
+        """Start a transfer; returns its completion event.
+
+        Zero-byte transfers complete after one propagation latency —
+        they still model an RPC round.
+        """
+        if size < 0:
+            raise ValueError(f"negative transfer size: {size}")
+        links = self.lan.path(src, dst)  # raises NetworkError if unreachable
+        flow = Flow(self.env, src, dst, size, links, category)
+        if not links:
+            # Same-host: completes immediately (disk copy is modelled
+            # by the storage layer, not the network).
+            flow.transferred = flow.size
+            self._notify(flow, flow.size)
+            flow.done.succeed(flow)
+            return flow.done
+        if size == 0:
+            flow.done.succeed(flow, delay=self.lan.latency(src, dst))
+            return flow.done
+        self._settle()
+        self._flows.append(flow)
+        self._reallocate()
+        return flow.done
+
+    def kill_host_flows(self, hostname: str, reason: str = "host departed") -> int:
+        """Fail every flow with ``hostname`` as an endpoint.
+
+        Called when a provider hits the kill-switch or drops off the
+        LAN.  Returns the number of flows killed.
+        """
+        self._settle()
+        doomed = [f for f in self._flows if hostname in (f.src, f.dst)]
+        for flow in doomed:
+            self._flows.remove(flow)
+            flow.done.fail(NetworkError(f"flow {flow.flow_id} killed: {reason}"))
+        if doomed:
+            self._reallocate()
+        return len(doomed)
+
+    # -- engine ------------------------------------------------------------
+
+    def _notify(self, flow: Flow, delta: float) -> None:
+        if delta <= 0:
+            return
+        for observer in self._observers:
+            observer(flow, delta)
+
+    def _settle(self) -> None:
+        """Credit every flow with progress since the last update."""
+        now = self.env.now
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            for flow in self._flows:
+                delta = min(flow.rate * elapsed, flow.remaining)
+                flow.transferred += delta
+                self._notify(flow, delta)
+        self._last_update = now
+
+    def _reallocate(self) -> None:
+        """Recompute fair rates and schedule the next completion."""
+        rates = max_min_rates(self._flows)
+        for flow in self._flows:
+            flow.rate = rates.get(flow, 0.0)
+        self._generation += 1
+        generation = self._generation
+        horizon = math.inf
+        for flow in self._flows:
+            if flow.rate > 0:
+                horizon = min(horizon, flow.remaining / flow.rate)
+        if math.isinf(horizon):
+            return
+        wake = self.env.timeout(max(horizon, 0.0))
+        wake.callbacks.append(lambda _ev: self._on_wake(generation))
+
+    def _on_wake(self, generation: int) -> None:
+        if generation != self._generation:
+            return  # superseded by a newer reallocation
+        self._settle()
+        # Bytes are discrete: a sub-byte float residue means done.
+        finished = [f for f in self._flows if f.remaining < 1.0]
+        for flow in finished:
+            self._flows.remove(flow)
+            latency = self.lan.latency(flow.src, flow.dst)
+            flow.done.succeed(flow, delay=latency)
+        self._reallocate()

@@ -1,0 +1,130 @@
+"""Campus LAN topology.
+
+GPUnion targets a *trusted campus LAN* (paper §1, §3): hosts hang off a
+shared backbone in a star topology — workstations on 1 Gbps access
+links, GPU servers on 10 Gbps, with a campus backbone connecting them.
+This module models exactly that: named hosts, directional access links,
+and one backbone link that all cross-host traffic traverses.
+
+Bandwidth sharing between concurrent transfers is handled by the
+max-min fair flow engine in :mod:`repro.network.flows`; this module only
+defines the graph the flows run over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import NetworkError
+from ..units import gbps
+
+
+@dataclass
+class Link:
+    """A directional network link with fixed capacity (bytes/s)."""
+
+    name: str
+    capacity: float
+
+    def __post_init__(self):
+        if self.capacity <= 0:
+            raise ValueError(f"link {self.name}: capacity must be positive")
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+@dataclass
+class HostPort:
+    """A host's attachment point: its uplink and downlink."""
+
+    hostname: str
+    uplink: Link
+    downlink: Link
+    connected: bool = True
+
+
+class CampusLAN:
+    """Star topology: hosts × (uplink, downlink) around one backbone.
+
+    Parameters
+    ----------
+    backbone_capacity:
+        Capacity of the shared campus backbone (default 10 Gbps, a
+        typical mid-sized campus aggregation layer).
+    default_latency:
+        One-way propagation + switching delay between any two hosts.
+        Campus LANs sit well under a millisecond.
+    """
+
+    def __init__(
+        self,
+        backbone_capacity: float = gbps(10),
+        default_latency: float = 0.0005,
+    ):
+        self.backbone = Link("backbone", backbone_capacity)
+        self.default_latency = default_latency
+        self._ports: Dict[str, HostPort] = {}
+
+    @property
+    def hostnames(self) -> List[str]:
+        """All attached hosts, in attachment order."""
+        return list(self._ports)
+
+    def attach(self, hostname: str, access_capacity: float = gbps(1)) -> HostPort:
+        """Attach a host with symmetric access capacity.
+
+        Raises :class:`NetworkError` if the hostname is already taken.
+        """
+        if hostname in self._ports:
+            raise NetworkError(f"host {hostname!r} already attached")
+        port = HostPort(
+            hostname=hostname,
+            uplink=Link(f"{hostname}:up", access_capacity),
+            downlink=Link(f"{hostname}:down", access_capacity),
+        )
+        self._ports[hostname] = port
+        return port
+
+    def detach(self, hostname: str) -> None:
+        """Remove a host from the LAN entirely."""
+        if hostname not in self._ports:
+            raise NetworkError(f"host {hostname!r} not attached")
+        del self._ports[hostname]
+
+    def port(self, hostname: str) -> HostPort:
+        """The attachment port for ``hostname``."""
+        try:
+            return self._ports[hostname]
+        except KeyError:
+            raise NetworkError(f"host {hostname!r} not attached") from None
+
+    def set_connected(self, hostname: str, connected: bool) -> None:
+        """Mark a host's port up or down (provider pulls the cable)."""
+        self.port(hostname).connected = connected
+
+    def is_connected(self, hostname: str) -> bool:
+        """Whether ``hostname`` is attached and its port is up."""
+        port = self._ports.get(hostname)
+        return port is not None and port.connected
+
+    def path(self, src: str, dst: str) -> List[Link]:
+        """Links a ``src``→``dst`` transfer traverses.
+
+        Same-host transfers take no network links (local disk copy).
+        Raises :class:`NetworkError` if either endpoint is missing or
+        disconnected.
+        """
+        if src == dst:
+            return []
+        for hostname in (src, dst):
+            if not self.is_connected(hostname):
+                raise NetworkError(f"host {hostname!r} is not reachable")
+        return [self._ports[src].uplink, self.backbone, self._ports[dst].downlink]
+
+    def latency(self, src: str, dst: str) -> float:
+        """One-way latency between two hosts (0 for same host)."""
+        if src == dst:
+            return 0.0
+        return self.default_latency

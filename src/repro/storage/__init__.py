@@ -1,0 +1,15 @@
+"""Storage substrate: volumes, task data stores, checkpoints, DFS."""
+
+from .checkpoint_store import CheckpointRecord, CheckpointStore
+from .datastore import TaskDataStore
+from .dfs import DistributedFileSystem
+from .volume import StoredObject, Volume
+
+__all__ = [
+    "Volume",
+    "StoredObject",
+    "TaskDataStore",
+    "CheckpointStore",
+    "CheckpointRecord",
+    "DistributedFileSystem",
+]

@@ -1,0 +1,137 @@
+"""Checkpoint repository.
+
+The paper lets users "specify specific nodes for data storage and
+backup" (§1) and stores checkpoints "in a LAN-accessible file system or
+a specific node" (§3.5).  A :class:`CheckpointStore` is that repository:
+versioned checkpoint records per job, hosted on a named storage node,
+with incremental records chaining back to a full base.
+
+The store holds *metadata*; the bytes live on the host's
+:class:`~repro.storage.volume.Volume` and moved over the network by the
+checkpoint engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import CheckpointNotFoundError
+from .volume import Volume
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One stored checkpoint version for a job.
+
+    ``incremental`` records only contain the delta since ``base_version``;
+    restoring them requires the whole chain back to the last full record.
+    """
+
+    job_id: str
+    version: int
+    created_at: float
+    nbytes: float
+    progress: float  # training progress (completed compute seconds)
+    incremental: bool = False
+    base_version: Optional[int] = None
+
+    @property
+    def key(self) -> str:
+        """Volume object key for this record."""
+        return f"ckpt/{self.job_id}/v{self.version}"
+
+
+class CheckpointStore:
+    """Versioned checkpoints for many jobs, on one storage host."""
+
+    def __init__(self, hostname: str, volume: Volume, keep_versions: int = 3):
+        if keep_versions < 1:
+            raise ValueError("keep_versions must be >= 1")
+        self.hostname = hostname
+        self.volume = volume
+        self.keep_versions = keep_versions
+        self._records: Dict[str, List[CheckpointRecord]] = {}
+
+    def versions(self, job_id: str) -> List[CheckpointRecord]:
+        """All retained records for ``job_id``, oldest first."""
+        return list(self._records.get(job_id, []))
+
+    def has_checkpoint(self, job_id: str) -> bool:
+        """Whether any record exists for ``job_id``."""
+        return bool(self._records.get(job_id))
+
+    def latest(self, job_id: str) -> CheckpointRecord:
+        """Most recent record (raises if none)."""
+        records = self._records.get(job_id)
+        if not records:
+            raise CheckpointNotFoundError(f"no checkpoint for job {job_id!r}")
+        return records[-1]
+
+    def add(self, record: CheckpointRecord) -> None:
+        """Register a record whose bytes are already on the volume.
+
+        Prunes old versions beyond ``keep_versions``, keeping restore
+        chains intact: an incremental record's full base is never
+        pruned while the incremental survives.
+        """
+        chain = self._records.setdefault(record.job_id, [])
+        chain.append(record)
+        self.volume.put_instant(record.key, record.nbytes)
+        self._prune(record.job_id)
+
+    def _prune(self, job_id: str) -> None:
+        chain = self._records[job_id]
+        while len(chain) > self.keep_versions:
+            victim = chain[0]
+            needed_bases = {
+                rec.base_version for rec in chain[1:] if rec.incremental
+            }
+            if not victim.incremental and victim.version in needed_bases:
+                break  # still the base of a retained incremental
+            chain.pop(0)
+            if self.volume.exists(victim.key):
+                self.volume.delete(victim.key)
+
+    def restore_chain(self, job_id: str) -> List[CheckpointRecord]:
+        """Records needed to restore the latest state, in apply order.
+
+        For a full latest record that is just ``[latest]``; for an
+        incremental one it is ``[full_base, inc1, ..., latest]``.
+        """
+        latest = self.latest(job_id)
+        if not latest.incremental:
+            return [latest]
+        chain = self._records[job_id]
+        by_version = {rec.version: rec for rec in chain}
+        sequence = [latest]
+        cursor = latest
+        while cursor.incremental:
+            base_version = cursor.base_version
+            base = by_version.get(base_version)
+            if base is None:
+                raise CheckpointNotFoundError(
+                    f"job {job_id!r}: base v{base_version} was pruned"
+                )
+            sequence.append(base)
+            cursor = base
+        sequence.reverse()
+        return sequence
+
+    def restore_bytes(self, job_id: str) -> float:
+        """Total bytes that must move to restore the latest state."""
+        return sum(rec.nbytes for rec in self.restore_chain(job_id))
+
+    def drop_job(self, job_id: str) -> int:
+        """Delete all records for a finished job; returns count removed."""
+        chain = self._records.pop(job_id, [])
+        for record in chain:
+            if self.volume.exists(record.key):
+                self.volume.delete(record.key)
+        return len(chain)
+
+    def total_bytes(self) -> float:
+        """Bytes consumed by all retained checkpoints."""
+        return sum(
+            rec.nbytes for chain in self._records.values() for rec in chain
+        )

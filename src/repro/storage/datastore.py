@@ -1,0 +1,94 @@
+"""Task data stores.
+
+"On the client side, users can specify preferred storage locations for
+their workload data, checkpoints, and outputs" (§3.2).  A
+:class:`TaskDataStore` binds a job's datasets/outputs to a chosen host
+and moves bytes over the flow network with disk time at the endpoint,
+so data-staging cost shows up in dispatch latency exactly as it would
+on campus.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from ..errors import StorageError
+from ..network import FlowNetwork
+from ..sim import Environment, Event
+from .volume import Volume
+
+
+class TaskDataStore:
+    """User-controlled storage for one or more jobs' data.
+
+    Parameters
+    ----------
+    hostname:
+        Host the store lives on (a lab NAS, the user's workstation...).
+    volume:
+        The disk backing the store.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        hostname: str,
+        volume: Volume,
+        network: FlowNetwork,
+    ):
+        self.env = env
+        self.hostname = hostname
+        self.volume = volume
+        self.network = network
+
+    def put_local(self, key: str, nbytes: float) -> Event:
+        """Write data that originates on the store's own host."""
+        return self.volume.write(key, nbytes)
+
+    def exists(self, key: str) -> bool:
+        """Whether ``key`` is present."""
+        return self.volume.exists(key)
+
+    def size_of(self, key: str) -> float:
+        """Size in bytes of ``key`` (raises if absent)."""
+        return self.volume.stat(key).nbytes
+
+    def upload_from(self, src_host: str, key: str, nbytes: float,
+                    category: str = "data") -> Event:
+        """Move ``nbytes`` from ``src_host`` into the store.
+
+        Network transfer and destination disk write happen in sequence;
+        the returned event fires when the object is durable.
+        """
+        return self.env.process(
+            self._upload(src_host, key, nbytes, category),
+            name=f"upload:{key}",
+        )
+
+    def _upload(self, src_host: str, key: str, nbytes: float,
+                category: str) -> Generator:
+        yield self.network.transfer(src_host, self.hostname, nbytes, category=category)
+        yield self.volume.write(key, nbytes)
+
+    def download_to(self, dst_host: str, key: str,
+                    category: str = "data") -> Event:
+        """Copy an object out of the store to ``dst_host``.
+
+        The event fires with the object size once the last byte lands.
+        """
+        if not self.volume.exists(key):
+            raise StorageError(f"{self.hostname}: no object {key!r}")
+        return self.env.process(
+            self._download(dst_host, key, category),
+            name=f"download:{key}",
+        )
+
+    def _download(self, dst_host: str, key: str, category: str) -> Generator:
+        obj = yield self.volume.read(key)
+        yield self.network.transfer(self.hostname, dst_host, obj.nbytes,
+                                    category=category)
+        return obj.nbytes
+
+    def delete(self, key: str) -> float:
+        """Remove an object, returning its size."""
+        return self.volume.delete(key)

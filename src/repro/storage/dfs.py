@@ -1,0 +1,186 @@
+"""Campus distributed file system.
+
+Provider servers support "integration with campus-wide distributed file
+systems for persistent storage" (§3.2).  This is a deliberately small
+DFS: objects are replicated onto ``replication`` member hosts chosen by
+rendezvous hashing, reads are served from any live replica, and when a
+member departs the system re-replicates affected objects onto the
+survivors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Set
+
+from ..errors import StorageError
+from ..network import FlowNetwork
+from ..sim import Environment, Event
+from .volume import Volume
+
+
+def _rendezvous_score(key: str, hostname: str) -> int:
+    digest = hashlib.sha256(f"{key}@{hostname}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass
+class DfsObject:
+    """One replicated object: its size and current replica hosts."""
+
+    key: str
+    nbytes: float
+    replicas: Set[str] = field(default_factory=set)
+
+
+class DistributedFileSystem:
+    """Replicated object store across volunteer member hosts."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: FlowNetwork,
+        replication: int = 2,
+    ):
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.env = env
+        self.network = network
+        self.replication = replication
+        self._members: Dict[str, Volume] = {}
+        self._objects: Dict[str, DfsObject] = {}
+
+    # -- membership ----------------------------------------------------------
+
+    @property
+    def members(self) -> List[str]:
+        """Current member hostnames (sorted)."""
+        return sorted(self._members)
+
+    def add_member(self, hostname: str, volume: Volume) -> None:
+        """Enroll a host's volume into the DFS."""
+        if hostname in self._members:
+            raise StorageError(f"{hostname!r} already a DFS member")
+        self._members[hostname] = volume
+
+    def remove_member(self, hostname: str) -> List[str]:
+        """Drop a member (departed provider); re-replicate its objects.
+
+        Returns the keys that had a replica on the departed host.
+        Re-replication data moves are modelled instantly at the metadata
+        level here; bulk repair traffic is out of the paper's scope.
+        """
+        volume = self._members.pop(hostname, None)
+        if volume is None:
+            raise StorageError(f"{hostname!r} is not a DFS member")
+        affected = []
+        for obj in self._objects.values():
+            if hostname not in obj.replicas:
+                continue
+            obj.replicas.discard(hostname)
+            affected.append(obj.key)
+            for candidate in self._placement(obj.key):
+                if candidate not in obj.replicas and len(obj.replicas) < self.replication:
+                    if self._try_place(candidate, obj):
+                        obj.replicas.add(candidate)
+        return affected
+
+    def _placement(self, key: str) -> List[str]:
+        """Preferred replica hosts for ``key`` (rendezvous order)."""
+        return sorted(
+            self._members,
+            key=lambda hostname: _rendezvous_score(key, hostname),
+            reverse=True,
+        )
+
+    def _try_place(self, hostname: str, obj: DfsObject) -> bool:
+        volume = self._members[hostname]
+        if volume.free < obj.nbytes:
+            return False
+        volume.put_instant(f"dfs/{obj.key}", obj.nbytes)
+        return True
+
+    # -- object operations -----------------------------------------------------
+
+    def exists(self, key: str) -> bool:
+        """Whether ``key`` is stored (with at least one live replica)."""
+        obj = self._objects.get(key)
+        return bool(obj and obj.replicas)
+
+    def replicas_of(self, key: str) -> List[str]:
+        """Hosts currently holding ``key``."""
+        obj = self._objects.get(key)
+        return sorted(obj.replicas) if obj else []
+
+    def write(self, src_host: str, key: str, nbytes: float,
+              category: str = "dfs") -> Event:
+        """Store ``key`` from ``src_host`` onto ``replication`` members.
+
+        The event fires when all replicas are durable.  Replica uploads
+        proceed in parallel and share ``src_host``'s uplink.
+        """
+        if not self._members:
+            raise StorageError("DFS has no members")
+        if nbytes < 0:
+            raise ValueError("negative object size")
+        return self.env.process(
+            self._write(src_host, key, nbytes, category), name=f"dfs-write:{key}"
+        )
+
+    def _write(self, src_host: str, key: str, nbytes: float,
+               category: str) -> Generator:
+        targets = []
+        for hostname in self._placement(key):
+            if len(targets) >= self.replication:
+                break
+            if self._members[hostname].free >= nbytes:
+                targets.append(hostname)
+        if not targets:
+            raise StorageError(f"no DFS member has space for {key!r}")
+        transfers = [
+            self.network.transfer(src_host, hostname, nbytes, category=category)
+            for hostname in targets
+            if hostname != src_host
+        ]
+        if transfers:
+            yield self.env.all_of(transfers)
+        obj = self._objects.get(key)
+        if obj is None:
+            obj = DfsObject(key, nbytes)
+            self._objects[key] = obj
+        obj.nbytes = nbytes
+        for hostname in targets:
+            self._members[hostname].put_instant(f"dfs/{key}", nbytes)
+            obj.replicas.add(hostname)
+        return list(targets)
+
+    def read(self, dst_host: str, key: str, category: str = "dfs") -> Event:
+        """Fetch ``key`` to ``dst_host`` from the best replica.
+
+        Prefers a local replica (no network), then any live member.
+        The event fires with the object size.
+        """
+        obj = self._objects.get(key)
+        if obj is None or not obj.replicas:
+            raise StorageError(f"DFS: no object {key!r}")
+        return self.env.process(
+            self._read(dst_host, obj, category), name=f"dfs-read:{key}"
+        )
+
+    def _read(self, dst_host: str, obj: DfsObject, category: str) -> Generator:
+        if dst_host in obj.replicas:
+            return obj.nbytes  # local hit
+        source = sorted(obj.replicas)[0]
+        yield self.network.transfer(source, dst_host, obj.nbytes, category=category)
+        return obj.nbytes
+
+    def delete(self, key: str) -> None:
+        """Remove all replicas of ``key``."""
+        obj = self._objects.pop(key, None)
+        if obj is None:
+            raise StorageError(f"DFS: no object {key!r}")
+        for hostname in obj.replicas:
+            volume = self._members.get(hostname)
+            if volume is not None and volume.exists(f"dfs/{key}"):
+                volume.delete(f"dfs/{key}")

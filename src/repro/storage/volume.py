@@ -1,0 +1,152 @@
+"""Local disk volumes.
+
+Each campus host owns a :class:`Volume`: a capacity-limited store of
+named objects with finite read/write bandwidth.  Disk time matters to
+GPUnion because checkpoint creation is bounded by the slower of PCIe
+read-out and local disk write (§4 notes memory-intensive models have
+"longer checkpoint creation times").
+
+IO requests on one volume are serialized FIFO — a good model of a
+single NVMe/SATA device under sequential checkpoint-sized writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional, Tuple
+
+from ..errors import StorageError
+from ..sim import Environment, Event, Resource
+from ..units import GIB, mib
+
+
+@dataclass(frozen=True)
+class StoredObject:
+    """Metadata for one object on a volume."""
+
+    key: str
+    nbytes: float
+    created_at: float
+
+
+class Volume:
+    """A host-local disk with finite space and bandwidth.
+
+    Parameters
+    ----------
+    read_bandwidth / write_bandwidth:
+        Sustained sequential rates in bytes/s (defaults model a typical
+        NVMe SSD: 3 GB/s read, 2 GB/s write).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        capacity: float = 2048 * GIB,
+        read_bandwidth: float = 3e9,
+        write_bandwidth: float = 2e9,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if read_bandwidth <= 0 or write_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        self.env = env
+        self.name = name
+        self.capacity = capacity
+        self.read_bandwidth = read_bandwidth
+        self.write_bandwidth = write_bandwidth
+        self._objects: Dict[str, StoredObject] = {}
+        self._io = Resource(env, capacity=1)
+
+    @property
+    def used(self) -> float:
+        """Bytes currently stored."""
+        return sum(obj.nbytes for obj in self._objects.values())
+
+    @property
+    def free(self) -> float:
+        """Bytes still available."""
+        return self.capacity - self.used
+
+    def exists(self, key: str) -> bool:
+        """Whether an object named ``key`` is stored here."""
+        return key in self._objects
+
+    def stat(self, key: str) -> StoredObject:
+        """Metadata for ``key`` (raises :class:`StorageError` if absent)."""
+        try:
+            return self._objects[key]
+        except KeyError:
+            raise StorageError(f"{self.name}: no object {key!r}") from None
+
+    def keys(self) -> Tuple[str, ...]:
+        """All stored object keys (sorted)."""
+        return tuple(sorted(self._objects))
+
+    # -- timed IO (processes) ----------------------------------------------
+
+    def write(self, key: str, nbytes: float) -> "Event":
+        """Write an object; returns the completion event.
+
+        Overwrites any existing object under ``key`` (space for the new
+        copy is checked against free space plus the old copy).
+        """
+        if nbytes < 0:
+            raise ValueError("negative object size")
+        old = self._objects.get(key)
+        reclaimable = old.nbytes if old else 0.0
+        if nbytes > self.free + reclaimable:
+            raise StorageError(
+                f"{self.name}: writing {key!r} needs {nbytes:.0f} B, "
+                f"only {self.free:.0f} B free"
+            )
+        return self.env.process(self._write_process(key, nbytes), name=f"write:{key}")
+
+    def _write_process(self, key: str, nbytes: float) -> Generator:
+        request = self._io.request()
+        yield request
+        try:
+            yield self.env.timeout(nbytes / self.write_bandwidth)
+            self._objects[key] = StoredObject(key, nbytes, self.env.now)
+        finally:
+            self._io.release(request)
+
+    def read(self, key: str) -> "Event":
+        """Read an object; event fires with its :class:`StoredObject`."""
+        self.stat(key)  # fail fast if absent
+        return self.env.process(self._read_process(key), name=f"read:{key}")
+
+    def _read_process(self, key: str) -> Generator:
+        obj = self.stat(key)
+        request = self._io.request()
+        yield request
+        try:
+            yield self.env.timeout(obj.nbytes / self.read_bandwidth)
+        finally:
+            self._io.release(request)
+        return obj
+
+    # -- instant metadata operations -----------------------------------------
+
+    def delete(self, key: str) -> float:
+        """Remove an object, returning its size (metadata-only, instant)."""
+        obj = self._objects.pop(key, None)
+        if obj is None:
+            raise StorageError(f"{self.name}: no object {key!r}")
+        return obj.nbytes
+
+    def put_instant(self, key: str, nbytes: float) -> None:
+        """Record an object without modelling disk time.
+
+        For bookkeeping writes whose IO time is accounted elsewhere
+        (e.g. bytes that arrived via a network flow that already paced
+        them slower than disk bandwidth).
+        """
+        if nbytes < 0:
+            raise ValueError("negative object size")
+        old = self._objects.get(key)
+        reclaimable = old.nbytes if old else 0.0
+        if nbytes > self.free + reclaimable:
+            raise StorageError(f"{self.name}: no space for {key!r}")
+        self._objects[key] = StoredObject(key, nbytes, self.env.now)

@@ -1,0 +1,191 @@
+"""Campus demand generation.
+
+Builds the synthetic demand traces the experiments feed to either the
+manual-coordination baseline or GPUnion: per-lab batch training jobs
+and interactive sessions, arriving via a diurnally-modulated Poisson
+process.  The imbalance the paper motivates (§1) is encoded in the lab
+profiles: compute-rich labs own many servers but submit moderately,
+compute-poor labs and unaffiliated students demand more than they own.
+
+All randomness flows through named :class:`~repro.sim.rng.RngStreams`
+so each figure's trace is reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..sim import RngStreams
+from ..units import DAY, HOUR, MINUTE
+from .interactive import InteractiveSessionSpec, next_session_id
+from .models import MODEL_CATALOG, WorkloadModel
+from .training import TrainingJobSpec, next_job_id
+
+
+@dataclass(frozen=True)
+class LabProfile:
+    """Demand profile of one research group.
+
+    ``job_mix`` is a sequence of ``(model_name, weight)`` pairs;
+    ``mean_job_compute`` is the mean job size in reference-GPU hours.
+    """
+
+    name: str
+    batch_jobs_per_day: float
+    interactive_sessions_per_day: float
+    job_mix: Tuple[Tuple[str, float], ...]
+    mean_job_compute_hours: float = 8.0
+    students: int = 5
+
+    def __post_init__(self):
+        if self.batch_jobs_per_day < 0 or self.interactive_sessions_per_day < 0:
+            raise ValueError("demand rates must be non-negative")
+        if not self.job_mix:
+            raise ValueError("job_mix must not be empty")
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One demand event: a spec arriving at a simulated time."""
+
+    time: float
+    spec: object  # TrainingJobSpec or InteractiveSessionSpec
+
+    def __lt__(self, other: "Arrival") -> bool:
+        return self.time < other.time
+
+
+def diurnal_weight(time_of_day: float) -> float:
+    """Relative demand intensity over the day.
+
+    Campus activity peaks mid-afternoon and bottoms out before dawn;
+    modelled as a raised cosine with its minimum at 04:00.
+    """
+    phase = 2 * math.pi * (time_of_day / DAY - 4 * HOUR / DAY)
+    return 0.55 - 0.45 * math.cos(phase)
+
+
+def _poisson_arrivals(
+    rng, rate_per_day: float, horizon: float, modulated: bool = True
+) -> List[float]:
+    """Thinned non-homogeneous Poisson arrival times over [0, horizon]."""
+    if rate_per_day <= 0:
+        return []
+    peak_rate = rate_per_day / DAY  # events per second at weight 1.0
+    times = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(peak_rate)
+        if t >= horizon:
+            break
+        if modulated and rng.random() > diurnal_weight(t % DAY):
+            continue
+        times.append(t)
+    return times
+
+
+class WorkloadGenerator:
+    """Turns lab profiles into a deterministic arrival trace."""
+
+    def __init__(self, streams: RngStreams):
+        self.streams = streams
+
+    def _pick_model(self, rng, mix: Sequence[Tuple[str, float]]) -> WorkloadModel:
+        total = sum(weight for _, weight in mix)
+        point = rng.random() * total
+        cumulative = 0.0
+        for name, weight in mix:
+            cumulative += weight
+            if point <= cumulative:
+                return MODEL_CATALOG[name]
+        return MODEL_CATALOG[mix[-1][0]]
+
+    def training_jobs(
+        self,
+        lab: LabProfile,
+        horizon: float,
+        checkpoint_interval: float = 10 * MINUTE,
+    ) -> List[Arrival]:
+        """Batch training demand from one lab over ``horizon`` seconds."""
+        rng = self.streams.stream(f"jobs:{lab.name}")
+        arrivals = []
+        for when in _poisson_arrivals(rng, lab.batch_jobs_per_day, horizon):
+            model = self._pick_model(rng, lab.job_mix)
+            # Log-normal job sizes: most are medium, a few are large.
+            compute_hours = rng.lognormvariate(
+                math.log(lab.mean_job_compute_hours), 0.5
+            )
+            compute_hours = min(compute_hours, 3 * lab.mean_job_compute_hours)
+            spec = TrainingJobSpec(
+                job_id=next_job_id(),
+                model=model,
+                total_compute=compute_hours * HOUR,
+                owner=f"{lab.name}-student-{rng.randrange(lab.students)}",
+                lab=lab.name,
+                priority=5,
+                checkpoint_interval=checkpoint_interval,
+            )
+            arrivals.append(Arrival(when, spec))
+        return arrivals
+
+    def interactive_sessions(
+        self,
+        lab: LabProfile,
+        horizon: float,
+    ) -> List[Arrival]:
+        """Interactive session demand from one lab."""
+        rng = self.streams.stream(f"sessions:{lab.name}")
+        arrivals = []
+        for when in _poisson_arrivals(
+            rng, lab.interactive_sessions_per_day, horizon
+        ):
+            duration = max(20 * MINUTE, rng.expovariate(1 / (1.5 * HOUR)))
+            spec = InteractiveSessionSpec(
+                session_id=next_session_id(),
+                user=f"{lab.name}-student-{rng.randrange(max(1, lab.students))}",
+                lab=lab.name,
+                duration=duration,
+            )
+            arrivals.append(Arrival(when, spec))
+        return arrivals
+
+    def unaffiliated_sessions(
+        self,
+        sessions_per_day: float,
+        horizon: float,
+        population: int = 40,
+    ) -> List[Arrival]:
+        """Sessions from students with no lab GPUs (§1 dimension iv)."""
+        rng = self.streams.stream("sessions:unaffiliated")
+        arrivals = []
+        for when in _poisson_arrivals(rng, sessions_per_day, horizon):
+            duration = max(15 * MINUTE, rng.expovariate(1 / HOUR))
+            spec = InteractiveSessionSpec(
+                session_id=next_session_id(),
+                user=f"ugrad-{rng.randrange(population)}",
+                lab="",  # no lab → no GPUs of their own
+                duration=duration,
+            )
+            arrivals.append(Arrival(when, spec))
+        return arrivals
+
+    def combined_trace(
+        self,
+        labs: Iterable[LabProfile],
+        horizon: float,
+        unaffiliated_sessions_per_day: float = 0.0,
+        checkpoint_interval: float = 10 * MINUTE,
+    ) -> List[Arrival]:
+        """Full campus demand trace, sorted by arrival time."""
+        arrivals: List[Arrival] = []
+        for lab in labs:
+            arrivals.extend(self.training_jobs(lab, horizon, checkpoint_interval))
+            arrivals.extend(self.interactive_sessions(lab, horizon))
+        if unaffiliated_sessions_per_day > 0:
+            arrivals.extend(
+                self.unaffiliated_sessions(unaffiliated_sessions_per_day, horizon)
+            )
+        arrivals.sort(key=lambda arrival: arrival.time)
+        return arrivals

@@ -1,0 +1,132 @@
+"""Deep-learning workload models.
+
+The paper's resilience experiments run "PyTorch CNN and transformer
+models" (§4).  Each :class:`WorkloadModel` captures what GPUnion's
+mechanisms actually feel of a training job:
+
+* GPU memory working set — drives placement constraints;
+* checkpoint state size (parameters + optimizer state, ~12 B/param for
+  Adam in fp32) — drives checkpoint creation and transfer time;
+* dirty fraction — how much of the state changes between checkpoints,
+  which sets the incremental-checkpoint delta size;
+* minimum compute capability — heterogeneity constraint.
+
+Throughput is normalised: a job's size is expressed as *reference
+compute seconds* (time to train on an RTX 3090); running on a faster
+card divides by the card's speedup factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..gpu.specs import GPUSpec, speedup_over_reference
+from ..units import GIB, MIB
+
+
+@dataclass(frozen=True)
+class WorkloadModel:
+    """Static profile of one trainable model architecture."""
+
+    name: str
+    family: str  # "cnn" or "transformer"
+    parameters: float  # count
+    gpu_memory: float  # working set, bytes
+    state_bytes: float  # full checkpoint size, bytes
+    dirty_fraction: float  # share of state changed per checkpoint interval
+    min_compute_capability: Tuple[int, int] = (7, 0)
+    train_intensity: float = 0.95  # GPU utilization while training
+
+    def __post_init__(self):
+        if not 0.0 < self.dirty_fraction <= 1.0:
+            raise ValueError("dirty_fraction must be in (0, 1]")
+        if self.family not in ("cnn", "transformer"):
+            raise ValueError(f"unknown family {self.family!r}")
+
+    @property
+    def is_memory_intensive(self) -> bool:
+        """Paper's "memory-intensive" bucket: big working set & state."""
+        return self.gpu_memory >= 16 * GIB
+
+    def compute_time_on(self, reference_seconds: float, gpu: GPUSpec) -> float:
+        """Wall time to do ``reference_seconds`` of work on ``gpu``."""
+        if reference_seconds < 0:
+            raise ValueError("negative compute time")
+        return reference_seconds / speedup_over_reference(gpu)
+
+
+def _adam_state(params: float) -> float:
+    """fp32 weights + Adam first/second moments ≈ 12 bytes/param."""
+    return params * 12.0
+
+
+RESNET50 = WorkloadModel(
+    name="resnet50-cifar",
+    family="cnn",
+    parameters=25.6e6,
+    gpu_memory=6 * GIB,
+    state_bytes=_adam_state(25.6e6),
+    dirty_fraction=0.45,
+)
+
+RESNET152 = WorkloadModel(
+    name="resnet152-imagenet",
+    family="cnn",
+    parameters=60.2e6,
+    gpu_memory=14 * GIB,
+    state_bytes=_adam_state(60.2e6),
+    dirty_fraction=0.40,
+)
+
+UNET_SEG = WorkloadModel(
+    name="unet-segmentation",
+    family="cnn",
+    parameters=31.0e6,
+    gpu_memory=10 * GIB,
+    state_bytes=_adam_state(31.0e6),
+    dirty_fraction=0.50,
+)
+
+BERT_BASE = WorkloadModel(
+    name="bert-base-finetune",
+    family="transformer",
+    parameters=110e6,
+    gpu_memory=12 * GIB,
+    state_bytes=_adam_state(110e6),
+    dirty_fraction=0.35,
+)
+
+GPT2_MEDIUM = WorkloadModel(
+    name="gpt2-medium-pretrain",
+    family="transformer",
+    parameters=355e6,
+    gpu_memory=20 * GIB,
+    state_bytes=_adam_state(355e6),
+    dirty_fraction=0.30,
+    min_compute_capability=(8, 0),
+)
+
+VIT_LARGE = WorkloadModel(
+    name="vit-large-finetune",
+    family="transformer",
+    parameters=304e6,
+    gpu_memory=18 * GIB,
+    state_bytes=_adam_state(304e6),
+    dirty_fraction=0.32,
+)
+
+#: All models, keyed by name.
+MODEL_CATALOG: Dict[str, WorkloadModel] = {
+    model.name: model
+    for model in (RESNET50, RESNET152, UNET_SEG, BERT_BASE, GPT2_MEDIUM, VIT_LARGE)
+}
+
+
+def model_by_name(name: str) -> WorkloadModel:
+    """Catalog lookup with a helpful error."""
+    try:
+        return MODEL_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_CATALOG))
+        raise KeyError(f"unknown model {name!r}; known: {known}") from None

@@ -1,0 +1,158 @@
+"""Training job specifications and progress accounting.
+
+A :class:`TrainingJobSpec` is the unit users submit to GPUnion; a
+:class:`TrainingJobState` is the platform's mutable record of how far
+the job has gotten, how many interruptions it survived, and how much
+work each interruption cost.  All progress is measured in *reference
+compute seconds* (work units normalised to an RTX 3090) so a job can
+migrate across heterogeneous GPUs without losing meaning — the exact
+property the paper's ALC design needs (§3.5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from ..units import GIB, MINUTE
+from .models import WorkloadModel
+
+_job_ids = itertools.count(1)
+
+
+def next_job_id(prefix: str = "job") -> str:
+    """Fresh, unique job identifier."""
+    return f"{prefix}-{next(_job_ids):05d}"
+
+
+@dataclass(frozen=True)
+class TrainingJobSpec:
+    """Everything the user declares when submitting a training job."""
+
+    job_id: str
+    model: WorkloadModel
+    total_compute: float  # reference-GPU seconds of work
+    owner: str = "anonymous"
+    lab: str = "unaffiliated"
+    priority: int = 5  # 0 = most urgent
+    checkpoint_interval: float = 10 * MINUTE
+    dataset_bytes: float = 2 * GIB
+    storage_host: Optional[str] = None  # user-preferred checkpoint target
+    image_reference: str = "pytorch/pytorch:2.1-cuda12"
+
+    def __post_init__(self):
+        if self.total_compute <= 0:
+            raise ValueError("total_compute must be positive")
+        if self.checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive")
+        if self.priority < 0:
+            raise ValueError("priority must be >= 0")
+
+
+class JobStatus(Enum):
+    """Where a job is in its platform lifecycle."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    MIGRATING = "migrating"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class InterruptionRecord:
+    """One provider-induced interruption a job survived."""
+
+    at: float
+    kind: str  # "scheduled" | "emergency" | "temporary"
+    node: str
+    lost_progress: float  # reference-seconds of work redone
+    downtime: float = 0.0  # wall seconds until compute resumed
+
+
+@dataclass
+class TrainingJobState:
+    """The platform's mutable view of one training job."""
+
+    spec: TrainingJobSpec
+    status: JobStatus = JobStatus.PENDING
+    progress: float = 0.0  # reference-seconds completed (checkpointed or live)
+    checkpointed_progress: float = 0.0  # durable progress
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    current_node: Optional[str] = None
+    home_node: Optional[str] = None  # first placement (migrate-back target)
+    interruptions: List[InterruptionRecord] = field(default_factory=list)
+    checkpoints_taken: int = 0
+    migrations: int = 0
+
+    @property
+    def job_id(self) -> str:
+        """Convenience accessor for the spec's id."""
+        return self.spec.job_id
+
+    @property
+    def remaining(self) -> float:
+        """Reference-seconds of work still to do."""
+        return max(0.0, self.spec.total_compute - self.progress)
+
+    @property
+    def is_done(self) -> bool:
+        """Whether all compute has completed."""
+        return self.remaining <= 1e-9
+
+    @property
+    def interruption_count(self) -> int:
+        """Interruptions survived so far."""
+        return len(self.interruptions)
+
+    @property
+    def total_lost_progress(self) -> float:
+        """Reference-seconds of work redone across all interruptions."""
+        return sum(rec.lost_progress for rec in self.interruptions)
+
+    @property
+    def total_downtime(self) -> float:
+        """Wall seconds spent not computing due to interruptions."""
+        return sum(rec.downtime for rec in self.interruptions)
+
+    def elapsed(self, now: float) -> float:
+        """Wall time since submission."""
+        return (self.completed_at or now) - self.submitted_at
+
+    def record_interruption(
+        self,
+        at: float,
+        kind: str,
+        node: str,
+        downtime: float = 0.0,
+    ) -> InterruptionRecord:
+        """Roll live progress back to the last checkpoint and log it."""
+        lost = max(0.0, self.progress - self.checkpointed_progress)
+        self.progress = self.checkpointed_progress
+        record = InterruptionRecord(
+            at=at, kind=kind, node=node, lost_progress=lost, downtime=downtime
+        )
+        self.interruptions.append(record)
+        return record
+
+    def ideal_duration(self, gpu_speedup: float = 1.0) -> float:
+        """Uninterrupted wall time on a GPU with the given speedup."""
+        if gpu_speedup <= 0:
+            raise ValueError("speedup must be positive")
+        return self.spec.total_compute / gpu_speedup
+
+    def overhead_fraction(self, now: float, gpu_speedup: float = 1.0) -> float:
+        """Fractional slowdown vs. uninterrupted execution.
+
+        This is the §4 "training impact" metric: 0.03 means the job
+        took 3 % longer than it would have without interruptions.
+        """
+        ideal = self.ideal_duration(gpu_speedup)
+        if ideal <= 0:
+            return 0.0
+        return max(0.0, self.elapsed(now) / ideal - 1.0)

@@ -1,0 +1,231 @@
+"""Unit tests for the provider agent and kill-switch."""
+
+import pytest
+
+from repro import GPUnionPlatform, PlatformConfig, TrainingJobSpec
+from repro.agent import KillSwitch, ProviderAvailability
+from repro.core import NodeStatus
+from repro.gpu import RTX_3090
+from repro.units import GIB, HOUR, MINUTE
+from repro.workloads import (
+    InteractiveSessionSpec,
+    RESNET50,
+    next_job_id,
+    next_session_id,
+)
+
+
+def make_platform(**config_kwargs):
+    platform = GPUnionPlatform(seed=7,
+                               config=PlatformConfig(**config_kwargs))
+    platform.add_provider("ws1", [RTX_3090], lab="vision")
+    platform.add_provider("ws2", [RTX_3090], lab="nlp")
+    return platform
+
+
+def job_spec(**kwargs):
+    defaults = dict(job_id=next_job_id(), model=RESNET50,
+                    total_compute=1 * HOUR,
+                    checkpoint_interval=10 * MINUTE)
+    defaults.update(kwargs)
+    return TrainingJobSpec(**defaults)
+
+
+# -- kill switch state machine ------------------------------------------------
+
+
+def test_kill_switch_transitions():
+    switch = KillSwitch()
+    assert switch.accepting_work
+    switch.pause()
+    assert switch.state is ProviderAvailability.PAUSED
+    assert not switch.accepting_work
+    switch.resume()
+    assert switch.accepting_work
+    switch.begin_departure()
+    switch.mark_departed()
+    assert switch.is_departed
+    switch.rejoin()
+    assert switch.accepting_work
+
+
+def test_kill_switch_resume_only_from_paused():
+    switch = KillSwitch()
+    switch.begin_departure()
+    switch.resume()  # no-op
+    assert switch.state is ProviderAvailability.DEPARTING
+
+
+def test_kill_switch_counts_activations():
+    switch = KillSwitch()
+    switch.pause()
+    switch.resume()
+    switch.begin_departure()
+    assert switch.activations == 2
+
+
+# -- registration -----------------------------------------------------------------
+
+
+def test_agent_registers_and_gets_token():
+    platform = make_platform()
+    platform.run(until=10)
+    agent = platform.agents["ws1"]
+    assert agent.auth_token.startswith("gpunion-")
+    assert platform.coordinator.registry.count == 2
+
+
+def test_registration_in_rpc_mode_starts_heartbeats():
+    platform = make_platform(heartbeat_mode="rpc", heartbeat_interval=5)
+    platform.run(until=60)
+    # Heartbeats recorded in the system DB.
+    assert platform.db.heartbeat_count() >= 10
+
+
+# -- dispatch ---------------------------------------------------------------------------
+
+
+def test_job_runs_to_completion():
+    platform = make_platform()
+    job = platform.submit_job(job_spec())
+    platform.run(until=3 * HOUR)
+    assert job.is_done
+    assert job.checkpoints_taken >= 4
+    assert platform.events.count("job-completed") == 1
+
+
+def test_paused_provider_rejects_new_work():
+    platform = make_platform()
+    platform.run(until=10)
+    platform.agents["ws1"].pause()
+    platform.agents["ws2"].pause()
+    platform.run(until=60)
+    job = platform.submit_job(job_spec())
+    platform.run(until=30 * MINUTE)
+    assert not job.is_done
+    assert platform.coordinator.parked_count == 1
+    # Resume → parked job dispatches.
+    platform.agents["ws1"].resume()
+    platform.run(until=3 * HOUR)
+    assert job.is_done
+
+
+def test_paused_node_status_reflected_in_registry():
+    platform = make_platform()
+    platform.run(until=10)
+    agent = platform.agents["ws1"]
+    agent.pause()
+    platform.run(until=20)
+    record = platform.coordinator.registry.by_hostname("ws1")
+    assert record.status is NodeStatus.PAUSED
+
+
+def test_interactive_session_served():
+    platform = make_platform()
+    platform.run(until=10)
+    platform.submit_session(InteractiveSessionSpec(
+        session_id=next_session_id(), user="u", lab="vision",
+        duration=1 * HOUR, gpu_memory=6 * GIB,
+    ))
+    platform.run(until=2 * HOUR)
+    served = platform.coordinator.served_sessions()
+    assert len(served) == 1
+    assert served[0].ended_at is not None
+
+
+def test_interactive_denied_when_no_capacity():
+    platform = make_platform()
+    platform.run(until=10)
+    # Saturate both GPUs with sessions demanding most of the memory.
+    for _ in range(2):
+        platform.submit_session(InteractiveSessionSpec(
+            session_id=next_session_id(), user="u", lab="vision",
+            duration=2 * HOUR, gpu_memory=20 * GIB,
+        ))
+    platform.run(until=20 * MINUTE)
+    platform.submit_session(InteractiveSessionSpec(
+        session_id=next_session_id(), user="u2", lab="nlp",
+        duration=1 * HOUR, gpu_memory=20 * GIB,
+    ))
+    platform.run(until=30 * MINUTE)
+    assert len(platform.coordinator.denied_sessions()) == 1
+
+
+# -- departures ------------------------------------------------------------------------------
+
+
+def test_graceful_departure_checkpoints_and_migrates():
+    platform = make_platform()
+    job = platform.submit_job(job_spec(total_compute=2 * HOUR))
+    platform.run(until=30 * MINUTE)
+    first_node = job.current_node
+    platform.agents[first_node].graceful_departure()
+    platform.run(until=4 * HOUR)
+    assert job.is_done
+    assert job.current_node != first_node
+    assert job.interruption_count == 1
+    record = job.interruptions[0]
+    assert record.kind == "scheduled"
+    assert record.lost_progress == pytest.approx(0.0, abs=1.0)
+    assert record.downtime > 0
+
+
+def test_emergency_departure_loses_up_to_interval():
+    platform = make_platform()
+    job = platform.submit_job(job_spec(total_compute=2 * HOUR))
+    platform.run(until=35 * MINUTE)
+    first_node = job.current_node
+    platform.agents[first_node].emergency_departure()
+    platform.run(until=5 * HOUR)
+    assert job.is_done
+    record = job.interruptions[0]
+    assert record.kind == "emergency"
+    # Lost work bounded by the checkpoint interval (plus pause slack).
+    assert 0 <= record.lost_progress <= job.spec.checkpoint_interval * 1.5
+    # Downtime includes the 45 s detection delay.
+    assert record.downtime >= 45
+
+
+def test_emergency_departure_kills_flows_and_containers():
+    platform = make_platform()
+    job = platform.submit_job(job_spec())
+    platform.run(until=15 * MINUTE)
+    agent = platform.agents[job.current_node]
+    assert agent.runtime.running_containers()
+    agent.emergency_departure()
+    assert agent.runtime.running_containers() == []
+    assert not platform.lan.is_connected(agent.hostname)
+
+
+def test_reconnect_after_emergency():
+    platform = make_platform()
+    platform.run(until=10)
+    agent = platform.agents["ws1"]
+    agent.emergency_departure()
+    platform.run(until=5 * MINUTE)
+    record = platform.coordinator.registry.by_hostname("ws1")
+    assert record.status is NodeStatus.UNAVAILABLE
+    agent.reconnect()
+    platform.run(until=6 * MINUTE)
+    record = platform.coordinator.registry.by_hostname("ws1")
+    assert record.status is NodeStatus.AVAILABLE
+    assert agent.kill_switch.accepting_work
+
+
+def test_departure_with_no_workloads_is_clean():
+    platform = make_platform()
+    platform.run(until=10)
+    platform.agents["ws1"].graceful_departure()
+    platform.run(until=10 * MINUTE)
+    record = platform.coordinator.registry.by_hostname("ws1")
+    assert record.status is NodeStatus.DEPARTED
+
+
+def test_job_cancellation_while_running():
+    platform = make_platform()
+    job = platform.submit_job(job_spec(total_compute=4 * HOUR))
+    platform.run(until=20 * MINUTE)
+    platform.coordinator.cancel_job(job.job_id)
+    platform.run(until=30 * MINUTE)
+    assert not job.is_done
+    assert platform.events.count("job-cancelled") == 1

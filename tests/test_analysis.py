@@ -1,0 +1,94 @@
+"""Unit and property tests for analysis helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    confidence_interval_95,
+    format_bytes,
+    format_percent,
+    format_seconds,
+    mean,
+    percentile,
+    ratio,
+    render_table,
+    stdev,
+)
+
+
+def test_mean_and_empty():
+    assert mean([1, 2, 3]) == 2
+    assert mean([]) == 0.0
+
+
+def test_stdev():
+    assert stdev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.138, rel=0.01)
+    assert stdev([5]) == 0.0
+
+
+def test_percentile_interpolation():
+    values = [1, 2, 3, 4, 5]
+    assert percentile(values, 0) == 1
+    assert percentile(values, 50) == 3
+    assert percentile(values, 100) == 5
+    assert percentile(values, 25) == 2
+    assert percentile([], 50) == 0.0
+    assert percentile([7], 90) == 7
+    with pytest.raises(ValueError):
+        percentile(values, 101)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1),
+       st.floats(min_value=0, max_value=100))
+def test_percentile_within_range(values, q):
+    result = percentile(values, q)
+    assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2))
+def test_ci_contains_mean(values):
+    low, high = confidence_interval_95(values)
+    mu = mean(values)
+    assert low - 1e-6 <= mu <= high + 1e-6
+
+
+def test_ratio_safe():
+    assert ratio(4, 2) == 2
+    assert ratio(1, 0) == 0.0
+
+
+def test_render_table_alignment():
+    table = render_table([["a", "bbb"], ["cc", "d"]], title="T")
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "a " in lines[2]
+    # All body lines equal length (aligned columns).
+    assert len(lines[2]) == len(lines[4])
+
+
+def test_render_table_empty():
+    assert render_table([]) == ""
+
+
+def test_render_table_ragged_rows_padded():
+    table = render_table([["h1", "h2"], ["only-one"]])
+    assert "only-one" in table
+
+
+def test_format_percent():
+    assert format_percent(0.345) == "34.5%"
+    assert format_percent(0.346, digits=0) == "35%"
+
+
+def test_format_seconds():
+    assert format_seconds(0.5) == "500.0 ms"
+    assert format_seconds(42) == "42.0 s"
+    assert format_seconds(600) == "10.0 min"
+    assert format_seconds(7200) == "2.0 h"
+
+
+def test_format_bytes():
+    assert format_bytes(512) == "512 B"
+    assert format_bytes(2048) == "2.00 KiB"
+    assert format_bytes(3 * 1024**3) == "3.00 GiB"
+    assert format_bytes(2 * 1024**4) == "2.00 TiB"

@@ -1,0 +1,155 @@
+"""Unit and integration tests for the ALC checkpoint engine."""
+
+import pytest
+
+from repro.checkpoint import CheckpointEngine, IncrementalPlan
+from repro.errors import CheckpointNotFoundError
+from repro.gpu import RTX_3090
+from repro.network import CampusLAN, FlowNetwork
+from repro.sim import Environment
+from repro.storage import CheckpointStore, Volume
+from repro.units import HOUR, MINUTE, gbps
+from repro.workloads import GPT2_MEDIUM, RESNET50, TrainingJobSpec, TrainingJobState, next_job_id
+
+
+@pytest.fixture
+def stack():
+    env = Environment()
+    lan = CampusLAN(default_latency=0.0)
+    for host in ("ws1", "ws2", "nas"):
+        lan.attach(host, access_capacity=gbps(1))
+    net = FlowNetwork(env, lan)
+    store = CheckpointStore("nas", Volume(env, "nas-disk"))
+    engine = CheckpointEngine(env, net)
+    return env, net, store, engine
+
+
+def make_job(model=RESNET50):
+    spec = TrainingJobSpec(
+        job_id=next_job_id(), model=model, total_compute=4 * HOUR,
+        checkpoint_interval=10 * MINUTE,
+    )
+    return TrainingJobState(spec)
+
+
+def test_capture_cost_grows_with_state(stack):
+    env, net, store, engine = stack
+    volume = Volume(env, "local")
+    small = engine.capture_cost(make_job(RESNET50), RTX_3090, volume)
+    large = engine.capture_cost(make_job(GPT2_MEDIUM), RTX_3090, volume)
+    assert large > small
+    assert small > engine.serialize_overhead
+
+
+def test_capture_then_replicate_durable(stack):
+    env, net, store, engine = stack
+    volume = Volume(env, "local")
+    job = make_job()
+    job.progress = 600.0
+
+    def flow(env):
+        captured = yield engine.capture(job, RTX_3090, volume)
+        record = yield engine.replicate(job, captured, "ws1", store)
+        return record
+
+    proc = env.process(flow(env))
+    env.run()
+    assert proc.ok
+    assert store.has_checkpoint(job.job_id)
+    assert store.latest(job.job_id).progress == 600.0
+    assert job.checkpointed_progress == 600.0
+    assert job.checkpoints_taken == 1
+
+
+def test_first_checkpoint_is_full_then_incremental(stack):
+    env, net, store, engine = stack
+    job = make_job()
+
+    def flow(env):
+        for progress in (100.0, 200.0, 300.0):
+            job.progress = progress
+            yield engine.replicate(job, progress, "ws1", store)
+
+    env.process(flow(env))
+    env.run()
+    versions = store.versions(job.job_id)
+    assert [rec.incremental for rec in versions] == [False, True, True]
+    assert versions[1].base_version == 1
+    assert versions[1].nbytes < versions[0].nbytes
+
+
+def test_full_reanchor_after_plan_period(stack):
+    env, net, store, engine = stack
+    engine.plan = IncrementalPlan(full_every=3)
+    store.keep_versions = 10
+    job = make_job()
+
+    def flow(env):
+        for i in range(1, 7):
+            yield engine.replicate(job, float(i), "ws1", store)
+
+    env.process(flow(env))
+    env.run()
+    fulls = [rec.version for rec in store.versions(job.job_id)
+             if not rec.incremental]
+    assert fulls == [1, 4]
+
+
+def test_restore_moves_chain_and_reports(stack):
+    env, net, store, engine = stack
+    job = make_job()
+    dst_volume = Volume(env, "ws2-disk")
+
+    def flow(env):
+        yield engine.replicate(job, 100.0, "ws1", store)
+        yield engine.replicate(job, 200.0, "ws1", store)
+        result = yield engine.restore(job, store, "ws2", dst_volume)
+        return result
+
+    proc = env.process(flow(env))
+    env.run()
+    assert proc.ok
+    result = proc.value
+    assert result.record.progress == 200.0
+    # Chain = full v1 + delta v2.
+    expected = (engine.plan.full_bytes(job.spec.model)
+                + engine.plan.delta_bytes(job.spec.model))
+    assert result.bytes_moved == pytest.approx(expected)
+    assert result.duration > 0
+
+
+def test_restore_without_checkpoint_raises(stack):
+    env, net, store, engine = stack
+    job = make_job()
+    with pytest.raises(CheckpointNotFoundError):
+        engine.restore(job, store, "ws2", Volume(env, "d"))
+
+
+def test_replication_failure_keeps_previous_record(stack):
+    env, net, store, engine = stack
+    job = make_job()
+
+    def flow(env):
+        yield engine.replicate(job, 100.0, "ws1", store)
+        # Provider departs mid-upload of the second checkpoint.
+        upload = engine.replicate(job, 200.0, "ws1", store)
+        yield env.timeout(0.01)
+        net.kill_host_flows("ws1")
+        try:
+            yield upload
+        except Exception:
+            pass
+
+    env.process(flow(env))
+    env.run()
+    assert store.latest(job.job_id).progress == 100.0
+    assert job.checkpointed_progress == 100.0
+
+
+def test_checkpoint_interval_amortization(stack):
+    """Capture pause is small relative to a 10-minute interval."""
+    env, net, store, engine = stack
+    volume = Volume(env, "local")
+    job = make_job(RESNET50)
+    cost = engine.capture_cost(job, RTX_3090, volume)
+    assert cost / job.spec.checkpoint_interval < 0.01

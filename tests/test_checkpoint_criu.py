@@ -1,0 +1,128 @@
+"""Unit tests for the CRIU baseline model."""
+
+import pytest
+
+from repro.checkpoint import (
+    CriuCheckpointer,
+    check_dump_support,
+    check_restore_support,
+)
+from repro.containers import ContainerRuntime, ContainerSpec, GpuRequirements, ImageRegistry
+from repro.errors import CriuUnsupportedError
+from repro.gpu import GPUNode, HostFacts, RTX_3090
+from repro.network import CampusLAN, FlowNetwork
+from repro.sim import Environment
+from repro.storage import Volume
+from repro.units import GIB, gbps
+
+
+@pytest.fixture
+def stack():
+    env = Environment()
+    lan = CampusLAN()
+    lan.attach("registry", access_capacity=gbps(10))
+    lan.attach("ws1")
+    net = FlowNetwork(env, lan)
+    node = GPUNode(env, "ws1", [RTX_3090])
+    registry = ImageRegistry()
+    runtime = ContainerRuntime(env, node, registry, net)
+    runtime.warm_cache("pytorch/pytorch:2.1-cuda12")
+    return env, node, registry, runtime
+
+
+def gpu_container(stack, start=True):
+    env, node, registry, runtime = stack
+    image = registry.resolve("pytorch/pytorch:2.1-cuda12")
+    spec = ContainerSpec(
+        image_reference=image.reference,
+        image_digest=image.digest,
+        gpu=GpuRequirements(gpu_count=1, memory_per_gpu=8 * GIB),
+    )
+    container = runtime.create(spec)
+    if start:
+        runtime.start(container, (node.gpu_by_index(0),))
+        env.run()
+    return container
+
+
+def cpu_container(stack):
+    env, node, registry, runtime = stack
+    image = registry.resolve("pytorch/pytorch:2.1-cuda12")
+    spec = ContainerSpec(
+        image_reference=image.reference,
+        image_digest=image.digest,
+        gpu=GpuRequirements(gpu_count=0),
+    )
+    container = runtime.create(spec)
+    runtime.start(container, ())
+    env.run()
+    return container
+
+
+def test_gpu_container_not_dumpable(stack):
+    container = gpu_container(stack)
+    capability = check_dump_support(container, HostFacts())
+    assert not capability.supported
+    assert "CUDA" in capability.reason
+
+
+def test_cpu_container_dumpable_on_modern_kernel(stack):
+    container = cpu_container(stack)
+    assert check_dump_support(container, HostFacts()).supported
+
+
+def test_old_kernel_blocks_dump(stack):
+    container = cpu_container(stack)
+    old = HostFacts(kernel_version=(4, 4))
+    capability = check_dump_support(container, old)
+    assert not capability.supported
+    assert "kernel" in capability.reason
+
+
+def test_cross_architecture_restore_unsupported():
+    capability = check_restore_support(
+        "Ampere", "Ada Lovelace", HostFacts(), HostFacts()
+    )
+    assert not capability.supported
+    assert "cross-architecture" in capability.reason
+
+
+def test_driver_mismatch_blocks_restore():
+    src = HostFacts(nvidia_driver=(535, 104))
+    dst = HostFacts(nvidia_driver=(525, 60))
+    capability = check_restore_support("Ampere", "Ampere", src, dst)
+    assert not capability.supported
+
+
+def test_same_architecture_same_driver_ok():
+    capability = check_restore_support("Ampere", "Ampere", HostFacts(), HostFacts())
+    assert capability.supported
+
+
+def test_dump_raises_for_gpu_container(stack):
+    env = stack[0]
+    container = gpu_container(stack)
+    criu = CriuCheckpointer(env)
+    dump = criu.dump(container, HostFacts(), Volume(env, "d"))
+    env.run()
+    assert not dump.ok
+    assert isinstance(dump.value, CriuUnsupportedError)
+
+
+def test_dump_succeeds_for_cpu_container(stack):
+    env = stack[0]
+    container = cpu_container(stack)
+    criu = CriuCheckpointer(env)
+    dump = criu.dump(container, HostFacts(), Volume(env, "d"))
+    env.run()
+    assert dump.ok
+    assert dump.value == pytest.approx(CriuCheckpointer.RUNTIME_IMAGE_BYTES)
+
+
+def test_dump_bytes_include_gpu_memory(stack):
+    env = stack[0]
+    container = gpu_container(stack)
+    criu = CriuCheckpointer(env)
+    assert criu.dump_bytes(container) == pytest.approx(
+        CriuCheckpointer.RUNTIME_IMAGE_BYTES + 8 * GIB
+    )

@@ -1,0 +1,98 @@
+"""Unit tests for incremental sizing and interval policies."""
+
+import math
+
+import pytest
+
+from repro.checkpoint import FixedIntervalPolicy, IncrementalPlan, YoungDalyPolicy
+from repro.units import HOUR, MINUTE
+from repro.workloads import GPT2_MEDIUM, RESNET50, TrainingJobSpec, TrainingJobState, next_job_id
+
+
+def make_job(interval=10 * MINUTE):
+    spec = TrainingJobSpec(
+        job_id=next_job_id(), model=RESNET50, total_compute=4 * HOUR,
+        checkpoint_interval=interval,
+    )
+    return TrainingJobState(spec)
+
+
+def test_full_cadence():
+    plan = IncrementalPlan(full_every=4)
+    assert plan.is_full(1)
+    assert not plan.is_full(2)
+    assert not plan.is_full(4)
+    assert plan.is_full(5)
+
+
+def test_incremental_smaller_than_full():
+    plan = IncrementalPlan()
+    assert plan.delta_bytes(RESNET50) < plan.full_bytes(RESNET50)
+    assert plan.checkpoint_bytes(RESNET50, 1) == plan.full_bytes(RESNET50)
+    assert plan.checkpoint_bytes(RESNET50, 2) == plan.delta_bytes(RESNET50)
+
+
+def test_mean_checkpoint_bytes_between_delta_and_full():
+    plan = IncrementalPlan(full_every=6)
+    mean = plan.mean_checkpoint_bytes(GPT2_MEDIUM)
+    assert plan.delta_bytes(GPT2_MEDIUM) < mean < plan.full_bytes(GPT2_MEDIUM)
+
+
+def test_full_every_one_means_all_full():
+    plan = IncrementalPlan(full_every=1)
+    for version in range(1, 5):
+        assert plan.is_full(version)
+    assert plan.mean_checkpoint_bytes(RESNET50) == plan.full_bytes(RESNET50)
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        IncrementalPlan(full_every=0)
+    with pytest.raises(ValueError):
+        IncrementalPlan(fs_delta_bytes=-1)
+
+
+def test_fixed_policy_uses_spec_interval():
+    policy = FixedIntervalPolicy()
+    job = make_job(interval=7 * MINUTE)
+    assert policy.interval_for(job, checkpoint_cost=5.0, mtbf=60.0) == 7 * MINUTE
+
+
+def test_young_daly_optimum():
+    policy = YoungDalyPolicy(min_interval=1.0, max_interval=1e9)
+    job = make_job()
+    cost, mtbf = 10.0, 8 * HOUR
+    expected = math.sqrt(2 * cost * mtbf)
+    assert policy.interval_for(job, cost, mtbf) == pytest.approx(expected)
+
+
+def test_young_daly_clamps():
+    policy = YoungDalyPolicy(min_interval=5 * MINUTE, max_interval=30 * MINUTE)
+    job = make_job()
+    # Tiny MTBF → clamp to min.
+    assert policy.interval_for(job, 1.0, 10.0) == 5 * MINUTE
+    # Huge MTBF → clamp to max.
+    assert policy.interval_for(job, 100.0, 1e9) == 30 * MINUTE
+
+
+def test_young_daly_fallback_without_mtbf():
+    policy = YoungDalyPolicy()
+    job = make_job(interval=9 * MINUTE)
+    assert policy.interval_for(job, 10.0, None) == 9 * MINUTE
+    assert policy.interval_for(job, 0.0, 100.0) == 9 * MINUTE
+
+
+def test_young_daly_validation():
+    with pytest.raises(ValueError):
+        YoungDalyPolicy(min_interval=0)
+    with pytest.raises(ValueError):
+        YoungDalyPolicy(min_interval=10, max_interval=5)
+
+
+def test_young_daly_shorter_interval_for_volatile_providers():
+    """More volatility (smaller MTBF) → checkpoint more often."""
+    policy = YoungDalyPolicy(min_interval=1.0, max_interval=1e9)
+    job = make_job()
+    stable = policy.interval_for(job, 10.0, mtbf=24 * HOUR)
+    volatile = policy.interval_for(job, 10.0, mtbf=1 * HOUR)
+    assert volatile < stable

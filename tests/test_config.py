@@ -1,0 +1,31 @@
+"""Unit tests for platform configuration."""
+
+import pytest
+
+from repro.config import PlatformConfig
+
+
+def test_defaults_valid():
+    config = PlatformConfig()
+    assert config.failure_detection_delay == 45.0
+
+
+def test_detection_delay_scales():
+    config = PlatformConfig(heartbeat_interval=10, missed_heartbeats=5)
+    assert config.failure_detection_delay == 50
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"heartbeat_interval": 0},
+        {"missed_heartbeats": 0},
+        {"heartbeat_mode": "gossip"},
+        {"departure_grace_period": -1},
+        {"scheduler": "genetic"},
+        {"checkpoint_policy": "daily"},
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        PlatformConfig(**kwargs)

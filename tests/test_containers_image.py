@@ -1,0 +1,82 @@
+"""Unit tests for images and the registry security checks."""
+
+import pytest
+
+from repro.containers import ContainerImage, ImageRegistry
+from repro.errors import ImageVerificationError
+from repro.units import GIB, MIB
+
+
+def custom_image(name="lab/custom", tag="v1", base="pytorch/pytorch"):
+    return ContainerImage(name, tag, (1 * GIB, 200 * MIB), base)
+
+
+def test_digest_content_addressed():
+    a = custom_image()
+    b = ContainerImage("lab/custom", "v1", (1 * GIB, 200 * MIB), "pytorch/pytorch")
+    assert a.digest == b.digest
+    tampered = ContainerImage("lab/custom", "v1", (1 * GIB, 300 * MIB), "pytorch/pytorch")
+    assert a.digest != tampered.digest
+    assert a.digest.startswith("sha256:")
+
+
+def test_reference_and_size():
+    image = custom_image()
+    assert image.reference == "lab/custom:v1"
+    assert image.size_bytes == 1 * GIB + 200 * MIB
+
+
+def test_registry_seeds_standard_images():
+    registry = ImageRegistry()
+    assert "pytorch/pytorch:2.1-cuda12" in registry.references
+    assert "jupyter/datascience-notebook:cuda12" in registry.references
+
+
+def test_publish_and_resolve():
+    registry = ImageRegistry()
+    image = custom_image()
+    digest = registry.publish(image)
+    assert registry.resolve("lab/custom:v1") is image
+    assert digest == image.digest
+
+
+def test_resolve_missing_raises():
+    registry = ImageRegistry()
+    with pytest.raises(ImageVerificationError):
+        registry.resolve("nope:latest")
+
+
+def test_verify_accepts_valid_image():
+    registry = ImageRegistry()
+    image = custom_image()
+    registry.publish(image)
+    verified = registry.verify(image.reference, image.digest)
+    assert verified is image
+
+
+def test_verify_rejects_digest_mismatch():
+    registry = ImageRegistry()
+    image = custom_image()
+    registry.publish(image)
+    with pytest.raises(ImageVerificationError) as excinfo:
+        registry.verify(image.reference, "sha256:" + "0" * 64)
+    assert "digest mismatch" in str(excinfo.value)
+
+
+def test_verify_rejects_untrusted_base():
+    registry = ImageRegistry()
+    shady = custom_image(name="evil/miner", base="shady/cryptominer")
+    registry.publish(shady)
+    with pytest.raises(ImageVerificationError) as excinfo:
+        registry.verify(shady.reference, shady.digest)
+    assert "untrusted base" in str(excinfo.value)
+
+
+def test_allowlist_extension():
+    registry = ImageRegistry()
+    assert not registry.is_trusted_base("lab/approved-base")
+    registry.allow_base("lab/approved-base")
+    assert registry.is_trusted_base("lab/approved-base")
+    image = custom_image(base="lab/approved-base")
+    registry.publish(image)
+    assert registry.verify(image.reference, image.digest) is image

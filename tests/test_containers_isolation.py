@@ -1,0 +1,80 @@
+"""Unit tests for isolation policies and host validation."""
+
+import pytest
+
+from repro.containers import (
+    CgroupAssignment,
+    IsolationPolicy,
+    Namespace,
+    ResourceLimits,
+    SeccompProfile,
+    validate_host_support,
+)
+from repro.errors import ContainerError
+from repro.gpu import HostFacts
+from repro.units import GIB
+
+
+def test_default_policy_is_strict():
+    assert IsolationPolicy().is_strict
+
+
+def test_policy_without_pid_namespace_not_strict():
+    policy = IsolationPolicy(namespaces=frozenset({Namespace.NET, Namespace.MNT}))
+    assert not policy.is_strict
+
+
+def test_policy_allowing_mount_not_strict():
+    permissive = SeccompProfile(denied_syscalls=frozenset({"reboot"}))
+    policy = IsolationPolicy(seccomp=permissive)
+    assert not policy.is_strict
+
+
+def test_policy_with_privilege_escalation_not_strict():
+    policy = IsolationPolicy(no_new_privileges=False)
+    assert not policy.is_strict
+
+
+def test_seccomp_default_denials():
+    profile = SeccompProfile()
+    for syscall in ("mount", "ptrace", "bpf", "kexec_load"):
+        assert not profile.permits(syscall)
+    for syscall in ("read", "write", "openat", "clone"):
+        assert profile.permits(syscall)
+
+
+def test_host_without_toolkit_rejected():
+    facts = HostFacts(has_container_toolkit=False)
+    with pytest.raises(ContainerError) as excinfo:
+        validate_host_support(facts, IsolationPolicy())
+    assert "Container Toolkit" in str(excinfo.value)
+
+
+def test_old_kernel_rejects_cgroup_namespace():
+    facts = HostFacts(kernel_version=(4, 4))
+    policy = IsolationPolicy(
+        namespaces=frozenset(
+            {Namespace.PID, Namespace.NET, Namespace.MNT, Namespace.CGROUP}
+        )
+    )
+    with pytest.raises(ContainerError):
+        validate_host_support(facts, policy)
+
+
+def test_modern_host_accepts_default_policy():
+    validate_host_support(HostFacts(), IsolationPolicy())  # must not raise
+
+
+def test_cgroup_assignment_enforcement():
+    limits = ResourceLimits(cpu_cores=4, memory_bytes=16 * GIB)
+    cgroup = CgroupAssignment("ctr-1", limits)
+    assert cgroup.within_limits(4, 16 * GIB)
+    assert not cgroup.within_limits(5, 1 * GIB)
+    assert not cgroup.within_limits(1, 17 * GIB)
+
+
+def test_resource_limits_validation():
+    with pytest.raises(ValueError):
+        ResourceLimits(cpu_cores=0)
+    with pytest.raises(ValueError):
+        ResourceLimits(memory_bytes=-1)

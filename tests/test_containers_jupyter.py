@@ -1,0 +1,65 @@
+"""Unit tests for interactive notebook provisioning."""
+
+import pytest
+
+from repro.containers import (
+    ContainerRuntime,
+    ContainerState,
+    ExecutionMode,
+    ImageRegistry,
+    NotebookSession,
+    make_notebook_spec,
+)
+from repro.gpu import GPUNode, RTX_3090
+from repro.network import CampusLAN, FlowNetwork
+from repro.sim import Environment
+from repro.units import GIB, gbps
+
+
+@pytest.fixture
+def stack():
+    env = Environment()
+    lan = CampusLAN()
+    lan.attach("registry", access_capacity=gbps(10))
+    lan.attach("ws1")
+    net = FlowNetwork(env, lan)
+    node = GPUNode(env, "ws1", [RTX_3090])
+    registry = ImageRegistry()
+    runtime = ContainerRuntime(env, node, registry, net)
+    runtime.warm_cache("jupyter/datascience-notebook:cuda12")
+    return env, node, registry, runtime
+
+
+def test_notebook_spec_is_interactive(stack):
+    env, node, registry, runtime = stack
+    spec = make_notebook_spec(registry, gpu_memory=6 * GIB)
+    assert spec.mode is ExecutionMode.INTERACTIVE
+    assert spec.is_interactive
+    assert spec.gpu.memory_per_gpu == 6 * GIB
+    # Digest is pinned by the platform from the registry.
+    assert spec.image_digest == registry.resolve(spec.image_reference).digest
+
+
+def test_session_lifecycle(stack):
+    env, node, registry, runtime = stack
+    spec = make_notebook_spec(registry)
+    container = runtime.create(spec)
+    runtime.start(container, (node.gpu_by_index(0),))
+    env.run()
+    session = NotebookSession(container, "ws1", started_at=env.now)
+    assert session.is_live
+    assert session.url.startswith("http://ws1:8888/?token=")
+    assert len(session.token) == 32
+    assert session.visible_devices == node.gpu_by_index(0).uuid
+    runtime.kill(container)
+    assert not session.is_live
+
+
+def test_session_tokens_unique(stack):
+    env, node, registry, runtime = stack
+    spec = make_notebook_spec(registry)
+    c1 = runtime.create(spec)
+    c2 = runtime.create(spec)
+    s1 = NotebookSession(c1, "ws1", 0.0)
+    s2 = NotebookSession(c2, "ws1", 0.0)
+    assert s1.token != s2.token

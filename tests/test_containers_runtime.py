@@ -1,0 +1,195 @@
+"""Unit tests for the container runtime lifecycle."""
+
+import pytest
+
+from repro.containers import (
+    ContainerRuntime,
+    ContainerSpec,
+    ContainerState,
+    GpuRequirements,
+    ImageRegistry,
+    IsolationPolicy,
+    SeccompProfile,
+)
+from repro.errors import (
+    ContainerError,
+    ImageVerificationError,
+    InvalidTransitionError,
+)
+from repro.gpu import GPUNode, RTX_3090
+from repro.network import CampusLAN, FlowNetwork
+from repro.sim import Environment
+from repro.units import GIB, gbps
+
+
+@pytest.fixture
+def stack():
+    env = Environment()
+    lan = CampusLAN(default_latency=0.0)
+    lan.attach("registry", access_capacity=gbps(10))
+    lan.attach("ws1", access_capacity=gbps(1))
+    net = FlowNetwork(env, lan)
+    node = GPUNode(env, "ws1", [RTX_3090, RTX_3090])
+    registry = ImageRegistry()
+    runtime = ContainerRuntime(env, node, registry, net, start_latency=2.0)
+    return env, node, registry, runtime
+
+
+def pytorch_spec(registry, gpu_count=1, memory=8 * GIB, capability=(7, 0)):
+    image = registry.resolve("pytorch/pytorch:2.1-cuda12")
+    return ContainerSpec(
+        image_reference=image.reference,
+        image_digest=image.digest,
+        gpu=GpuRequirements(
+            gpu_count=gpu_count,
+            memory_per_gpu=memory,
+            min_compute_capability=capability,
+        ),
+    )
+
+
+def test_create_verifies_image(stack):
+    env, node, registry, runtime = stack
+    container = runtime.create(pytorch_spec(registry))
+    assert container.state is ContainerState.CREATED
+    assert container.container_id in runtime.containers
+
+
+def test_create_rejects_bad_digest(stack):
+    env, node, registry, runtime = stack
+    spec = ContainerSpec(
+        image_reference="pytorch/pytorch:2.1-cuda12",
+        image_digest="sha256:" + "f" * 64,
+    )
+    with pytest.raises(ImageVerificationError):
+        runtime.create(spec)
+
+
+def test_create_rejects_lax_policy(stack):
+    env, node, registry, runtime = stack
+    lax = IsolationPolicy(seccomp=SeccompProfile(denied_syscalls=frozenset()))
+    with pytest.raises(ContainerError):
+        runtime.create(pytorch_spec(registry), policy=lax)
+
+
+def test_start_pulls_image_then_runs(stack):
+    env, node, registry, runtime = stack
+    container = runtime.create(pytorch_spec(registry))
+    started = runtime.start(container, (node.gpu_by_index(0),))
+    env.run()
+    assert started.ok
+    assert container.state is ContainerState.RUNNING
+    # Pull time: ~3.94 GiB at 1 Gbps ≈ 33.8 s, plus 2 s start latency.
+    assert env.now > 30.0
+    assert runtime.image_cached("pytorch/pytorch:2.1-cuda12")
+    states = [ev.state for ev in runtime.lifecycle_log]
+    assert states == [
+        ContainerState.CREATED,
+        ContainerState.PULLING,
+        ContainerState.STARTING,
+        ContainerState.RUNNING,
+    ]
+
+
+def test_warm_cache_skips_pull(stack):
+    env, node, registry, runtime = stack
+    runtime.warm_cache("pytorch/pytorch:2.1-cuda12")
+    container = runtime.create(pytorch_spec(registry))
+    runtime.start(container, (node.gpu_by_index(0),))
+    env.run()
+    assert env.now == pytest.approx(2.0)  # start latency only
+
+
+def test_start_allocates_gpu_memory_and_visible_devices(stack):
+    env, node, registry, runtime = stack
+    runtime.warm_cache("pytorch/pytorch:2.1-cuda12")
+    container = runtime.create(pytorch_spec(registry, memory=10 * GIB))
+    gpu = node.gpu_by_index(0)
+    runtime.start(container, (gpu,))
+    env.run()
+    assert gpu.memory_used == 10 * GIB
+    assert container.visible_devices == gpu.uuid
+
+
+def test_start_wrong_gpu_count_raises(stack):
+    env, node, registry, runtime = stack
+    container = runtime.create(pytorch_spec(registry, gpu_count=2))
+    with pytest.raises(ContainerError):
+        runtime.start(container, (node.gpu_by_index(0),))
+
+
+def test_start_insufficient_capability_raises(stack):
+    env, node, registry, runtime = stack
+    container = runtime.create(pytorch_spec(registry, capability=(9, 0)))
+    with pytest.raises(ContainerError):
+        runtime.start(container, (node.gpu_by_index(0),))
+
+
+def test_start_twice_raises(stack):
+    env, node, registry, runtime = stack
+    runtime.warm_cache("pytorch/pytorch:2.1-cuda12")
+    container = runtime.create(pytorch_spec(registry))
+    runtime.start(container, (node.gpu_by_index(0),))
+    env.run()
+    with pytest.raises(InvalidTransitionError):
+        runtime.start(container, (node.gpu_by_index(1),))
+
+
+def test_checkpoint_cycle(stack):
+    env, node, registry, runtime = stack
+    runtime.warm_cache("pytorch/pytorch:2.1-cuda12")
+    container = runtime.create(pytorch_spec(registry))
+    runtime.start(container, (node.gpu_by_index(0),))
+    env.run()
+    runtime.begin_checkpoint(container)
+    assert container.state is ContainerState.CHECKPOINTING
+    runtime.end_checkpoint(container)
+    assert container.state is ContainerState.RUNNING
+
+
+def test_stop_releases_gpu(stack):
+    env, node, registry, runtime = stack
+    runtime.warm_cache("pytorch/pytorch:2.1-cuda12")
+    container = runtime.create(pytorch_spec(registry))
+    gpu = node.gpu_by_index(0)
+    runtime.start(container, (gpu,))
+    env.run()
+    runtime.stop(container)
+    assert container.state is ContainerState.STOPPED
+    assert gpu.memory_used == 0
+
+
+def test_kill_from_any_live_state_and_idempotent(stack):
+    env, node, registry, runtime = stack
+    runtime.warm_cache("pytorch/pytorch:2.1-cuda12")
+    container = runtime.create(pytorch_spec(registry))
+    gpu = node.gpu_by_index(0)
+    runtime.start(container, (gpu,))
+    env.run()
+    runtime.begin_checkpoint(container)
+    runtime.kill(container)
+    assert container.state is ContainerState.KILLED
+    assert gpu.memory_used == 0
+    runtime.kill(container)  # idempotent
+    assert container.state is ContainerState.KILLED
+
+
+def test_stop_after_kill_raises(stack):
+    env, node, registry, runtime = stack
+    container = runtime.create(pytorch_spec(registry))
+    runtime.kill(container)
+    with pytest.raises(InvalidTransitionError):
+        runtime.stop(container)
+
+
+def test_running_containers_listing(stack):
+    env, node, registry, runtime = stack
+    runtime.warm_cache("pytorch/pytorch:2.1-cuda12")
+    c1 = runtime.create(pytorch_spec(registry))
+    c2 = runtime.create(pytorch_spec(registry))
+    runtime.start(c1, (node.gpu_by_index(0),))
+    runtime.start(c2, (node.gpu_by_index(1),))
+    env.run()
+    assert len(runtime.running_containers()) == 2
+    runtime.kill(c1)
+    assert runtime.running_containers() == [c2]

@@ -1,0 +1,149 @@
+"""Coordinator edge cases: parked retries, races, rpc heartbeat mode."""
+
+import pytest
+
+from repro import GPUnionPlatform, PlatformConfig, TrainingJobSpec
+from repro.core import NodeStatus
+from repro.gpu import RTX_2080TI, RTX_3090
+from repro.units import GIB, HOUR, MINUTE
+from repro.workloads import (
+    GPT2_MEDIUM,
+    InteractiveSessionSpec,
+    RESNET50,
+    JobStatus,
+    next_job_id,
+    next_session_id,
+)
+
+
+def job_spec(model=RESNET50, compute=1 * HOUR, **kwargs):
+    defaults = dict(job_id=next_job_id(), model=model,
+                    total_compute=compute,
+                    checkpoint_interval=10 * MINUTE)
+    defaults.update(kwargs)
+    return TrainingJobSpec(**defaults)
+
+
+def test_job_parks_until_capable_node_joins():
+    platform = GPUnionPlatform(seed=1)
+    # 2080 Ti: compute capability (7,5), 11 GiB — cannot run GPT-2.
+    platform.add_provider("old", [RTX_2080TI], lab="a")
+    job = platform.submit_job(job_spec(model=GPT2_MEDIUM))
+    platform.run(until=20 * MINUTE)
+    assert job.status is JobStatus.PENDING
+    assert platform.coordinator.parked_count == 1
+    # A capable provider joins; the parked job dispatches.
+    platform.add_provider("new", [RTX_3090], lab="b")
+    platform.run(until=4 * HOUR)
+    assert job.is_done
+    assert job.current_node == "new"
+
+
+def test_queue_priority_order_respected():
+    platform = GPUnionPlatform(seed=2)
+    platform.add_provider("ws", [RTX_3090], lab="a")
+    platform.run(until=10)
+    # Pause the only provider so both requests queue, then resume:
+    # the queue must release the urgent job first.
+    platform.agents["ws"].pause()
+    platform.run(until=20)
+    low = platform.submit_job(job_spec(compute=30 * MINUTE, priority=9))
+    urgent = platform.submit_job(job_spec(compute=30 * MINUTE, priority=0))
+    platform.run(until=60)
+    platform.agents["ws"].resume()
+    platform.run(until=platform.env.now + 5 * MINUTE)
+    assert urgent.status is JobStatus.RUNNING
+    assert low.status is JobStatus.PENDING
+    platform.run(until=platform.env.now + 4 * HOUR)
+    assert urgent.is_done and low.is_done
+    assert urgent.completed_at < low.completed_at
+
+
+def test_cancel_queued_job():
+    platform = GPUnionPlatform(seed=3)
+    platform.add_provider("ws", [RTX_3090], lab="a")
+    blocker = platform.submit_job(job_spec(compute=4 * HOUR))
+    victim = platform.submit_job(job_spec(compute=1 * HOUR))
+    platform.run(until=10 * MINUTE)
+    platform.coordinator.cancel_job(victim.job_id)
+    platform.run(until=20 * MINUTE)
+    assert victim.status is JobStatus.CANCELLED
+    platform.run(until=8 * HOUR)
+    assert blocker.is_done
+    assert not victim.is_done
+
+
+def test_session_interrupted_by_node_failure():
+    platform = GPUnionPlatform(seed=4)
+    platform.add_provider("ws", [RTX_3090], lab="a")
+    platform.run(until=10)
+    platform.submit_session(InteractiveSessionSpec(
+        session_id=next_session_id(), user="u", lab="a",
+        duration=4 * HOUR, gpu_memory=6 * GIB))
+    platform.run(until=30 * MINUTE)
+    platform.agents["ws"].emergency_departure()
+    platform.run(until=2 * HOUR)
+    sessions = platform.coordinator.sessions
+    assert len(sessions) == 1
+    from repro.workloads import SessionOutcome
+    assert sessions[0].outcome is SessionOutcome.INTERRUPTED
+    assert sessions[0].ended_at is not None
+
+
+def test_rpc_heartbeat_mode_detects_failure_end_to_end():
+    config = PlatformConfig(heartbeat_mode="rpc", heartbeat_interval=10)
+    platform = GPUnionPlatform(seed=5, config=config)
+    platform.add_provider("ws1", [RTX_3090], lab="a")
+    platform.add_provider("ws2", [RTX_3090], lab="b")
+    job = platform.submit_job(job_spec(compute=2 * HOUR))
+    platform.run(until=30 * MINUTE)
+    first = job.current_node
+    platform.agents[first].emergency_departure()
+    platform.run(until=5 * HOUR)
+    assert job.is_done
+    assert job.current_node != first
+    record = platform.coordinator.registry.by_hostname(first)
+    assert record.status is NodeStatus.UNAVAILABLE
+    # Real heartbeats were recorded in the DB along the way.
+    assert platform.db.heartbeat_count() > 0
+
+
+def test_allocation_history_in_database():
+    platform = GPUnionPlatform(seed=6)
+    platform.add_provider("ws1", [RTX_3090], lab="a")
+    platform.add_provider("ws2", [RTX_3090], lab="b")
+    job = platform.submit_job(job_spec(compute=2 * HOUR))
+    platform.run(until=30 * MINUTE)
+    platform.agents[job.current_node].graceful_departure()
+    platform.run(until=6 * HOUR)
+    assert job.is_done
+    history = platform.db.allocations_for(job.job_id)
+    # Two allocations: original placement + post-migration placement.
+    assert len(history) >= 2
+    outcomes = [row[5] for row in history]
+    assert "migrated" in outcomes
+    assert "completed" in outcomes
+
+
+def test_two_jobs_one_gpu_backfill():
+    """A small job runs after the blocking job completes (no starvation)."""
+    platform = GPUnionPlatform(seed=7)
+    platform.add_provider("ws", [RTX_3090], lab="a")
+    first = platform.submit_job(job_spec(compute=1 * HOUR))
+    second = platform.submit_job(job_spec(compute=1 * HOUR))
+    platform.run(until=6 * HOUR)
+    assert first.is_done and second.is_done
+
+
+def test_fleet_and_lab_utilization_accessors():
+    platform = GPUnionPlatform(seed=8)
+    platform.add_provider("ws1", [RTX_3090], lab="vision")
+    platform.add_provider("ws2", [RTX_3090], lab="nlp")
+    job = platform.submit_job(job_spec(compute=2 * HOUR))
+    platform.run(until=2 * HOUR)
+    overall = platform.fleet_utilization(0, 2 * HOUR)
+    assert 0.3 <= overall <= 0.6  # one of two GPUs busy most of the time
+    by_lab = platform.lab_utilization(0, 2 * HOUR)
+    assert set(by_lab) == {"vision", "nlp"}
+    busy_lab = max(by_lab, key=by_lab.get)
+    assert by_lab[busy_lab] > 0.5

@@ -1,0 +1,131 @@
+"""Unit tests for heartbeat failure detection (both modes)."""
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.core import GpuInventory, NodeRegistry, NodeStatus
+from repro.core.heartbeat import HeartbeatMonitor
+from repro.sim import Environment
+from repro.units import GIB
+
+
+def make_monitor(env, mode="virtual", interval=15.0, missed=3):
+    registry = NodeRegistry(env)
+    registry.register("n1", "ws1", "lab", [
+        GpuInventory("GPU-1", "3090", 24 * GIB, 24 * GIB, (8, 6)),
+    ])
+    failures = []
+    config = PlatformConfig(heartbeat_interval=interval,
+                            missed_heartbeats=missed,
+                            heartbeat_mode=mode)
+    monitor = HeartbeatMonitor(env, registry, config,
+                               on_failure=lambda record: failures.append(
+                                   (env.now, record.node_id)))
+    return registry, monitor, failures
+
+
+def test_virtual_detection_after_three_intervals():
+    env = Environment()
+    registry, monitor, failures = make_monitor(env)
+
+    def scenario(env):
+        yield env.timeout(100)
+        monitor.node_went_silent("n1")
+
+    env.process(scenario(env))
+    env.run()
+    assert failures == [(145.0, "n1")]  # 100 + 3×15
+    assert registry.get("n1").status is NodeStatus.UNAVAILABLE
+
+
+def test_virtual_detection_cancelled_by_return():
+    env = Environment()
+    registry, monitor, failures = make_monitor(env)
+
+    def scenario(env):
+        yield env.timeout(100)
+        monitor.node_went_silent("n1")
+        yield env.timeout(20)  # back before 45 s elapse
+        monitor.node_returned("n1")
+
+    env.process(scenario(env))
+    env.run()
+    assert failures == []
+    assert registry.get("n1").status is NodeStatus.AVAILABLE
+
+
+def test_virtual_repeated_silences_supersede():
+    env = Environment()
+    registry, monitor, failures = make_monitor(env)
+
+    def scenario(env):
+        monitor.node_went_silent("n1")
+        yield env.timeout(10)
+        monitor.node_returned("n1")
+        yield env.timeout(10)
+        monitor.node_went_silent("n1")
+
+    env.process(scenario(env))
+    env.run()
+    assert failures == [(65.0, "n1")]  # second silence at t=20 → +45
+
+
+def test_failure_not_redeclared_for_unavailable_node():
+    env = Environment()
+    registry, monitor, failures = make_monitor(env)
+    monitor.node_went_silent("n1")
+    env.run()
+    monitor.node_went_silent("n1")
+    env.run()
+    assert len(failures) == 1
+
+
+def test_rpc_mode_checker_detects_stale_node():
+    env = Environment()
+    registry, monitor, failures = make_monitor(env, mode="rpc")
+    monitor.start_checker()
+
+    def heartbeats(env):
+        # Heartbeats for a minute, then silence.
+        for _ in range(4):
+            monitor.receive("n1")
+            yield env.timeout(15)
+
+    env.process(heartbeats(env))
+    env.run(until=300)
+    assert len(failures) == 1
+    when, node = failures[0]
+    assert node == "n1"
+    # Last heartbeat at t=45; timeout 45; checker tick granularity 15.
+    assert 90 <= when <= 120
+
+
+def test_rpc_mode_steady_heartbeats_no_failure():
+    env = Environment()
+    registry, monitor, failures = make_monitor(env, mode="rpc")
+    monitor.start_checker()
+
+    def heartbeats(env):
+        while env.now < 280:
+            monitor.receive("n1")
+            yield env.timeout(15)
+
+    env.process(heartbeats(env))
+    env.run(until=300)
+    assert failures == []
+
+
+def test_checker_idempotent_start():
+    env = Environment()
+    registry, monitor, failures = make_monitor(env, mode="rpc")
+    monitor.start_checker()
+    monitor.start_checker()  # no duplicate process
+    env.run(until=50)
+
+
+def test_unknown_node_silence_ignored():
+    env = Environment()
+    registry, monitor, failures = make_monitor(env)
+    monitor.node_went_silent("ghost")
+    env.run()
+    assert failures == []

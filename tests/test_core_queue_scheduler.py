@@ -1,0 +1,222 @@
+"""Unit tests for the dispatch queue and placement strategies."""
+
+import pytest
+
+from repro.core import (
+    BestFitScheduler,
+    DispatchQueue,
+    FairShareScheduler,
+    GpuInventory,
+    NodeRecord,
+    NodeStatus,
+    ReliabilityAwareScheduler,
+    RequestKind,
+    ResourceRequest,
+    RoundRobinScheduler,
+    SchedulingContext,
+    make_scheduler,
+)
+from repro.core.reliability import ReliabilityPredictor
+from repro.sim import Environment
+from repro.units import GIB, HOUR
+from repro.workloads import RESNET50, GPT2_MEDIUM, TrainingJobSpec, next_job_id
+
+
+def make_request(model=RESNET50, priority=5, preferred=None):
+    spec = TrainingJobSpec(job_id=next_job_id(), model=model,
+                           total_compute=1 * HOUR, priority=priority)
+    return ResourceRequest(kind=RequestKind.TRAINING, training=spec,
+                           priority=priority, preferred_node=preferred)
+
+
+def make_record(node_id, gpus):
+    return NodeRecord(
+        node_id=node_id, hostname=f"host-{node_id}", owner_lab="lab",
+        auth_token="t", registered_at=0.0, status=NodeStatus.AVAILABLE,
+        gpus={gpu.uuid: gpu for gpu in gpus},
+    )
+
+
+def gpu(uuid, free=24 * GIB, total=24 * GIB, capability=(8, 6)):
+    return GpuInventory(uuid=uuid, model="gpu", memory_total=total,
+                        memory_free=free, compute_capability=capability)
+
+
+# -- queue ------------------------------------------------------------------
+
+
+def test_queue_priority_then_fifo():
+    env = Environment()
+    queue = DispatchQueue(env)
+    low = make_request(priority=5)
+    urgent = make_request(priority=0)
+    mid = make_request(priority=3)
+    for request in (low, urgent, mid):
+        queue.push(request)
+    popped = []
+
+    def consumer(env):
+        for _ in range(3):
+            request = yield queue.pop()
+            popped.append(request.priority)
+
+    env.process(consumer(env))
+    env.run()
+    assert popped == [0, 3, 5]
+
+
+def test_queue_pop_blocks_until_push():
+    env = Environment()
+    queue = DispatchQueue(env)
+    got = []
+
+    def consumer(env):
+        request = yield queue.pop()
+        got.append((env.now, request.request_id))
+
+    def producer(env):
+        yield env.timeout(5)
+        queue.push(make_request())
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got and got[0][0] == 5.0
+
+
+def test_queue_withdraw():
+    env = Environment()
+    queue = DispatchQueue(env)
+    request = make_request()
+    queue.push(request)
+    assert queue.withdraw(request.request_id) is request
+    assert queue.withdraw("ghost") is None
+    assert len(queue) == 0
+
+
+def test_queue_pending_ids_ordered():
+    env = Environment()
+    queue = DispatchQueue(env)
+    a = make_request(priority=5)
+    b = make_request(priority=1)
+    queue.push(a)
+    queue.push(b)
+    assert queue.pending_ids() == [b.request_id, a.request_id]
+
+
+# -- schedulers ------------------------------------------------------------------
+
+
+def test_round_robin_cycles():
+    scheduler = RoundRobinScheduler()
+    records = [make_record(f"n{i}", [gpu(f"GPU-{i}")]) for i in range(3)]
+    context = SchedulingContext()
+    chosen = [
+        scheduler.select(make_request(), records, context).node_id
+        for _ in range(4)
+    ]
+    assert chosen == ["n0", "n1", "n2", "n0"]
+
+
+def test_round_robin_skips_full_nodes():
+    scheduler = RoundRobinScheduler()
+    records = [
+        make_record("n0", [gpu("GPU-0", free=1 * GIB)]),  # too small
+        make_record("n1", [gpu("GPU-1")]),
+    ]
+    placement = scheduler.select(make_request(), records, SchedulingContext())
+    assert placement.node_id == "n1"
+
+
+def test_no_candidates_returns_none():
+    for name in ("round-robin", "best-fit", "reliability", "fair-share"):
+        scheduler = make_scheduler(name)
+        assert scheduler.select(make_request(), [], SchedulingContext()) is None
+
+
+def test_capability_constraint_respected():
+    scheduler = RoundRobinScheduler()
+    records = [make_record("n0", [gpu("GPU-0", capability=(7, 5))])]
+    request = make_request(model=GPT2_MEDIUM)  # needs (8, 0)
+    assert scheduler.select(request, records, SchedulingContext()) is None
+
+
+def test_best_fit_minimises_leftover():
+    scheduler = BestFitScheduler()
+    records = [
+        make_record("n0", [gpu("GPU-big", free=48 * GIB, total=48 * GIB)]),
+        make_record("n1", [gpu("GPU-small", free=8 * GIB, total=8 * GIB)]),
+    ]
+    request = make_request(model=RESNET50)  # needs 6 GiB
+    placement = scheduler.select(request, records, SchedulingContext())
+    assert placement.gpu_uuid == "GPU-small"
+
+
+def test_reliability_prefers_stable_provider():
+    env = Environment()
+    predictor = ReliabilityPredictor(env)
+
+    def history(env):
+        predictor.observe_join("n0")
+        predictor.observe_join("n1")
+        yield env.timeout(10 * HOUR)
+        predictor.observe_interruption("n0")
+        yield env.timeout(1 * HOUR)
+        predictor.observe_return("n0")
+
+    env.process(history(env))
+    env.run()
+    scheduler = ReliabilityAwareScheduler()
+    records = [
+        make_record("n0", [gpu("GPU-0")]),
+        make_record("n1", [gpu("GPU-1")]),
+    ]
+    context = SchedulingContext(predictor=predictor)
+    placement = scheduler.select(make_request(), records, context)
+    assert placement.node_id == "n1"
+
+
+def test_fair_share_prefers_least_loaded():
+    scheduler = FairShareScheduler()
+    records = [
+        make_record("n0", [gpu("GPU-0")]),
+        make_record("n1", [gpu("GPU-1")]),
+    ]
+    context = SchedulingContext(active_load={"n0": 3, "n1": 1})
+    placement = scheduler.select(make_request(), records, context)
+    assert placement.node_id == "n1"
+
+
+def test_preferred_node_wins_for_all_strategies():
+    records = [
+        make_record("n0", [gpu("GPU-0")]),
+        make_record("n1", [gpu("GPU-1")]),
+    ]
+    request = make_request(preferred="n1")
+    for name in ("round-robin", "best-fit", "reliability", "fair-share"):
+        scheduler = make_scheduler(name)
+        placement = scheduler.select(request, records, SchedulingContext())
+        assert placement.node_id == "n1", name
+
+
+def test_preferred_node_full_falls_through():
+    records = [
+        make_record("n0", [gpu("GPU-0")]),
+        make_record("n1", [gpu("GPU-1", free=1 * GIB)]),
+    ]
+    request = make_request(preferred="n1")
+    placement = RoundRobinScheduler().select(request, records,
+                                             SchedulingContext())
+    assert placement.node_id == "n0"
+
+
+def test_make_scheduler_unknown():
+    with pytest.raises(ValueError):
+        make_scheduler("random")
+
+
+def test_request_validation():
+    with pytest.raises(ValueError):
+        ResourceRequest(kind=RequestKind.TRAINING)
+    with pytest.raises(ValueError):
+        ResourceRequest(kind=RequestKind.INTERACTIVE)

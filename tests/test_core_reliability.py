@@ -1,0 +1,103 @@
+"""Unit tests for provider volatility prediction."""
+
+import pytest
+
+from repro.core import ReliabilityPredictor
+from repro.sim import Environment
+from repro.units import DAY, HOUR
+
+
+def test_unknown_node_defaults():
+    predictor = ReliabilityPredictor(Environment())
+    assert predictor.availability("ghost") == 1.0
+    assert predictor.predicted_mtbf("ghost") == predictor.DEFAULT_MTBF
+    assert predictor.degradation("ghost") == 1.0
+    assert predictor.interruption_count("ghost") == 0
+
+
+def test_availability_tracks_downtime():
+    env = Environment()
+    predictor = ReliabilityPredictor(env)
+
+    def scenario(env):
+        predictor.observe_join("n1")
+        yield env.timeout(8 * HOUR)  # up 8h
+        predictor.observe_interruption("n1")
+        yield env.timeout(2 * HOUR)  # down 2h
+        predictor.observe_return("n1")
+
+    env.process(scenario(env))
+    env.run()
+    assert predictor.availability("n1") == pytest.approx(0.8)
+    assert predictor.interruption_count("n1") == 1
+
+
+def test_mtbf_from_history():
+    env = Environment()
+    predictor = ReliabilityPredictor(env)
+
+    def scenario(env):
+        predictor.observe_join("n1")
+        for _ in range(4):
+            yield env.timeout(6 * HOUR)
+            predictor.observe_interruption("n1")
+            predictor.observe_return("n1")
+
+    env.process(scenario(env))
+    env.run()
+    assert predictor.predicted_mtbf("n1") == pytest.approx(6 * HOUR)
+
+
+def test_no_interruptions_default_mtbf():
+    env = Environment()
+    predictor = ReliabilityPredictor(env)
+    predictor.observe_join("n1")
+    env.run(until=10 * DAY)
+    assert predictor.predicted_mtbf("n1") == predictor.DEFAULT_MTBF
+
+
+def test_degradation_recovers():
+    env = Environment()
+    predictor = ReliabilityPredictor(env)
+
+    def scenario(env):
+        predictor.observe_join("n1")
+        yield env.timeout(1 * HOUR)
+        predictor.observe_interruption("n1")
+        predictor.observe_return("n1")
+
+    env.process(scenario(env))
+    env.run()
+    just_after = predictor.degradation("n1")
+    env.run(until=env.now + 24 * HOUR)
+    later = predictor.degradation("n1")
+    assert just_after < 0.1
+    assert later > 0.9
+
+
+def test_double_interruption_without_return_counted_once():
+    env = Environment()
+    predictor = ReliabilityPredictor(env)
+    predictor.observe_join("n1")
+    env.run(until=HOUR)
+    predictor.observe_interruption("n1")
+    predictor.observe_interruption("n1")  # still down; not a new event
+    assert predictor.interruption_count("n1") == 1
+
+
+def test_score_combines_availability_and_degradation():
+    env = Environment()
+    predictor = ReliabilityPredictor(env)
+
+    def scenario(env):
+        predictor.observe_join("stable")
+        predictor.observe_join("flaky")
+        yield env.timeout(10 * HOUR)
+        predictor.observe_interruption("flaky")
+        yield env.timeout(1 * HOUR)
+        predictor.observe_return("flaky")
+        yield env.timeout(1 * HOUR)
+
+    env.process(scenario(env))
+    env.run()
+    assert predictor.score("stable") > predictor.score("flaky")

@@ -1,0 +1,41 @@
+"""The shipped examples must actually run (integration smoke tests)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "job done: True" in out
+    assert "kill-switch" in out
+
+
+def test_provider_departure_runs(capsys):
+    run_example("provider_departure.py")
+    out = capsys.readouterr().out
+    assert "done=True" in out
+    assert "migrate-back" in out.lower()
+
+
+def test_interactive_notebooks_runs(capsys):
+    run_example("interactive_notebooks.py")
+    out = capsys.readouterr().out
+    assert "served:" in out
+    assert "http://" in out
+
+
+def test_auto_submission_runs(capsys):
+    run_example("auto_submission.py")
+    out = capsys.readouterr().out
+    assert "done=True" in out
+    assert "checkpoint interval" in out

@@ -1,0 +1,177 @@
+"""Unit and property tests for GPUDevice and UtilizationMeter."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GpuAllocationError
+from repro.gpu import GPUDevice, RTX_3090, UtilizationMeter
+from repro.sim import Environment
+from repro.units import GIB
+
+
+@pytest.fixture
+def device():
+    return GPUDevice(Environment(), RTX_3090)
+
+
+def test_fresh_device_idle(device):
+    assert device.memory_used == 0
+    assert device.memory_free == 24 * GIB
+    assert device.utilization == 0.0
+
+
+def test_allocate_and_free(device):
+    device.allocate_memory("job-1", 10 * GIB)
+    assert device.memory_used == 10 * GIB
+    assert device.memory_of("job-1") == 10 * GIB
+    assert device.owners == ("job-1",)
+    freed = device.free_memory("job-1")
+    assert freed == 10 * GIB
+    assert device.memory_used == 0
+
+
+def test_allocate_over_capacity_raises(device):
+    with pytest.raises(GpuAllocationError):
+        device.allocate_memory("big", 25 * GIB)
+
+
+def test_double_allocate_same_owner_raises(device):
+    device.allocate_memory("j", 1 * GIB)
+    with pytest.raises(GpuAllocationError):
+        device.allocate_memory("j", 1 * GIB)
+
+
+def test_free_unknown_owner_raises(device):
+    with pytest.raises(GpuAllocationError):
+        device.free_memory("ghost")
+
+
+def test_negative_allocation_rejected(device):
+    with pytest.raises(ValueError):
+        device.allocate_memory("j", -1)
+
+
+def test_two_owners_share_memory(device):
+    device.allocate_memory("a", 10 * GIB)
+    device.allocate_memory("b", 10 * GIB)
+    assert device.memory_free == 4 * GIB
+    with pytest.raises(GpuAllocationError):
+        device.allocate_memory("c", 5 * GIB)
+
+
+def test_load_drives_utilization(device):
+    device.add_load("a", 0.5)
+    assert device.utilization == 0.5
+    device.add_load("b", 0.8)
+    assert device.utilization == 1.0  # capped
+    device.remove_load("a")
+    assert device.utilization == 0.8
+    device.remove_load("b")
+    assert device.utilization == 0.0
+
+
+def test_remove_load_idempotent(device):
+    device.remove_load("never-added")
+    assert device.utilization == 0.0
+
+
+def test_invalid_intensity_rejected(device):
+    with pytest.raises(ValueError):
+        device.add_load("a", 1.5)
+
+
+def test_temperature_and_power_track_load(device):
+    idle_temp = device.temperature_c
+    idle_power = device.power_watts
+    device.add_load("j", 1.0)
+    assert device.temperature_c > idle_temp
+    assert device.power_watts == pytest.approx(RTX_3090.tdp_watts)
+    assert idle_power == pytest.approx(RTX_3090.idle_watts)
+
+
+def test_unique_uuids():
+    env = Environment()
+    uuids = {GPUDevice(env, RTX_3090, index=i).uuid for i in range(10)}
+    assert len(uuids) == 10
+
+
+def test_average_utilization_over_run():
+    env = Environment()
+    device = GPUDevice(env, RTX_3090)
+
+    def job(env):
+        yield env.timeout(10)
+        device.add_load("j", 1.0)
+        yield env.timeout(30)
+        device.remove_load("j")
+
+    env.process(job(env))
+    env.run(until=100)
+    # Busy 30 s out of 100 s.
+    assert device.average_utilization(0, 100) == pytest.approx(0.3)
+    # Window fully inside the busy period.
+    assert device.average_utilization(15, 35) == pytest.approx(1.0)
+    # Window fully after the busy period.
+    assert device.average_utilization(50, 100) == pytest.approx(0.0)
+
+
+def test_meter_same_timestamp_overwrites():
+    env = Environment()
+    meter = UtilizationMeter(env)
+    meter.set_level(0.3)
+    meter.set_level(0.9)
+    assert meter.current == 0.9
+    assert len(meter.breakpoints()) == 1
+
+
+def test_meter_redundant_set_skipped():
+    env = Environment()
+    meter = UtilizationMeter(env, initial=0.5)
+    meter.set_level(0.5)
+    assert len(meter.breakpoints()) == 1
+
+
+def test_meter_average_empty_window():
+    env = Environment()
+    meter = UtilizationMeter(env, initial=0.7)
+    assert meter.average(5, 5) == 0.7
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.01, max_value=100.0),
+            st.floats(min_value=0.0, max_value=1.0),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_meter_average_bounded_by_signal_range(steps):
+    """Property: the time-weighted mean lies within [min, max] of levels."""
+    env = Environment()
+    meter = UtilizationMeter(env, initial=0.0)
+
+    def driver(env):
+        for delay, level in steps:
+            yield env.timeout(delay)
+            meter.set_level(level)
+
+    env.process(driver(env))
+    env.run()
+    env.run(until=env.now + 1.0)  # trailing window at the final level
+    avg = meter.average(0.0, env.now)
+    levels = [0.0] + [level for _, level in steps]
+    assert min(levels) - 1e-9 <= avg <= max(levels) + 1e-9
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.1, max_value=1000.0),
+)
+def test_meter_constant_signal_average_exact(level, duration):
+    """Property: a constant signal averages to itself over any window."""
+    env = Environment()
+    meter = UtilizationMeter(env, initial=level)
+    env.run(until=duration)
+    assert meter.average(0.0, duration) == pytest.approx(level)

@@ -1,0 +1,84 @@
+"""Unit tests for GPUNode."""
+
+import pytest
+
+from repro.gpu import A100_40GB, GPUNode, HostFacts, RTX_3090, RTX_4090
+from repro.sim import Environment
+from repro.units import GIB
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def test_node_builds_devices(env):
+    node = GPUNode(env, "gpu8", [RTX_4090] * 8, owner_lab="vision-lab")
+    assert node.gpu_count == 8
+    assert node.total_gpu_memory == 8 * 24 * GIB
+    assert node.owner_lab == "vision-lab"
+
+
+def test_cpu_only_node(env):
+    node = GPUNode(env, "coordinator", [])
+    assert node.gpu_count == 0
+    assert node.average_utilization() == 0.0
+
+
+def test_unique_node_ids(env):
+    ids = {GPUNode(env, f"n{i}").node_id for i in range(5)}
+    assert len(ids) == 5
+
+
+def test_gpu_by_index_and_uuid(env):
+    node = GPUNode(env, "ws", [RTX_3090, A100_40GB])
+    assert node.gpu_by_index(1).spec is A100_40GB
+    uuid = node.gpu_by_index(0).uuid
+    assert node.gpu_by_uuid(uuid).spec is RTX_3090
+    with pytest.raises(KeyError):
+        node.gpu_by_uuid("GPU-nonexistent")
+
+
+def test_free_gpus_filters_owners_and_memory(env):
+    node = GPUNode(env, "ws", [RTX_3090, RTX_3090])
+    node.gpu_by_index(0).allocate_memory("job", 1 * GIB)
+    free = node.free_gpus()
+    assert len(free) == 1
+    assert free[0].index == 1
+    assert node.free_gpus(min_memory=30 * GIB) == []
+
+
+def test_gpus_with_free_memory_allows_sharing(env):
+    node = GPUNode(env, "ws", [RTX_3090])
+    node.gpu_by_index(0).allocate_memory("job", 20 * GIB)
+    assert node.gpus_with_free_memory(3 * GIB)
+    assert not node.gpus_with_free_memory(5 * GIB)
+
+
+def test_node_average_utilization(env):
+    node = GPUNode(env, "ws", [RTX_3090, RTX_3090])
+    node.gpu_by_index(0).add_load("j", 1.0)
+    env.run(until=10)
+    assert node.average_utilization(0, 10) == pytest.approx(0.5)
+
+
+def test_describe_advertisement(env):
+    node = GPUNode(env, "ws", [RTX_3090], owner_lab="nlp")
+    info = node.describe()
+    assert info["hostname"] == "ws"
+    assert info["owner_lab"] == "nlp"
+    assert len(info["gpus"]) == 1
+    assert info["gpus"][0]["memory_free"] == 24 * GIB
+
+
+def test_host_facts_defaults(env):
+    node = GPUNode(env, "ws")
+    assert node.facts.has_container_toolkit
+    assert node.facts.kernel_version >= (5, 0)
+
+
+def test_host_facts_custom(env):
+    facts = HostFacts(kernel_version=(4, 15), has_container_toolkit=False)
+    node = GPUNode(env, "old", facts=facts)
+    assert node.facts.kernel_version == (4, 15)
+    assert not node.facts.has_container_toolkit

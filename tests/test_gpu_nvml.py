@@ -1,0 +1,90 @@
+"""Unit tests for the PyNVML-compatible facade."""
+
+import pytest
+
+from repro.gpu import GPUNode, RTX_3090, RTX_4090
+from repro.gpu.nvml import NVMLError, NvmlContext, read_telemetry
+from repro.sim import Environment
+from repro.units import GIB
+
+
+@pytest.fixture
+def node():
+    return GPUNode(Environment(), "ws", [RTX_3090, RTX_4090])
+
+
+def test_device_count(node):
+    assert NvmlContext(node).nvmlDeviceGetCount() == 2
+
+
+def test_handle_by_index_and_name(node):
+    ctx = NvmlContext(node)
+    handle = ctx.nvmlDeviceGetHandleByIndex(1)
+    assert "4090" in ctx.nvmlDeviceGetName(handle)
+
+
+def test_invalid_index_raises(node):
+    ctx = NvmlContext(node)
+    with pytest.raises(NVMLError):
+        ctx.nvmlDeviceGetHandleByIndex(5)
+
+
+def test_handle_by_uuid(node):
+    ctx = NvmlContext(node)
+    uuid = node.gpu_by_index(0).uuid
+    handle = ctx.nvmlDeviceGetHandleByUUID(uuid)
+    assert ctx.nvmlDeviceGetUUID(handle) == uuid
+    with pytest.raises(NVMLError):
+        ctx.nvmlDeviceGetHandleByUUID("GPU-bogus")
+
+
+def test_memory_info_tracks_allocations(node):
+    ctx = NvmlContext(node)
+    handle = ctx.nvmlDeviceGetHandleByIndex(0)
+    node.gpu_by_index(0).allocate_memory("job", 6 * GIB)
+    info = ctx.nvmlDeviceGetMemoryInfo(handle)
+    assert info.used == 6 * GIB
+    assert info.free == 18 * GIB
+    assert info.total == 24 * GIB
+
+
+def test_utilization_rates_percent(node):
+    ctx = NvmlContext(node)
+    handle = ctx.nvmlDeviceGetHandleByIndex(0)
+    device = node.gpu_by_index(0)
+    device.add_load("job", 0.75)
+    device.allocate_memory("job", 12 * GIB)
+    rates = ctx.nvmlDeviceGetUtilizationRates(handle)
+    assert rates.gpu == pytest.approx(75.0)
+    assert rates.memory == pytest.approx(50.0)
+
+
+def test_power_in_milliwatts(node):
+    ctx = NvmlContext(node)
+    handle = ctx.nvmlDeviceGetHandleByIndex(0)
+    assert ctx.nvmlDeviceGetPowerUsage(handle) == pytest.approx(
+        RTX_3090.idle_watts * 1000
+    )
+
+
+def test_compute_capability(node):
+    ctx = NvmlContext(node)
+    handle = ctx.nvmlDeviceGetHandleByIndex(1)
+    assert ctx.nvmlDeviceGetCudaComputeCapability(handle) == (8, 9)
+
+
+def test_shutdown_invalidates_context(node):
+    ctx = NvmlContext(node)
+    ctx.nvmlShutdown()
+    with pytest.raises(NVMLError):
+        ctx.nvmlDeviceGetCount()
+
+
+def test_read_telemetry_snapshot(node):
+    node.gpu_by_index(0).add_load("job", 1.0)
+    readings = read_telemetry(node)
+    assert len(readings) == 2
+    assert readings[0].utilization == pytest.approx(1.0)
+    assert readings[1].utilization == pytest.approx(0.0)
+    assert readings[0].temperature_c > readings[1].temperature_c
+    assert readings[0].compute_capability == (8, 6)

@@ -1,0 +1,63 @@
+"""Unit tests for the GPU spec catalog."""
+
+import pytest
+
+from repro.gpu import (
+    A100_40GB,
+    CATALOG,
+    REFERENCE_SPEC,
+    RTX_3090,
+    RTX_4090,
+    lookup,
+    speedup_over_reference,
+)
+from repro.units import GIB
+
+
+def test_catalog_contains_paper_fleet():
+    # The paper's campus deployment: 3090s, 4090s, A100s, A6000s.
+    for name in ("rtx3090", "rtx4090", "a100-40g", "a6000"):
+        assert name in CATALOG
+
+
+def test_lookup_known():
+    assert lookup("rtx3090") is RTX_3090
+
+
+def test_lookup_unknown_lists_choices():
+    with pytest.raises(KeyError) as excinfo:
+        lookup("h100")
+    assert "rtx3090" in str(excinfo.value)
+
+
+def test_memory_gib():
+    assert RTX_3090.memory_gib == pytest.approx(24.0)
+    assert A100_40GB.memory_gib == pytest.approx(40.0)
+
+
+def test_memory_bytes_plausible():
+    for spec in CATALOG.values():
+        assert 8 * GIB <= spec.memory_bytes <= 96 * GIB
+
+
+def test_compute_capability_ordering():
+    assert RTX_4090.supports_capability((8, 6))
+    assert RTX_3090.supports_capability((8, 6))
+    assert not RTX_3090.supports_capability((8, 9))
+    assert A100_40GB.supports_capability((7, 0))
+
+
+def test_reference_speedup():
+    assert speedup_over_reference(REFERENCE_SPEC) == pytest.approx(1.0)
+    assert speedup_over_reference(RTX_4090) > 2.0
+    assert speedup_over_reference(A100_40GB) > 1.5
+
+
+def test_specs_are_frozen():
+    with pytest.raises(Exception):
+        RTX_3090.fp32_tflops = 1.0
+
+
+def test_power_model_endpoints_sane():
+    for spec in CATALOG.values():
+        assert 0 < spec.idle_watts < spec.tdp_watts

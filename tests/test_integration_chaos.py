@@ -1,0 +1,139 @@
+"""Chaos integration: heavy churn must never break platform invariants.
+
+Runs a small campus for two simulated days with every provider on an
+aggressive interruption schedule, then audits global invariants — the
+closest thing to fuzzing the whole control plane.
+"""
+
+import pytest
+
+from repro import GPUnionPlatform, TrainingJobSpec
+from repro.agent import BehaviorProfile
+from repro.core import build_migration_report
+from repro.gpu import A6000, RTX_3090, RTX_4090
+from repro.sim import RngStreams
+from repro.units import DAY, HOUR, MINUTE
+from repro.workloads import (
+    BERT_BASE,
+    JobStatus,
+    RESNET50,
+    UNET_SEG,
+    next_job_id,
+)
+
+MODELS = (RESNET50, UNET_SEG, BERT_BASE)
+
+
+@pytest.fixture(scope="module")
+def churned_platform():
+    platform = GPUnionPlatform(seed=99)
+    platform.add_provider("n1", [RTX_3090] * 2, lab="a")
+    platform.add_provider("n2", [RTX_4090] * 2, lab="b")
+    platform.add_provider("n3", [A6000] * 2, lab="c")
+    profile = BehaviorProfile(
+        events_per_day=4.0,  # very volatile
+        p_scheduled=0.34, p_emergency=0.33, p_temporary=0.33,
+        mean_temporary_downtime=20 * MINUTE,
+        mean_rejoin_delay=40 * MINUTE,
+    )
+    for hostname in ("n1", "n2", "n3"):
+        platform.add_behavior(hostname, profile)
+    rng = RngStreams(99).stream("chaos-jobs")
+    jobs = []
+
+    def feeder(env):
+        for index in range(30):
+            yield env.timeout(rng.expovariate(30 / DAY))
+            jobs.append(platform.submit_job(TrainingJobSpec(
+                job_id=next_job_id(),
+                model=MODELS[index % len(MODELS)],
+                total_compute=rng.uniform(1 * HOUR, 5 * HOUR),
+                checkpoint_interval=8 * MINUTE,
+            )))
+
+    platform.env.process(feeder(platform.env))
+    platform.run(until=2 * DAY)
+    return platform, jobs
+
+
+def test_no_job_lost_track(churned_platform):
+    platform, jobs = churned_platform
+    for job in jobs:
+        assert job.status in (
+            JobStatus.COMPLETED, JobStatus.RUNNING,
+            JobStatus.MIGRATING, JobStatus.PENDING,
+        ), job.job_id
+
+
+def test_majority_completes_despite_churn(churned_platform):
+    platform, jobs = churned_platform
+    done = sum(1 for job in jobs if job.is_done)
+    assert done >= len(jobs) * 0.6
+
+
+def test_gpu_memory_books_balance(churned_platform):
+    platform, jobs = churned_platform
+    # Physical devices: never negative or over-capacity.
+    for agent in platform.agents.values():
+        for gpu in agent.node.gpus:
+            assert 0 <= gpu.memory_used <= gpu.memory_total + 1e-6
+    # Coordinator's view: free memory within [0, total] everywhere.
+    for record in platform.coordinator.registry.all_records():
+        for inventory in record.gpus.values():
+            assert -1e-6 <= inventory.memory_free <= inventory.memory_total + 1e-6
+
+
+def test_utilization_within_bounds(churned_platform):
+    platform, jobs = churned_platform
+    util = platform.fleet_utilization(0, 2 * DAY)
+    assert 0.0 <= util <= 1.0
+
+
+def test_progress_conservation(churned_platform):
+    platform, jobs = churned_platform
+    for job in jobs:
+        assert -1e-6 <= job.progress <= job.spec.total_compute + 1e-6
+        assert job.checkpointed_progress <= job.progress + 1e-6
+        if job.is_done:
+            assert job.completed_at is not None
+            # Wall time >= ideal time on the fastest GPU (2.32x).
+            wall = job.completed_at - job.submitted_at
+            assert wall >= job.spec.total_compute / 2.4
+
+
+def test_interruptions_accounted(churned_platform):
+    platform, jobs = churned_platform
+    report = build_migration_report(jobs)
+    total_records = sum(stats.count for stats in report.values())
+    assert total_records == sum(job.interruption_count for job in jobs)
+    # Emergencies lose bounded work: up to one interval of live
+    # progress plus (worst case) one more whose async upload had not
+    # yet landed when the provider vanished.
+    for kind in ("emergency", "temporary"):
+        stats = report.get(kind)
+        if stats is None:
+            continue
+        for lost in stats.lost_samples:
+            assert lost <= 2 * 8 * MINUTE + 180
+
+
+def test_event_log_consistency(churned_platform):
+    platform, jobs = churned_platform
+    events = platform.events
+    # Every dispatched job id was submitted.
+    submitted = {e.payload["job_id"] for e in events.of_kind("job-submitted")}
+    dispatched = {e.payload["job_id"] for e in events.of_kind("job-dispatched")}
+    assert dispatched <= set(platform.coordinator.jobs)
+    assert submitted == {job.job_id for job in jobs}
+    # Completions never exceed dispatches.
+    assert events.count("job-completed") <= events.count("job-dispatched")
+
+
+def test_checkpoint_stores_hold_only_live_chains(churned_platform):
+    platform, jobs = churned_platform
+    store = platform._default_store
+    for job in jobs:
+        if store.has_checkpoint(job.job_id):
+            chain = store.restore_chain(job.job_id)
+            assert not chain[0].incremental
+            assert chain[-1].progress <= job.spec.total_compute + 1e-6

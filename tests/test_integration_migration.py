@@ -1,0 +1,157 @@
+"""Integration tests: resilience under provider churn (paper §3.5/§4)."""
+
+import pytest
+
+from repro import GPUnionPlatform, PlatformConfig, TrainingJobSpec
+from repro.core import build_migration_report, migrate_back_summary
+from repro.gpu import A6000, RTX_3090, RTX_4090
+from repro.units import GIB, HOUR, MINUTE
+from repro.workloads import GPT2_MEDIUM, RESNET50, JobStatus, next_job_id
+
+
+def job_spec(model=RESNET50, compute=2 * HOUR, **kwargs):
+    defaults = dict(job_id=next_job_id(), model=model,
+                    total_compute=compute,
+                    checkpoint_interval=10 * MINUTE)
+    defaults.update(kwargs)
+    return TrainingJobSpec(**defaults)
+
+
+def test_temporary_unavailability_and_migrate_back():
+    platform = GPUnionPlatform(seed=11)
+    platform.add_provider("home", [RTX_3090], lab="a")
+    platform.add_provider("other", [RTX_3090], lab="b")
+    job = platform.submit_job(job_spec(compute=6 * HOUR))
+    platform.run(until=30 * MINUTE)
+    assert job.current_node == job.home_node
+    home_agent = platform.agents[job.home_node]
+
+    # Temporary silent departure; job migrates to the other node.
+    home_agent.emergency_departure(kind="temporary")
+    platform.run(until=90 * MINUTE)
+    assert job.current_node != job.home_node
+    assert job.status is JobStatus.RUNNING
+
+    # Provider returns; the coordinator migrates the job back home.
+    home_agent.reconnect()
+    platform.run(until=3 * HOUR)
+    assert job.current_node == job.home_node
+    summary = migrate_back_summary(platform.events)
+    assert summary.requested == 1
+    assert summary.returned_home == 1
+    assert summary.rate == 1.0
+    platform.run(until=10 * HOUR)
+    assert job.is_done
+
+
+def test_migrate_back_disabled_by_config():
+    platform = GPUnionPlatform(seed=11,
+                               config=PlatformConfig(migrate_back=False))
+    platform.add_provider("home", [RTX_3090], lab="a")
+    platform.add_provider("other", [RTX_3090], lab="b")
+    job = platform.submit_job(job_spec(compute=6 * HOUR))
+    platform.run(until=30 * MINUTE)
+    home_agent = platform.agents[job.home_node]
+    home_agent.emergency_departure(kind="temporary")
+    platform.run(until=90 * MINUTE)
+    home_agent.reconnect()
+    platform.run(until=4 * HOUR)
+    assert job.current_node != job.home_node
+    assert migrate_back_summary(platform.events).requested == 0
+
+
+def test_migration_restores_from_checkpoint_chain():
+    platform = GPUnionPlatform(seed=13)
+    platform.add_provider("ws1", [RTX_3090], lab="a")
+    platform.add_provider("ws2", [RTX_3090], lab="b")
+    job = platform.submit_job(job_spec(compute=3 * HOUR))
+    platform.run(until=45 * MINUTE)
+    progress_before = job.checkpointed_progress
+    assert progress_before > 0
+    platform.agents[job.current_node].emergency_departure()
+    platform.run(until=6 * HOUR)
+    assert job.is_done
+    # Work resumed from the durable checkpoint, not from zero: the
+    # single interruption lost at most one interval of progress.
+    assert job.total_lost_progress <= job.spec.checkpoint_interval * 1.2
+
+
+def test_no_checkpoint_yet_restarts_from_scratch():
+    platform = GPUnionPlatform(seed=17)
+    platform.add_provider("ws1", [RTX_3090], lab="a")
+    platform.add_provider("ws2", [RTX_3090], lab="b")
+    job = platform.submit_job(job_spec(compute=2 * HOUR,
+                                       checkpoint_interval=1 * HOUR))
+    # Interrupt before the first checkpoint completes.
+    platform.run(until=10 * MINUTE)
+    platform.agents[job.current_node].emergency_departure()
+    platform.run(until=5 * HOUR)
+    assert job.is_done
+    record = job.interruptions[0]
+    assert record.lost_progress > 0
+    assert job.checkpoints_taken >= 1
+
+
+def test_capacity_crunch_queues_then_recovers():
+    """One provider leaves; displaced + queued work share the survivor."""
+    platform = GPUnionPlatform(seed=19)
+    platform.add_provider("big", [RTX_4090, RTX_4090], lab="a")
+    platform.add_provider("small", [RTX_3090], lab="b")
+    jobs = [platform.submit_job(job_spec(compute=2 * HOUR))
+            for _ in range(3)]
+    platform.run(until=20 * MINUTE)
+    platform.agents["big"].emergency_departure()
+    platform.run(until=20 * HOUR)
+    assert all(job.is_done for job in jobs)
+
+
+def test_heterogeneous_migration_across_architectures():
+    """ALC migrates between GPU architectures (CRIU cannot)."""
+    platform = GPUnionPlatform(seed=23)
+    platform.add_provider("ampere", [RTX_3090], lab="a")
+    platform.add_provider("ada", [RTX_4090], lab="b")
+    job = platform.submit_job(job_spec(compute=2 * HOUR))
+    platform.run(until=30 * MINUTE)
+    source = job.current_node
+    platform.agents[source].graceful_departure()
+    platform.run(until=4 * HOUR)
+    assert job.is_done
+    assert job.current_node != source  # crossed Ampere ↔ Ada Lovelace
+
+
+def test_gpu_memory_constraint_limits_placement():
+    platform = GPUnionPlatform(seed=29)
+    platform.add_provider("small", [RTX_3090], lab="a")  # 24 GiB, cc 8.6
+    job = platform.submit_job(job_spec(model=GPT2_MEDIUM, compute=1 * HOUR))
+    platform.run(until=1 * HOUR)
+    # GPT-2 medium needs 20 GiB and cc >= 8.0: fits the 3090.
+    assert job.status in (JobStatus.RUNNING, JobStatus.COMPLETED)
+
+
+def test_migration_report_aggregation():
+    platform = GPUnionPlatform(seed=31)
+    platform.add_provider("ws1", [RTX_3090], lab="a")
+    platform.add_provider("ws2", [RTX_3090], lab="b")
+    job = platform.submit_job(job_spec(compute=3 * HOUR))
+    platform.run(until=30 * MINUTE)
+    platform.agents[job.current_node].graceful_departure()
+    platform.run(until=8 * HOUR)
+    report = build_migration_report(platform.coordinator.jobs.values())
+    assert "scheduled" in report
+    stats = report["scheduled"]
+    assert stats.count == 1
+    assert stats.resumed == 1
+    assert stats.success_rate == 1.0
+    assert stats.mean_downtime > 0
+
+
+def test_user_specified_storage_host():
+    platform = GPUnionPlatform(seed=37)
+    platform.add_storage_host("lab-nas")
+    platform.add_provider("ws1", [RTX_3090], lab="a")
+    spec = job_spec(compute=1 * HOUR, storage_host="lab-nas")
+    job = platform.submit_job(spec)
+    platform.run(until=3 * HOUR)
+    assert job.is_done
+    assert platform.stores["lab-nas"].has_checkpoint(job.job_id)
+    assert not platform._default_store.has_checkpoint(job.job_id)

@@ -1,0 +1,132 @@
+"""Unit tests for exporters, the system database, and the event log."""
+
+import pytest
+
+from repro.containers import ContainerRuntime, ContainerSpec, GpuRequirements, ImageRegistry
+from repro.gpu import GPUNode, RTX_3090
+from repro.monitoring import (
+    DatabaseCostModel,
+    EventLog,
+    NodeExporter,
+    SystemDatabase,
+)
+from repro.network import CampusLAN, FlowNetwork
+from repro.sim import Environment
+from repro.units import GIB, gbps
+
+
+def test_exporter_hardware_metrics():
+    env = Environment()
+    node = GPUNode(env, "ws1", [RTX_3090])
+    node.gpu_by_index(0).add_load("job", 0.8)
+    exporter = NodeExporter(env, node)
+    registry = exporter.collect()
+    uuid = node.gpu_by_index(0).uuid
+    assert registry.get("gpu_utilization").value(
+        uuid=uuid, hostname="ws1") == pytest.approx(0.8)
+    assert registry.get("gpu_memory_total_bytes").value(
+        uuid=uuid, hostname="ws1") == 24 * GIB
+    text = exporter.scrape_text()
+    assert "gpu_temperature_celsius" in text
+
+
+def test_exporter_application_metrics():
+    env = Environment()
+    lan = CampusLAN()
+    lan.attach("registry", access_capacity=gbps(10))
+    lan.attach("ws1")
+    net = FlowNetwork(env, lan)
+    node = GPUNode(env, "ws1", [RTX_3090])
+    registry = ImageRegistry()
+    runtime = ContainerRuntime(env, node, registry, net)
+    runtime.warm_cache("pytorch/pytorch:2.1-cuda12")
+    image = registry.resolve("pytorch/pytorch:2.1-cuda12")
+    spec = ContainerSpec(image_reference=image.reference,
+                         image_digest=image.digest,
+                         gpu=GpuRequirements(gpu_count=1))
+    container = runtime.create(spec)
+    runtime.start(container, (node.gpu_by_index(0),))
+    env.run()
+
+    exporter = NodeExporter(env, node, runtime)
+    reg = exporter.collect()
+    counter = reg.get("container_lifecycle_events_total")
+    assert counter.value(state="running", hostname="ws1") == 1
+    assert reg.get("containers_running").value(hostname="ws1") == 1
+    # Second scrape: no double counting.
+    exporter.collect()
+    assert counter.value(state="running", hostname="ws1") == 1
+
+
+def test_database_node_lifecycle():
+    db = SystemDatabase()
+    db.upsert_node("n1", "ws1", "vision", 0.0, "available", "tok-1")
+    db.upsert_node("n2", "ws2", "nlp", 1.0, "available", "tok-2")
+    assert db.node_status("n1") == "available"
+    db.set_node_status("n1", "unavailable")
+    assert db.node_status("n1") == "unavailable"
+    assert len(db.nodes()) == 2
+    assert len(db.nodes(status="available")) == 1
+    # Upsert refreshes status.
+    db.upsert_node("n1", "ws1", "vision", 0.0, "available", "tok-3")
+    assert db.node_status("n1") == "available"
+    assert db.node_status("ghost") is None
+    db.close()
+
+
+def test_database_allocations():
+    db = SystemDatabase()
+    alloc = db.record_allocation("job-1", "n1", "GPU-a", 10.0)
+    db.close_allocation(alloc, 50.0, "completed")
+    rows = db.allocations_for("job-1")
+    assert len(rows) == 1
+    assert rows[0][4] == 50.0
+    assert rows[0][5] == "completed"
+    db.close()
+
+
+def test_database_heartbeats_and_history():
+    db = SystemDatabase()
+    for t in range(5):
+        db.record_heartbeat("n1", float(t))
+    db.record_heartbeat("n2", 0.0)
+    assert db.heartbeat_count() == 6
+    assert db.heartbeat_count("n1") == 5
+    db.record_metric(1.0, "ws1", "gpu_utilization", 0.5)
+    db.record_metric(2.0, "ws1", "gpu_utilization", 0.7)
+    series = db.metric_series("ws1", "gpu_utilization")
+    assert series == [(1.0, 0.5), (2.0, 0.7)]
+    db.close()
+
+
+def test_cost_model_scaling():
+    model = DatabaseCostModel()
+    # Scan cost grows superlinearly with node count.
+    small = model.scheduling_scan_cost(10)
+    mid = model.scheduling_scan_cost(100)
+    large = model.scheduling_scan_cost(400)
+    assert small < mid < large
+    assert large / mid > 400 / 100  # superlinear
+    assert model.heartbeat_cost(100) > model.heartbeat_cost(10)
+
+
+def test_event_log():
+    env = Environment()
+    log = EventLog(env)
+
+    def driver(env):
+        log.emit("node-joined", node="n1")
+        yield env.timeout(10)
+        log.emit("kill-switch", node="n1", mode="graceful")
+        yield env.timeout(10)
+        log.emit("node-joined", node="n2")
+
+    env.process(driver(env))
+    env.run()
+    assert len(log) == 3
+    assert log.count("node-joined") == 2
+    assert log.of_kind("kill-switch")[0].timestamp == 10.0
+    assert log.last("node-joined").payload["node"] == "n2"
+    assert log.last("nothing") is None
+    window = log.between(5, 15)
+    assert len(window) == 1 and window[0].kind == "kill-switch"

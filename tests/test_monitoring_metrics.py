@@ -1,0 +1,103 @@
+"""Unit tests for the Prometheus-style metric primitives."""
+
+import math
+
+import pytest
+
+from repro.monitoring import Counter, Gauge, Histogram, MetricRegistry
+
+
+def test_counter_inc_and_value():
+    counter = Counter("requests_total")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value() == 5
+
+
+def test_counter_labels_independent():
+    counter = Counter("events_total")
+    counter.inc(state="running")
+    counter.inc(2, state="killed")
+    assert counter.value(state="running") == 1
+    assert counter.value(state="killed") == 2
+    assert counter.value(state="absent") == 0
+
+
+def test_counter_rejects_decrease():
+    counter = Counter("x_total")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    gauge = Gauge("temperature")
+    gauge.set(50, gpu="0")
+    gauge.inc(5, gpu="0")
+    gauge.dec(10, gpu="0")
+    assert gauge.value(gpu="0") == 45
+
+
+def test_histogram_observe_and_stats():
+    hist = Histogram("latency_seconds", buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.5, 5.0):
+        hist.observe(value)
+    assert hist.count() == 4
+    assert hist.mean() == pytest.approx(1.5125)
+    assert hist.quantile(0.5) == 1.0  # median falls in the <=1.0 bucket
+
+
+def test_histogram_quantile_overflow():
+    hist = Histogram("h", buckets=(1.0,))
+    hist.observe(100.0)
+    assert hist.quantile(0.99) == math.inf
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=())
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=(2.0, 1.0))
+    hist = Histogram("h", buckets=(1.0,))
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+def test_metric_name_validation():
+    with pytest.raises(ValueError):
+        Counter("bad name!")
+
+
+def test_registry_get_or_create_same_object():
+    registry = MetricRegistry()
+    a = registry.counter("x_total")
+    b = registry.counter("x_total")
+    assert a is b
+
+
+def test_registry_kind_conflict():
+    registry = MetricRegistry()
+    registry.counter("x_total")
+    with pytest.raises(ValueError):
+        registry.gauge("x_total")
+    with pytest.raises(ValueError):
+        registry.histogram("x_total")
+
+
+def test_exposition_format():
+    registry = MetricRegistry()
+    gauge = registry.gauge("gpu_utilization", "GPU busy fraction")
+    gauge.set(0.75, hostname="ws1", uuid="GPU-1")
+    text = registry.expose()
+    assert "# HELP gpu_utilization GPU busy fraction" in text
+    assert "# TYPE gpu_utilization gauge" in text
+    assert 'gpu_utilization{hostname="ws1",uuid="GPU-1"} 0.75' in text
+
+
+def test_histogram_exposition_has_buckets():
+    registry = MetricRegistry()
+    hist = registry.histogram("dur_seconds", buckets=(1.0, 5.0))
+    hist.observe(0.5)
+    text = registry.expose()
+    assert 'dur_seconds_bucket{le="1.0"} 1' in text
+    assert 'dur_seconds_bucket{le="+Inf"} 1' in text
+    assert "dur_seconds_count" in text

@@ -1,0 +1,187 @@
+"""Unit tests for the max-min fair flow engine."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network import CampusLAN, FlowNetwork, max_min_rates
+from repro.network.flows import Flow
+from repro.sim import Environment
+from repro.units import GIB, MIB, gbps
+
+
+def make_net(hosts=("a", "b", "c"), access=gbps(1), backbone=gbps(10), latency=0.0):
+    env = Environment()
+    lan = CampusLAN(backbone_capacity=backbone, default_latency=latency)
+    for host in hosts:
+        lan.attach(host, access_capacity=access)
+    return env, lan, FlowNetwork(env, lan)
+
+
+def test_single_flow_takes_access_capacity():
+    env, lan, net = make_net()
+    done = net.transfer("a", "b", size=gbps(1) * 10)  # 10 s at 1 Gbps
+    env.run()
+    assert done.triggered and done.ok
+    assert env.now == pytest.approx(10.0)
+
+
+def test_zero_byte_transfer_costs_latency_only():
+    env, lan, net = make_net(latency=0.002)
+    done = net.transfer("a", "b", size=0)
+    env.run()
+    assert done.ok
+    assert env.now == pytest.approx(0.002)
+
+
+def test_same_host_transfer_instant():
+    env, lan, net = make_net()
+    done = net.transfer("a", "a", size=100 * GIB)
+    assert done.triggered
+    env.run()
+    assert env.now == 0.0
+
+
+def test_negative_size_rejected():
+    env, lan, net = make_net()
+    with pytest.raises(ValueError):
+        net.transfer("a", "b", size=-1)
+
+
+def test_two_flows_share_common_downlink():
+    # a→c and b→c contend on c's downlink: each gets half.
+    env, lan, net = make_net()
+    size = gbps(1) * 10  # 10 s alone
+    d1 = net.transfer("a", "c", size=size)
+    d2 = net.transfer("b", "c", size=size)
+    env.run()
+    assert d1.ok and d2.ok
+    assert env.now == pytest.approx(20.0)
+
+
+def test_disjoint_flows_do_not_contend():
+    env, lan, net = make_net(hosts=("a", "b", "c", "d"))
+    size = gbps(1) * 10
+    d1 = net.transfer("a", "b", size=size)
+    d2 = net.transfer("c", "d", size=size)
+    env.run()
+    assert d1.ok and d2.ok
+    assert env.now == pytest.approx(10.0)
+
+
+def test_backbone_bottleneck():
+    # 20 hosts pushing to 20 others through a 10 Gbps backbone:
+    # each access link wants 1 Gbps but backbone allows 0.5 Gbps each.
+    hosts = [f"h{i}" for i in range(40)]
+    env, lan, net = make_net(hosts=hosts)
+    size = gbps(1) * 10
+    events = [
+        net.transfer(f"h{i}", f"h{i + 20}", size=size) for i in range(20)
+    ]
+    env.run()
+    assert all(ev.ok for ev in events)
+    assert env.now == pytest.approx(20.0)
+
+
+def test_late_arrival_slows_first_flow():
+    env, lan, net = make_net()
+    size = gbps(1) * 10
+    d1 = net.transfer("a", "c", size=size)
+    finish_times = {}
+
+    def second(env):
+        yield env.timeout(5)
+        d2 = net.transfer("b", "c", size=size)
+        yield d2
+        finish_times["second"] = env.now
+
+    def first(env):
+        yield d1
+        finish_times["first"] = env.now
+
+    env.process(first(env))
+    env.process(second(env))
+    env.run()
+    # First flow: 5 s alone (5 Gb done) + shares with second afterwards.
+    # Remaining 5 Gb at 0.5 Gbps → finishes at t=15; second then speeds
+    # up to full rate: has 5 Gb done at t=15, 5 Gb left at 1 Gbps → t=20.
+    assert finish_times["first"] == pytest.approx(15.0)
+    assert finish_times["second"] == pytest.approx(20.0)
+
+
+def test_kill_host_flows_fails_transfers():
+    env, lan, net = make_net()
+    d1 = net.transfer("a", "b", size=100 * GIB)
+    caught = []
+
+    def waiter(env):
+        try:
+            yield d1
+        except NetworkError as exc:
+            caught.append(str(exc))
+
+    def killer(env):
+        yield env.timeout(1)
+        killed = net.kill_host_flows("b")
+        assert killed == 1
+
+    env.process(waiter(env))
+    env.process(killer(env))
+    env.run()
+    assert caught and "killed" in caught[0]
+    assert net.active_flows == []
+
+
+def test_kill_host_flows_spares_others():
+    env, lan, net = make_net(hosts=("a", "b", "c", "d"))
+    keep = net.transfer("a", "b", size=gbps(1) * 2)
+
+    def killer(env):
+        yield env.timeout(0.5)
+        net.kill_host_flows("d")  # no flows touch d
+
+    env.process(killer(env))
+    env.run()
+    assert keep.ok
+
+
+def test_observer_sees_all_bytes_once():
+    env, lan, net = make_net()
+    seen = []
+    net.add_observer(lambda flow, delta: seen.append(delta))
+    size = 512 * MIB
+    net.transfer("a", "b", size=size)
+    env.run()
+    assert sum(seen) == pytest.approx(size)
+
+
+def test_max_min_rates_direct():
+    env = Environment()
+    lan = CampusLAN(backbone_capacity=gbps(3))
+    lan.attach("a", access_capacity=gbps(1))
+    lan.attach("b", access_capacity=gbps(4))
+    lan.attach("c", access_capacity=gbps(4))
+    f1 = Flow(env, "a", "c", 1e9, lan.path("a", "c"), "data")
+    f2 = Flow(env, "b", "c", 1e9, lan.path("b", "c"), "data")
+    rates = max_min_rates([f1, f2])
+    # f1 capped at 1 Gbps by a's uplink; f2 takes remaining backbone 2 Gbps.
+    assert rates[f1] == pytest.approx(gbps(1))
+    assert rates[f2] == pytest.approx(gbps(2))
+
+
+def test_flow_conservation_under_churn():
+    """Total observed bytes equal the sum of completed transfer sizes."""
+    env, lan, net = make_net(hosts=tuple(f"h{i}" for i in range(6)))
+    delivered = []
+    net.add_observer(lambda flow, delta: delivered.append(delta))
+    sizes = [100 * MIB, 300 * MIB, 50 * MIB, 700 * MIB]
+    events = []
+
+    def submitter(env):
+        for i, size in enumerate(sizes):
+            events.append(net.transfer(f"h{i}", f"h{(i + 3) % 6}", size=size))
+            yield env.timeout(0.7)
+
+    env.process(submitter(env))
+    env.run()
+    assert all(ev.ok for ev in events)
+    assert sum(delivered) == pytest.approx(sum(sizes))

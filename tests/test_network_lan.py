@@ -1,0 +1,87 @@
+"""Unit tests for the campus LAN topology."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network import CampusLAN, Link
+from repro.units import gbps
+
+
+def test_attach_and_list_hosts():
+    lan = CampusLAN()
+    lan.attach("ws1")
+    lan.attach("ws2", access_capacity=gbps(10))
+    assert lan.hostnames == ["ws1", "ws2"]
+
+
+def test_attach_duplicate_raises():
+    lan = CampusLAN()
+    lan.attach("ws1")
+    with pytest.raises(NetworkError):
+        lan.attach("ws1")
+
+
+def test_detach():
+    lan = CampusLAN()
+    lan.attach("ws1")
+    lan.detach("ws1")
+    assert lan.hostnames == []
+    with pytest.raises(NetworkError):
+        lan.detach("ws1")
+
+
+def test_path_traverses_three_links():
+    lan = CampusLAN()
+    lan.attach("a")
+    lan.attach("b")
+    path = lan.path("a", "b")
+    assert [link.name for link in path] == ["a:up", "backbone", "b:down"]
+
+
+def test_same_host_path_empty():
+    lan = CampusLAN()
+    lan.attach("a")
+    assert lan.path("a", "a") == []
+
+
+def test_path_to_unknown_host_raises():
+    lan = CampusLAN()
+    lan.attach("a")
+    with pytest.raises(NetworkError):
+        lan.path("a", "ghost")
+
+
+def test_disconnect_blocks_path():
+    lan = CampusLAN()
+    lan.attach("a")
+    lan.attach("b")
+    lan.set_connected("b", False)
+    assert not lan.is_connected("b")
+    with pytest.raises(NetworkError):
+        lan.path("a", "b")
+    lan.set_connected("b", True)
+    assert lan.path("a", "b")
+
+
+def test_is_connected_unknown_host():
+    lan = CampusLAN()
+    assert not lan.is_connected("ghost")
+
+
+def test_latency_zero_same_host():
+    lan = CampusLAN(default_latency=0.001)
+    lan.attach("a")
+    assert lan.latency("a", "a") == 0.0
+    assert lan.latency("a", "b") == 0.001
+
+
+def test_link_capacity_validation():
+    with pytest.raises(ValueError):
+        Link("bad", 0)
+
+
+def test_access_capacity_respected():
+    lan = CampusLAN()
+    port = lan.attach("srv", access_capacity=gbps(10))
+    assert port.uplink.capacity == gbps(10)
+    assert port.downlink.capacity == gbps(10)

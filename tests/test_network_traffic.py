@@ -1,0 +1,91 @@
+"""Unit tests for traffic metering."""
+
+import pytest
+
+from repro.network import CampusLAN, FlowNetwork, TrafficMeter
+from repro.sim import Environment
+from repro.units import GIB, MIB, gbps
+
+
+@pytest.fixture
+def stack():
+    env = Environment()
+    lan = CampusLAN(backbone_capacity=gbps(10), default_latency=0.0)
+    for host in ("a", "b", "c"):
+        lan.attach(host, access_capacity=gbps(1))
+    net = FlowNetwork(env, lan)
+    meter = TrafficMeter(env, net, window=10.0)
+    return env, net, meter
+
+
+def test_total_bytes_by_category(stack):
+    env, net, meter = stack
+    net.transfer("a", "b", 100 * MIB, category="checkpoint")
+    net.transfer("a", "c", 50 * MIB, category="image-pull")
+    env.run()
+    assert meter.total_bytes("checkpoint") == pytest.approx(100 * MIB)
+    assert meter.total_bytes("image-pull") == pytest.approx(50 * MIB)
+    assert meter.total_bytes() == pytest.approx(150 * MIB)
+    assert meter.categories == ["checkpoint", "image-pull"]
+
+
+def test_series_binning(stack):
+    env, net, meter = stack
+
+    def driver(env):
+        # 1 Gbps for 5 s → 625 MB in window [0, 10).
+        yield net.transfer("a", "b", gbps(1) * 5, category="checkpoint")
+        yield env.timeout(20)
+        yield net.transfer("a", "b", gbps(1) * 5, category="checkpoint")
+
+    env.process(driver(env))
+    env.run()
+    series = dict(meter.series("checkpoint"))
+    assert series[0.0] == pytest.approx(gbps(1) * 5)
+    assert 20.0 in series or 30.0 in series
+
+
+def test_peak_rate(stack):
+    env, net, meter = stack
+    net.transfer("a", "b", gbps(1) * 10, category="checkpoint")  # 10 s @ 1 Gbps
+    env.run()
+    assert meter.peak_rate("checkpoint") == pytest.approx(gbps(1), rel=0.01)
+
+
+def test_peak_rate_combined_categories(stack):
+    env, net, meter = stack
+    net.transfer("a", "b", gbps(1) * 2, category="x")
+    net.transfer("c", "b", gbps(0.5) * 4, category="y")  # shares b's downlink
+    env.run()
+    assert meter.peak_rate() >= meter.peak_rate("x")
+
+
+def test_average_rate_window(stack):
+    env, net, meter = stack
+    net.transfer("a", "b", gbps(1) * 10, category="data")
+    env.run(until=100)
+    avg = meter.average_rate("data", since=0, until=100)
+    assert avg == pytest.approx(gbps(1) * 10 / 100, rel=0.01)
+
+
+def test_utilization_of_capacity(stack):
+    env, net, meter = stack
+    net.transfer("a", "b", gbps(1) * 10, category="checkpoint")
+    env.run()
+    frac = meter.utilization_of(gbps(10), "checkpoint")
+    assert frac == pytest.approx(0.1, rel=0.02)
+    with pytest.raises(ValueError):
+        meter.utilization_of(0)
+
+
+def test_empty_meter(stack):
+    env, net, meter = stack
+    assert meter.peak_rate() == 0.0
+    assert meter.total_bytes() == 0.0
+    assert meter.average_rate() == 0.0
+
+
+def test_window_validation(stack):
+    env, net, meter = stack
+    with pytest.raises(ValueError):
+        TrafficMeter(env, net, window=0)

@@ -1,0 +1,385 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    env = Environment(initial_time=100.0)
+    assert env.now == 100.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        yield env.timeout(3.5)
+        seen.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == [3.5]
+
+
+def test_timeout_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_timeout_carries_value():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        value = yield env.timeout(1.0, value="payload")
+        results.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert results == ["payload"]
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+
+    def proc(env, name, delay):
+        yield env.timeout(delay)
+        order.append(name)
+
+    env.process(proc(env, "late", 10))
+    env.process(proc(env, "early", 1))
+    env.process(proc(env, "mid", 5))
+    env.run()
+    assert order == ["early", "mid", "late"]
+
+
+def test_simultaneous_events_fifo_order():
+    env = Environment()
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(1.0)
+        order.append(name)
+
+    for name in ("a", "b", "c"):
+        env.process(proc(env, name))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_stops_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(100)
+
+    env.process(proc(env))
+    env.run(until=30)
+    assert env.now == 30
+
+
+def test_run_until_past_raises():
+    env = Environment(initial_time=50)
+    with pytest.raises(ValueError):
+        env.run(until=10)
+
+
+def test_run_until_with_empty_queue_advances_clock():
+    env = Environment()
+    env.run(until=42)
+    assert env.now == 42
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(5)
+        return "done"
+
+    proc = env.process(child(env))
+    env.run()
+    assert proc.value == "done"
+    assert proc.ok
+
+
+def test_process_waits_on_process():
+    env = Environment()
+    results = []
+
+    def child(env):
+        yield env.timeout(5)
+        return 7
+
+    def parent(env):
+        value = yield env.process(child(env))
+        results.append((env.now, value))
+
+    env.process(parent(env))
+    env.run()
+    assert results == [(5.0, 7)]
+
+
+def test_waiting_on_already_finished_process():
+    env = Environment()
+    results = []
+
+    def child(env):
+        yield env.timeout(1)
+        return "early"
+
+    child_proc = env.process(child(env))
+
+    def parent(env):
+        yield env.timeout(10)
+        value = yield child_proc
+        results.append((env.now, value))
+
+    env.process(parent(env))
+    env.run()
+    assert results == [(10.0, "early")]
+
+
+def test_failed_event_raises_in_waiter():
+    env = Environment()
+    caught = []
+
+    def proc(env, trigger):
+        try:
+            yield trigger
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    trigger = env.event()
+    env.process(proc(env, trigger))
+    trigger.fail(RuntimeError("boom"))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(TypeError):
+        event.fail("not an exception")
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_process_failure_propagates_to_waiter():
+    env = Environment()
+    caught = []
+
+    def child(env):
+        yield env.timeout(1)
+        raise ValueError("child died")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(parent(env))
+    env.run()
+    assert caught == ["child died"]
+
+
+def test_interrupt_raises_inside_process():
+    env = Environment()
+    log = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            log.append((env.now, interrupt.cause))
+
+    proc = env.process(victim(env))
+
+    def attacker(env):
+        yield env.timeout(10)
+        proc.interrupt(cause="kill-switch")
+
+    env.process(attacker(env))
+    env.run()
+    assert log == [(10.0, "kill-switch")]
+
+
+def test_interrupt_finished_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    proc = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    log = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            log.append("interrupted")
+        yield env.timeout(5)
+        log.append(env.now)
+
+    proc = env.process(victim(env))
+
+    def attacker(env):
+        yield env.timeout(10)
+        proc.interrupt()
+
+    env.process(attacker(env))
+    env.run()
+    assert log == ["interrupted", 15.0]
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        t1 = env.timeout(3, value="a")
+        t2 = env.timeout(7, value="b")
+        values = yield env.all_of([t1, t2])
+        results.append((env.now, sorted(values.values())))
+
+    env.process(proc(env))
+    env.run()
+    assert results == [(7.0, ["a", "b"])]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    cond = AllOf(env, [])
+    assert cond.triggered
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        t1 = env.timeout(3, value="fast")
+        t2 = env.timeout(7, value="slow")
+        values = yield env.any_of([t1, t2])
+        results.append((env.now, list(values.values())))
+
+    env.process(proc(env))
+    env.run()
+    assert results == [(3.0, ["fast"])]
+
+
+def test_any_of_with_already_fired_event():
+    env = Environment()
+    results = []
+
+    def proc(env, done):
+        values = yield env.any_of([done, env.timeout(100)])
+        results.append((env.now, list(values.values())))
+
+    done = env.event()
+    done.succeed("pre")
+
+    def starter(env):
+        yield env.timeout(5)
+        env.process(proc(env, done))
+
+    env.process(starter(env))
+    env.run(until=20)
+    assert results == [(5.0, ["pre"])]
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    proc = env.process(bad(env))
+    env.run()
+    assert not proc.ok
+    assert isinstance(proc.value, SimulationError)
+
+
+def test_peek_and_step():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(4)
+
+    env.process(proc(env))
+    # Bootstrap event at t=0 plus the timeout after it runs.
+    assert env.peek() == 0.0
+    env.step()
+    assert env.peek() == 4.0
+    env.step()
+    assert env.now == 4.0
+
+
+def test_step_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_succeed_with_delay():
+    env = Environment()
+    times = []
+
+    def proc(env, ev):
+        yield ev
+        times.append(env.now)
+
+    ev = env.event()
+    env.process(proc(env, ev))
+    ev.succeed(delay=12.0)
+    env.run()
+    assert times == [12.0]
+
+
+def test_deterministic_replay():
+    def build_and_run():
+        env = Environment()
+        trace = []
+
+        def worker(env, name, period, count):
+            for _ in range(count):
+                yield env.timeout(period)
+                trace.append((env.now, name))
+
+        env.process(worker(env, "x", 1.5, 5))
+        env.process(worker(env, "y", 2.0, 4))
+        env.run()
+        return trace
+
+    assert build_and_run() == build_and_run()

@@ -1,0 +1,211 @@
+"""Unit tests for Resource, Store and PriorityStore."""
+
+import pytest
+
+from repro.sim import Environment, PriorityStore, Resource, SimulationError, Store
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    r1 = res.request()
+    r2 = res.request()
+    r3 = res.request()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert res.count == 2
+    assert res.queue_length == 1
+
+
+def test_resource_release_wakes_waiter():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        req = res.request()
+        yield req
+        order.append(("holder", env.now))
+        yield env.timeout(10)
+        res.release(req)
+
+    def waiter(env):
+        yield env.timeout(1)
+        req = res.request()
+        yield req
+        order.append(("waiter", env.now))
+        res.release(req)
+
+    env.process(holder(env))
+    env.process(waiter(env))
+    env.run()
+    assert order == [("holder", 0.0), ("waiter", 10.0)]
+
+
+def test_resource_fifo_ordering():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, name, arrival):
+        yield env.timeout(arrival)
+        req = res.request()
+        yield req
+        order.append(name)
+        yield env.timeout(5)
+        res.release(req)
+
+    env.process(user(env, "first", 1))
+    env.process(user(env, "second", 2))
+    env.process(user(env, "third", 3))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_release_unheld_request_raises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    res.request()
+    stray = res.request()  # queued, not granted
+    with pytest.raises(SimulationError):
+        res.release(stray)
+
+
+def test_cancel_waiting_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    held = res.request()
+    waiting = res.request()
+    res.cancel(waiting)
+    res.release(held)
+    assert not waiting.triggered
+    assert res.count == 0
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    store.put("a")
+    store.put("b")
+    got = store.get()
+    assert got.triggered
+    results = []
+
+    def reader(env):
+        value = yield got
+        results.append(value)
+        value = yield store.get()
+        results.append(value)
+
+    env.process(reader(env))
+    env.run()
+    assert results == ["a", "b"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    results = []
+
+    def consumer(env):
+        value = yield store.get()
+        results.append((env.now, value))
+
+    def producer(env):
+        yield env.timeout(7)
+        store.put("item")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert results == [(7.0, "item")]
+
+
+def test_store_len_and_items():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+    assert store.items == (1, 2)
+
+
+def test_store_cancel_pending_get():
+    env = Environment()
+    store = Store(env)
+    pending = store.get()
+    store.cancel(pending)
+    store.put("x")
+    assert not pending.triggered
+    assert len(store) == 1
+
+
+def test_priority_store_orders_items():
+    env = Environment()
+    store = PriorityStore(env)
+    store.put((3, "low"))
+    store.put((1, "high"))
+    store.put((2, "mid"))
+    results = []
+
+    def consumer(env):
+        for _ in range(3):
+            value = yield store.get()
+            results.append(value[1])
+
+    env.process(consumer(env))
+    env.run()
+    assert results == ["high", "mid", "low"]
+
+
+def test_priority_store_blocking_get():
+    env = Environment()
+    store = PriorityStore(env)
+    results = []
+
+    def consumer(env):
+        value = yield store.get()
+        results.append((env.now, value))
+
+    def producer(env):
+        yield env.timeout(3)
+        store.put((5, "only"))
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert results == [(3.0, (5, "only"))]
+
+
+def test_priority_store_remove_predicate():
+    env = Environment()
+    store = PriorityStore(env)
+    store.put((1, "keep"))
+    store.put((2, "drop"))
+    removed = store.remove(lambda item: item[1] == "drop")
+    assert removed == (2, "drop")
+    assert store.remove(lambda item: item[1] == "absent") is None
+    assert len(store) == 1
+
+
+def test_priority_store_ties_stable():
+    env = Environment()
+    store = PriorityStore(env)
+    for seq in range(5):
+        store.put((1, seq))
+    results = []
+
+    def consumer(env):
+        for _ in range(5):
+            value = yield store.get()
+            results.append(value[1])
+
+    env.process(consumer(env))
+    env.run()
+    assert results == [0, 1, 2, 3, 4]

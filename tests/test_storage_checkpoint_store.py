@@ -1,0 +1,111 @@
+"""Unit tests for the checkpoint repository."""
+
+import pytest
+
+from repro.errors import CheckpointNotFoundError
+from repro.sim import Environment
+from repro.storage import CheckpointRecord, CheckpointStore, Volume
+from repro.units import GIB, MIB
+
+
+@pytest.fixture
+def store():
+    env = Environment()
+    return CheckpointStore("nas", Volume(env, "nas-disk"), keep_versions=3)
+
+
+def rec(job_id, version, nbytes=1 * GIB, progress=0.0, incremental=False, base=None):
+    return CheckpointRecord(
+        job_id=job_id,
+        version=version,
+        created_at=float(version),
+        nbytes=nbytes,
+        progress=progress,
+        incremental=incremental,
+        base_version=base,
+    )
+
+
+def test_latest_and_has(store):
+    assert not store.has_checkpoint("j1")
+    store.add(rec("j1", 1, progress=10))
+    store.add(rec("j1", 2, progress=20))
+    assert store.has_checkpoint("j1")
+    assert store.latest("j1").version == 2
+    assert store.latest("j1").progress == 20
+
+
+def test_latest_missing_raises(store):
+    with pytest.raises(CheckpointNotFoundError):
+        store.latest("ghost")
+
+
+def test_prune_keeps_limit(store):
+    for version in range(1, 6):
+        store.add(rec("j1", version))
+    versions = [r.version for r in store.versions("j1")]
+    assert versions == [3, 4, 5]
+    # Pruned objects were removed from disk.
+    assert store.volume.keys() == (
+        "ckpt/j1/v3", "ckpt/j1/v4", "ckpt/j1/v5",
+    )
+
+
+def test_prune_preserves_incremental_base(store):
+    store.add(rec("j1", 1))  # full
+    store.add(rec("j1", 2, incremental=True, base=1))
+    store.add(rec("j1", 3, incremental=True, base=1))
+    store.add(rec("j1", 4, incremental=True, base=1))
+    # v1 is the base of retained incrementals: must not be pruned.
+    versions = [r.version for r in store.versions("j1")]
+    assert 1 in versions
+
+
+def test_restore_chain_full(store):
+    store.add(rec("j1", 1))
+    store.add(rec("j1", 2))
+    chain = store.restore_chain("j1")
+    assert [r.version for r in chain] == [2]
+
+
+def test_restore_chain_incremental(store):
+    store.add(rec("j1", 1, nbytes=4 * GIB))
+    store.add(rec("j1", 2, nbytes=400 * MIB, incremental=True, base=1))
+    store.add(rec("j1", 3, nbytes=400 * MIB, incremental=True, base=2))
+    chain = store.restore_chain("j1")
+    assert [r.version for r in chain] == [1, 2, 3]
+    assert store.restore_bytes("j1") == pytest.approx(4 * GIB + 800 * MIB)
+
+
+def test_restore_bytes_full_only(store):
+    store.add(rec("j1", 1, nbytes=2 * GIB))
+    assert store.restore_bytes("j1") == 2 * GIB
+
+
+def test_drop_job(store):
+    store.add(rec("j1", 1))
+    store.add(rec("j2", 1))
+    assert store.drop_job("j1") == 1
+    assert not store.has_checkpoint("j1")
+    assert store.has_checkpoint("j2")
+    assert store.drop_job("ghost") == 0
+
+
+def test_total_bytes(store):
+    store.add(rec("j1", 1, nbytes=1 * GIB))
+    store.add(rec("j2", 1, nbytes=2 * GIB))
+    assert store.total_bytes() == 3 * GIB
+
+
+def test_keep_versions_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        CheckpointStore("nas", Volume(env, "d"), keep_versions=0)
+
+
+def test_independent_jobs(store):
+    for version in range(1, 6):
+        store.add(rec("a", version))
+        store.add(rec("b", version))
+    assert len(store.versions("a")) == 3
+    assert len(store.versions("b")) == 3

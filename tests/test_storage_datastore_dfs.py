@@ -1,0 +1,140 @@
+"""Unit tests for task data stores and the distributed file system."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.network import CampusLAN, FlowNetwork
+from repro.sim import Environment
+from repro.storage import DistributedFileSystem, TaskDataStore, Volume
+from repro.units import GIB, MIB, gbps
+
+
+@pytest.fixture
+def stack():
+    env = Environment()
+    lan = CampusLAN(default_latency=0.0)
+    for host in ("nas", "ws1", "ws2", "srv"):
+        lan.attach(host, access_capacity=gbps(1))
+    net = FlowNetwork(env, lan)
+    return env, lan, net
+
+
+def test_datastore_put_and_download(stack):
+    env, lan, net = stack
+    store = TaskDataStore(env, "nas", Volume(env, "nas-disk"), net)
+    done = store.put_local("dataset", 1 * GIB)
+    env.run()
+    assert done.ok
+    assert store.exists("dataset")
+    assert store.size_of("dataset") == 1 * GIB
+
+    fetch = store.download_to("ws1", "dataset")
+    env.run()
+    assert fetch.ok
+    assert fetch.value == 1 * GIB
+
+
+def test_datastore_download_missing_raises(stack):
+    env, lan, net = stack
+    store = TaskDataStore(env, "nas", Volume(env, "nas-disk"), net)
+    with pytest.raises(StorageError):
+        store.download_to("ws1", "ghost")
+
+
+def test_datastore_upload_from_remote(stack):
+    env, lan, net = stack
+    store = TaskDataStore(env, "nas", Volume(env, "nas-disk"), net)
+    done = store.upload_from("ws1", "results", 512 * MIB)
+    env.run()
+    assert done.ok
+    assert store.exists("results")
+    # Wire time (1 Gbps) plus disk write time both elapsed.
+    wire = 512 * MIB / gbps(1)
+    assert env.now >= wire
+
+
+def test_dfs_write_replicates(stack):
+    env, lan, net = stack
+    dfs = DistributedFileSystem(env, net, replication=2)
+    dfs.add_member("nas", Volume(env, "d1"))
+    dfs.add_member("srv", Volume(env, "d2"))
+    dfs.add_member("ws2", Volume(env, "d3"))
+    done = dfs.write("ws1", "model.bin", 1 * GIB)
+    env.run()
+    assert done.ok
+    assert dfs.exists("model.bin")
+    assert len(dfs.replicas_of("model.bin")) == 2
+
+
+def test_dfs_read_prefers_local(stack):
+    env, lan, net = stack
+    dfs = DistributedFileSystem(env, net, replication=3)
+    for host in ("nas", "srv", "ws2"):
+        dfs.add_member(host, Volume(env, f"d-{host}"))
+    dfs.write("nas", "data", 1 * GIB)
+    env.run()
+    replica = dfs.replicas_of("data")[0]
+    start = env.now
+    done = dfs.read(replica, "data")
+    env.run()
+    assert done.ok
+    assert env.now == start  # local read: no network time
+
+
+def test_dfs_read_remote_and_missing(stack):
+    env, lan, net = stack
+    dfs = DistributedFileSystem(env, net, replication=1)
+    dfs.add_member("nas", Volume(env, "d"))
+    dfs.write("nas", "data", 1 * GIB)
+    env.run()
+    done = dfs.read("ws1", "data")
+    env.run()
+    assert done.ok and done.value == 1 * GIB
+    with pytest.raises(StorageError):
+        dfs.read("ws1", "ghost")
+
+
+def test_dfs_member_departure_rereplicates(stack):
+    env, lan, net = stack
+    dfs = DistributedFileSystem(env, net, replication=2)
+    for host in ("nas", "srv", "ws2"):
+        dfs.add_member(host, Volume(env, f"d-{host}"))
+    dfs.write("ws1", "data", 1 * GIB)
+    env.run()
+    victim = dfs.replicas_of("data")[0]
+    affected = dfs.remove_member(victim)
+    assert affected == ["data"]
+    assert len(dfs.replicas_of("data")) == 2
+    assert victim not in dfs.replicas_of("data")
+
+
+def test_dfs_membership_errors(stack):
+    env, lan, net = stack
+    dfs = DistributedFileSystem(env, net)
+    vol = Volume(env, "d")
+    dfs.add_member("nas", vol)
+    with pytest.raises(StorageError):
+        dfs.add_member("nas", vol)
+    with pytest.raises(StorageError):
+        dfs.remove_member("ghost")
+    with pytest.raises(ValueError):
+        DistributedFileSystem(env, net, replication=0)
+
+
+def test_dfs_write_without_members_raises(stack):
+    env, lan, net = stack
+    dfs = DistributedFileSystem(env, net)
+    with pytest.raises(StorageError):
+        dfs.write("ws1", "x", 1)
+
+
+def test_dfs_delete(stack):
+    env, lan, net = stack
+    dfs = DistributedFileSystem(env, net, replication=1)
+    dfs.add_member("nas", Volume(env, "d"))
+    dfs.write("nas", "data", 1 * GIB)
+    env.run()
+    dfs.delete("data")
+    assert not dfs.exists("data")
+    with pytest.raises(StorageError):
+        dfs.delete("data")

@@ -1,0 +1,93 @@
+"""Unit tests for local disk volumes."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.sim import Environment
+from repro.storage import Volume
+from repro.units import GIB, MIB
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def test_write_takes_disk_time(env):
+    vol = Volume(env, "disk", write_bandwidth=1e9)
+    done = vol.write("data", 2e9)  # 2 GB at 1 GB/s
+    env.run()
+    assert done.ok
+    assert env.now == pytest.approx(2.0)
+    assert vol.exists("data")
+    assert vol.stat("data").nbytes == 2e9
+
+
+def test_read_takes_disk_time(env):
+    vol = Volume(env, "disk", read_bandwidth=2e9)
+    vol.put_instant("data", 4e9)
+    done = vol.read("data")
+    env.run()
+    assert done.ok
+    assert env.now == pytest.approx(2.0)
+    assert done.value.nbytes == 4e9
+
+
+def test_read_missing_raises(env):
+    vol = Volume(env, "disk")
+    with pytest.raises(StorageError):
+        vol.read("ghost")
+
+
+def test_capacity_enforced(env):
+    vol = Volume(env, "small", capacity=1 * GIB)
+    vol.put_instant("a", 800 * MIB)
+    with pytest.raises(StorageError):
+        vol.write("b", 300 * MIB)
+
+
+def test_overwrite_reclaims_old_space(env):
+    vol = Volume(env, "disk", capacity=1 * GIB)
+    vol.put_instant("a", 900 * MIB)
+    # Overwriting with a same-size object must be allowed.
+    done = vol.write("a", 900 * MIB)
+    env.run()
+    assert done.ok
+    assert vol.used == 900 * MIB
+
+
+def test_io_serialized(env):
+    vol = Volume(env, "disk", write_bandwidth=1e9)
+    d1 = vol.write("a", 1e9)
+    d2 = vol.write("b", 1e9)
+    env.run()
+    assert d1.ok and d2.ok
+    assert env.now == pytest.approx(2.0)  # serialized, not parallel
+
+
+def test_delete(env):
+    vol = Volume(env, "disk")
+    vol.put_instant("a", 10 * MIB)
+    assert vol.delete("a") == 10 * MIB
+    assert not vol.exists("a")
+    with pytest.raises(StorageError):
+        vol.delete("a")
+
+
+def test_keys_sorted(env):
+    vol = Volume(env, "disk")
+    vol.put_instant("b", 1)
+    vol.put_instant("a", 1)
+    assert vol.keys() == ("a", "b")
+
+
+def test_validation(env):
+    with pytest.raises(ValueError):
+        Volume(env, "bad", capacity=0)
+    with pytest.raises(ValueError):
+        Volume(env, "bad", read_bandwidth=0)
+    vol = Volume(env, "ok")
+    with pytest.raises(ValueError):
+        vol.write("x", -1)
+    with pytest.raises(ValueError):
+        vol.put_instant("x", -1)

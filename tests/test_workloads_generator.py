@@ -1,0 +1,110 @@
+"""Unit tests for campus demand generation."""
+
+import pytest
+
+from repro.sim import RngStreams
+from repro.units import DAY, HOUR
+from repro.workloads import (
+    Arrival,
+    InteractiveSessionSpec,
+    LabProfile,
+    TrainingJobSpec,
+    WorkloadGenerator,
+    diurnal_weight,
+)
+
+VISION = LabProfile(
+    name="vision",
+    batch_jobs_per_day=6.0,
+    interactive_sessions_per_day=4.0,
+    job_mix=(("resnet50-cifar", 2.0), ("vit-large-finetune", 1.0)),
+    mean_job_compute_hours=6.0,
+)
+
+NLP = LabProfile(
+    name="nlp",
+    batch_jobs_per_day=3.0,
+    interactive_sessions_per_day=2.0,
+    job_mix=(("bert-base-finetune", 1.0),),
+)
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        LabProfile("bad", -1, 0, (("resnet50-cifar", 1),))
+    with pytest.raises(ValueError):
+        LabProfile("bad", 1, 0, ())
+
+
+def test_diurnal_weight_shape():
+    # Minimum near 04:00, maximum near 16:00.
+    assert diurnal_weight(4 * HOUR) < 0.2
+    assert diurnal_weight(16 * HOUR) > 0.9
+    for t in range(0, int(DAY), 3600):
+        assert 0.0 <= diurnal_weight(t) <= 1.0
+
+
+def test_training_jobs_deterministic():
+    gen_a = WorkloadGenerator(RngStreams(seed=11))
+    gen_b = WorkloadGenerator(RngStreams(seed=11))
+    trace_a = gen_a.training_jobs(VISION, 7 * DAY)
+    trace_b = gen_b.training_jobs(VISION, 7 * DAY)
+    assert [a.time for a in trace_a] == [b.time for b in trace_b]
+    assert [a.spec.model.name for a in trace_a] == [
+        b.spec.model.name for b in trace_b
+    ]
+
+
+def test_training_job_rate_plausible():
+    gen = WorkloadGenerator(RngStreams(seed=3))
+    trace = gen.training_jobs(VISION, 28 * DAY)
+    # Diurnal thinning keeps roughly 55% of peak-rate arrivals.
+    per_day = len(trace) / 28
+    assert 1.5 <= per_day <= 6.0
+
+
+def test_job_specs_well_formed():
+    gen = WorkloadGenerator(RngStreams(seed=5))
+    trace = gen.training_jobs(VISION, 7 * DAY)
+    assert trace, "expected at least one arrival in a week"
+    for arrival in trace:
+        assert isinstance(arrival.spec, TrainingJobSpec)
+        assert arrival.spec.lab == "vision"
+        assert arrival.spec.total_compute > 0
+        assert arrival.spec.model.name in (
+            "resnet50-cifar", "vit-large-finetune",
+        )
+
+
+def test_interactive_sessions_well_formed():
+    gen = WorkloadGenerator(RngStreams(seed=5))
+    trace = gen.interactive_sessions(NLP, 7 * DAY)
+    for arrival in trace:
+        assert isinstance(arrival.spec, InteractiveSessionSpec)
+        assert arrival.spec.lab == "nlp"
+        assert arrival.spec.has_lab_gpus
+        assert arrival.spec.duration >= 20 * 60
+
+
+def test_unaffiliated_sessions_have_no_lab():
+    gen = WorkloadGenerator(RngStreams(seed=5))
+    trace = gen.unaffiliated_sessions(5.0, 7 * DAY)
+    assert trace
+    for arrival in trace:
+        assert arrival.spec.lab == ""
+        assert not arrival.spec.has_lab_gpus
+
+
+def test_combined_trace_sorted():
+    gen = WorkloadGenerator(RngStreams(seed=9))
+    trace = gen.combined_trace([VISION, NLP], 7 * DAY,
+                               unaffiliated_sessions_per_day=3.0)
+    times = [arrival.time for arrival in trace]
+    assert times == sorted(times)
+    labs = {getattr(a.spec, "lab", None) for a in trace}
+    assert {"vision", "nlp", ""}.issubset(labs)
+
+
+def test_zero_rate_produces_nothing():
+    gen = WorkloadGenerator(RngStreams(seed=1))
+    assert gen.unaffiliated_sessions(0.0, 7 * DAY) == []

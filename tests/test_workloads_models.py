@@ -1,0 +1,60 @@
+"""Unit tests for workload model profiles."""
+
+import pytest
+
+from repro.gpu import RTX_3090, RTX_4090
+from repro.units import GIB
+from repro.workloads import (
+    BERT_BASE,
+    GPT2_MEDIUM,
+    MODEL_CATALOG,
+    RESNET50,
+    WorkloadModel,
+    model_by_name,
+)
+
+
+def test_catalog_has_cnns_and_transformers():
+    families = {model.family for model in MODEL_CATALOG.values()}
+    assert families == {"cnn", "transformer"}
+
+
+def test_model_lookup():
+    assert model_by_name("resnet50-cifar") is RESNET50
+    with pytest.raises(KeyError) as excinfo:
+        model_by_name("alexnet")
+    assert "resnet50-cifar" in str(excinfo.value)
+
+
+def test_state_size_scales_with_parameters():
+    assert GPT2_MEDIUM.state_bytes > BERT_BASE.state_bytes > RESNET50.state_bytes
+    # Adam: ~12 bytes per parameter.
+    assert RESNET50.state_bytes == pytest.approx(25.6e6 * 12)
+
+
+def test_memory_intensive_classification():
+    assert GPT2_MEDIUM.is_memory_intensive
+    assert not RESNET50.is_memory_intensive
+
+
+def test_compute_time_scales_with_gpu():
+    on_3090 = RESNET50.compute_time_on(3600, RTX_3090)
+    on_4090 = RESNET50.compute_time_on(3600, RTX_4090)
+    assert on_3090 == pytest.approx(3600)
+    assert on_4090 < on_3090 / 2
+
+
+def test_compute_time_negative_rejected():
+    with pytest.raises(ValueError):
+        RESNET50.compute_time_on(-1, RTX_3090)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        WorkloadModel("bad", "cnn", 1e6, 1 * GIB, 1e6, dirty_fraction=0.0)
+    with pytest.raises(ValueError):
+        WorkloadModel("bad", "rnn", 1e6, 1 * GIB, 1e6, dirty_fraction=0.5)
+
+
+def test_gpt2_requires_ampere():
+    assert GPT2_MEDIUM.min_compute_capability == (8, 0)

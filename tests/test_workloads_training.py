@@ -1,0 +1,96 @@
+"""Unit tests for training job state accounting."""
+
+import pytest
+
+from repro.units import HOUR, MINUTE
+from repro.workloads import (
+    JobStatus,
+    RESNET50,
+    TrainingJobSpec,
+    TrainingJobState,
+    next_job_id,
+)
+
+
+def make_spec(total=4 * HOUR, interval=10 * MINUTE):
+    return TrainingJobSpec(
+        job_id=next_job_id(),
+        model=RESNET50,
+        total_compute=total,
+        checkpoint_interval=interval,
+    )
+
+
+def test_unique_job_ids():
+    ids = {next_job_id() for _ in range(10)}
+    assert len(ids) == 10
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        make_spec(total=0)
+    with pytest.raises(ValueError):
+        make_spec(interval=0)
+    with pytest.raises(ValueError):
+        TrainingJobSpec(job_id="x", model=RESNET50, total_compute=1, priority=-1)
+
+
+def test_fresh_state():
+    state = TrainingJobState(make_spec())
+    assert state.status is JobStatus.PENDING
+    assert state.remaining == state.spec.total_compute
+    assert not state.is_done
+    assert state.interruption_count == 0
+
+
+def test_progress_to_done():
+    state = TrainingJobState(make_spec(total=100))
+    state.progress = 100
+    assert state.is_done
+    assert state.remaining == 0
+
+
+def test_interruption_rolls_back_to_checkpoint():
+    state = TrainingJobState(make_spec(total=1000))
+    state.checkpointed_progress = 600
+    state.progress = 750
+    record = state.record_interruption(at=100.0, kind="emergency", node="ws1",
+                                       downtime=45.0)
+    assert record.lost_progress == pytest.approx(150)
+    assert state.progress == 600
+    assert state.total_lost_progress == pytest.approx(150)
+    assert state.total_downtime == pytest.approx(45.0)
+    assert state.interruption_count == 1
+
+
+def test_interruption_at_checkpoint_loses_nothing():
+    state = TrainingJobState(make_spec())
+    state.checkpointed_progress = 500
+    state.progress = 500
+    record = state.record_interruption(at=1.0, kind="scheduled", node="ws1")
+    assert record.lost_progress == 0
+
+
+def test_overhead_fraction():
+    state = TrainingJobState(make_spec(total=1000))
+    state.submitted_at = 0.0
+    state.completed_at = 1100.0
+    assert state.overhead_fraction(now=1100.0) == pytest.approx(0.10)
+
+
+def test_overhead_fraction_with_speedup():
+    state = TrainingJobState(make_spec(total=1000))
+    state.submitted_at = 0.0
+    state.completed_at = 550.0
+    # On a 2x GPU the ideal is 500 s; 550 s is 10% overhead.
+    assert state.overhead_fraction(now=550.0, gpu_speedup=2.0) == pytest.approx(0.10)
+    with pytest.raises(ValueError):
+        state.ideal_duration(gpu_speedup=0)
+
+
+def test_elapsed_running_vs_completed():
+    state = TrainingJobState(make_spec())
+    state.submitted_at = 10.0
+    assert state.elapsed(now=30.0) == 20.0
+    state.completed_at = 25.0
+    assert state.elapsed(now=99.0) == 15.0
