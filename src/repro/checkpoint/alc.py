@@ -138,6 +138,20 @@ class CheckpointEngine:
         job.checkpoints_taken += 1
         return record
 
+    def adopt_base(self, job_id: str, version: int) -> None:
+        """Continue a job's version sequence from an imported snapshot.
+
+        Cross-site migration imports the origin's flattened snapshot
+        into a local store under the origin's version number; without
+        this the local engine would restart the job's counter at 1,
+        colliding with the imported record (aliased volume keys,
+        prune deadlock).  Adopting the snapshot as the last full also
+        lets subsequent local checkpoints chain incrementally off the
+        replicated full record.
+        """
+        self._versions[job_id] = max(self._versions.get(job_id, 0), version)
+        self._last_full[job_id] = version
+
     # -- restore ---------------------------------------------------------------
 
     def restore(self, job: TrainingJobState, store: CheckpointStore,

@@ -95,12 +95,24 @@ class Coordinator:
         self.queue = DispatchQueue(env)
         self.scheduler = make_scheduler(config.scheduler)
 
+        #: Federation hook: called with a training request the local
+        #: fleet cannot place right now (queue saturated, or no GPU
+        #: passes the filters).  Returning ``True`` means a
+        #: :class:`~repro.federation.gateway.FederationGateway` took
+        #: ownership (the request must not be parked locally).
+        self.on_unplaceable: Optional[Callable[[ResourceRequest], bool]] = None
+
         self.jobs: Dict[str, TrainingJobState] = {}
         self.sessions: List[SessionRecord] = []
         self._running: Dict[str, RunningWorkload] = {}
         self._parked: List[ResourceRequest] = []
         self._migrating_back: Set[str] = set()
+        self._dispatching: Set[str] = set()
         self._departure_hints: Dict[str, str] = {}
+        #: job_id → (origin campus, forward hops) for work forwarded
+        #: here by a federation gateway; keeps provenance attached
+        #: across local requeues/migrations.
+        self._origin_sites: Dict[str, tuple] = {}
         self._session_requested_at: Dict[str, float] = {}
 
         self._bind_endpoint()
@@ -156,6 +168,41 @@ class Coordinator:
         )
         self.queue.push(request)
 
+    def submit_remote(
+        self,
+        spec: TrainingJobSpec,
+        origin_site: str,
+        restore: bool = False,
+        progress: float = 0.0,
+        forward_hops: int = 1,
+    ) -> TrainingJobState:
+        """Accept a training job forwarded from a peer campus.
+
+        The federation gateway calls this after replicating the job's
+        checkpoint (if any) into a local store; ``progress`` is the
+        durable progress that checkpoint carries, so the job resumes
+        here instead of restarting from scratch.
+        """
+        state = TrainingJobState(spec, submitted_at=self.env.now)
+        state.progress = progress
+        state.checkpointed_progress = progress
+        self.jobs[spec.job_id] = state
+        self._origin_sites[spec.job_id] = (origin_site, forward_hops)
+        request = ResourceRequest(
+            kind=RequestKind.TRAINING,
+            training=spec,
+            priority=spec.priority,
+            restore=restore,
+            enqueued_at=self.env.now,
+            allow_shared=restore,  # resume fast, like a local migration
+            origin_site=origin_site,
+            forward_hops=forward_hops,
+        )
+        self.queue.push(request)
+        self.events.emit("job-forwarded-in", job_id=spec.job_id,
+                         origin=origin_site, restore=restore)
+        return state
+
     def cancel_job(self, job_id: str):
         """Cancel a job wherever it is (queued, parked, or running).
 
@@ -172,6 +219,20 @@ class Coordinator:
                 return None
         running = self._running.get(job_id)
         if running is None:
+            if job_id in self._dispatching:
+                # Mid local dispatch (RPC round-trip in flight); the
+                # placement will land and the job run — same silent
+                # no-op as before federation existed.
+                return None
+            job = self.jobs.get(job_id)
+            if job is not None and job.status in (JobStatus.PENDING,
+                                                 JobStatus.MIGRATING):
+                # Not queued, parked, or running here — a federation
+                # gateway holds it (forward offer in flight, or already
+                # delegated).  Record the user's intent; the gateway
+                # checks this before re-queueing or offering.
+                job.status = JobStatus.CANCELLED
+                self.events.emit("job-cancelled", job_id=job_id)
             return None
         return self.rpc.call(self.hostname, running.hostname, "terminate",
                              {"job_id": job_id})
@@ -340,6 +401,8 @@ class Coordinator:
         store = (self.store_resolver(job.spec)
                  if self.store_resolver is not None else None)
         restore = bool(store is not None and store.has_checkpoint(job.job_id))
+        origin_site, forward_hops = self._origin_sites.get(
+            job.job_id, (None, 0))
         request = ResourceRequest(
             kind=RequestKind.TRAINING,
             training=job.spec,
@@ -349,6 +412,8 @@ class Coordinator:
             preferred_node=preferred_node,
             enqueued_at=self.env.now,
             allow_shared=True,  # resume fast; co-locate if needed
+            origin_site=origin_site,
+            forward_hops=forward_hops,
         )
         self.queue.push(request)
         self.events.emit("job-migration-queued", job_id=job.job_id,
@@ -410,6 +475,13 @@ class Coordinator:
         return SchedulingContext(predictor=self.predictor, active_load=load)
 
     def _dispatch(self, request: ResourceRequest) -> Generator:
+        self._dispatching.add(request.request_id)
+        try:
+            yield from self._dispatch_inner(request)
+        finally:
+            self._dispatching.discard(request.request_id)
+
+    def _dispatch_inner(self, request: ResourceRequest) -> Generator:
         tried: Set[str] = set(request.exclude_nodes)
         while True:
             candidates = [
@@ -420,7 +492,12 @@ class Coordinator:
                                               self._context())
             if placement is None:
                 if request.kind is RequestKind.INTERACTIVE:
+                    # Sessions are latency-sensitive; they never cross
+                    # the WAN.
                     self._deny_session(request)
+                elif (self.on_unplaceable is not None
+                        and self.on_unplaceable(request)):
+                    pass  # a federation gateway owns the request now
                 else:
                     self._parked.append(request)
                 return
@@ -567,6 +644,15 @@ class Coordinator:
     def parked_count(self) -> int:
         """Requests waiting for capacity."""
         return len(self._parked)
+
+    @property
+    def queue_pressure(self) -> int:
+        """Requests the local fleet has not managed to place yet.
+
+        Queued plus parked — the saturation signal federation
+        gateways advertise in capacity digests.
+        """
+        return len(self.queue) + len(self._parked)
 
     def running_on(self, node_id: str) -> List[str]:
         """Workload ids currently booked on a node."""

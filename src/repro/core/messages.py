@@ -41,12 +41,24 @@ class ResourceRequest:
     #: Migration relaunches may squeeze onto a partially-used card
     #: (temporary co-location) instead of waiting for a fully free one.
     allow_shared: bool = False
+    #: Federation provenance: the campus where the workload was
+    #: originally submitted, when it was forwarded here over the WAN.
+    #: ``None`` for locally-submitted work.
+    origin_site: Optional[str] = None
+    #: How many times federation gateways forwarded this request
+    #: between sites (loop/ping-pong guard).
+    forward_hops: int = 0
 
     def __post_init__(self):
         if self.kind is RequestKind.TRAINING and self.training is None:
             raise ValueError("training request needs a TrainingJobSpec")
         if self.kind is RequestKind.INTERACTIVE and self.session is None:
             raise ValueError("interactive request needs a session spec")
+
+    @property
+    def is_foreign(self) -> bool:
+        """Whether the workload was forwarded here from another campus."""
+        return self.origin_site is not None
 
     @property
     def request_id(self) -> str:

@@ -58,8 +58,11 @@ class GPUnionPlatform:
         coordinator_hostname: str = "coordinator",
         registry_hostname: str = "registry",
         traffic_window: float = 60.0,
+        env: Optional[Environment] = None,
     ):
-        self.env = Environment()
+        # Federated deployments run several campuses on one shared
+        # clock; a standalone campus owns its environment.
+        self.env = env if env is not None else Environment()
         self.streams = RngStreams(seed)
         self.config = config or PlatformConfig()
         self.lan = CampusLAN(backbone_capacity=backbone_capacity)

@@ -9,6 +9,14 @@ from .campus import (
     campus_demand,
     total_gpus,
 )
+from .federation import (
+    FEDERATION_SITES,
+    FederationResult,
+    FederationSiteSpec,
+    build_federation,
+    run_federation,
+    site_demand,
+)
 from .fig2_utilization import Fig2Result, run_fig2, weekly_series
 from .fig3_migration import (
     Fig3Result,
@@ -36,6 +44,12 @@ __all__ = [
     "build_manual_campus",
     "campus_demand",
     "total_gpus",
+    "FEDERATION_SITES",
+    "FederationResult",
+    "FederationSiteSpec",
+    "build_federation",
+    "run_federation",
+    "site_demand",
     "Fig2Result",
     "run_fig2",
     "weekly_series",

@@ -163,3 +163,27 @@ def campus_demand(
 def total_gpus(servers: Sequence[ServerSpec] = PAPER_SERVERS) -> int:
     """GPUs in the fleet (22 for the paper's deployment)."""
     return sum(len(server.gpu_specs) for server in servers)
+
+
+def replay_demand(platform, trace, name: str = "demand-feeder") -> None:
+    """Replay a demand trace into a platform at its arrival times.
+
+    The shared feeder every experiment uses: training jobs go to
+    ``submit_job``, interactive sessions to ``submit_session``, in
+    trace order on the platform's own clock.
+    """
+    from ..workloads.interactive import InteractiveSessionSpec
+    from ..workloads.training import TrainingJobSpec
+
+    def feeder(env):
+        last = 0.0
+        for arrival in trace:
+            if arrival.time > last:
+                yield env.timeout(arrival.time - last)
+                last = arrival.time
+            if isinstance(arrival.spec, TrainingJobSpec):
+                platform.submit_job(arrival.spec)
+            elif isinstance(arrival.spec, InteractiveSessionSpec):
+                platform.submit_session(arrival.spec)
+
+    platform.env.process(feeder(platform.env), name=name)

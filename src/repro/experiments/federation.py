@@ -1,0 +1,283 @@
+"""Multi-campus federation experiment.
+
+The paper's deployment is one campus; the north-star is many campuses
+pooling donated GPUs over a WAN.  This experiment quantifies what
+federation buys: three campuses with deliberately imbalanced demand —
+a workstation-heavy campus drowning in requests, a GPU-farm campus
+mostly idle, a third in between — run twice over identical demand
+traces:
+
+* **isolated** — three independent GPUnion deployments; surplus demand
+  at one campus parks forever while another campus idles;
+* **federated** — the same three campuses peered through
+  :class:`~repro.federation.FederatedDeployment`; unplaceable jobs
+  cross the WAN (datasets and checkpoint snapshots charged on the sim
+  clock) and GPU-hour credits settle in the shared ledger.
+
+Both phases share per-site seeds, so the comparison isolates exactly
+one variable: whether the WAN peering exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.platform import GPUnionPlatform
+from ..federation import FederatedDeployment, FederationConfig
+from ..gpu.specs import A100_40GB, A6000, RTX_3090, RTX_4090
+from ..sim import RngStreams
+from ..sim.rng import derive_seed
+from ..units import DAY, MINUTE, gbps, mbps
+from ..workloads.generator import Arrival, LabProfile, WorkloadGenerator
+from .campus import ServerSpec, replay_demand
+
+
+@dataclass(frozen=True)
+class FederationSiteSpec:
+    """One campus in the federation experiment: iron plus demand."""
+
+    name: str
+    servers: Tuple[ServerSpec, ...]
+    labs: Tuple[LabProfile, ...]
+
+    @property
+    def gpu_count(self) -> int:
+        """GPUs this campus contributes."""
+        return sum(len(server.gpu_specs) for server in self.servers)
+
+
+def _mix_small() -> Tuple[Tuple[str, float], ...]:
+    return (("resnet50-cifar", 3.0), ("unet-segmentation", 2.0),
+            ("bert-base-finetune", 2.0))
+
+
+def _mix_large() -> Tuple[Tuple[str, float], ...]:
+    return (("resnet152-imagenet", 2.0), ("vit-large-finetune", 1.5))
+
+
+#: Three campuses with the imbalance the federation exists to fix:
+#: "north" over-demands its 4 workstation GPUs ~2×, "south" hosts the
+#: farm and barely uses it, "east" sits near balance.
+FEDERATION_SITES: Tuple[FederationSiteSpec, ...] = (
+    FederationSiteSpec(
+        name="north",
+        servers=(
+            ServerSpec("n-ws1", (RTX_3090,), "vision"),
+            ServerSpec("n-ws2", (RTX_3090,), "vision"),
+            ServerSpec("n-ws3", (RTX_3090,), "vision"),
+            ServerSpec("n-ws4", (RTX_3090,), "vision"),
+        ),
+        labs=(
+            LabProfile("vision", batch_jobs_per_day=14.0,
+                       interactive_sessions_per_day=3.0,
+                       job_mix=_mix_small(), mean_job_compute_hours=10.0,
+                       students=8),
+            # Compute-poor lab: plenty of demand, zero servers.
+            LabProfile("theory", batch_jobs_per_day=26.0,
+                       interactive_sessions_per_day=2.0,
+                       job_mix=_mix_small(), mean_job_compute_hours=9.0,
+                       students=9),
+        ),
+    ),
+    FederationSiteSpec(
+        name="south",
+        servers=(
+            ServerSpec("s-farm", (RTX_4090,) * 8, "ml-infra",
+                       access_gbps=10.0),
+            ServerSpec("s-a100", (A100_40GB,) * 2, "bio",
+                       access_gbps=10.0),
+        ),
+        labs=(
+            LabProfile("ml-infra", batch_jobs_per_day=2.0,
+                       interactive_sessions_per_day=1.0,
+                       job_mix=_mix_large(), mean_job_compute_hours=14.0,
+                       students=5),
+            LabProfile("bio", batch_jobs_per_day=1.5,
+                       interactive_sessions_per_day=1.0,
+                       job_mix=_mix_large(), mean_job_compute_hours=12.0,
+                       students=4),
+        ),
+    ),
+    FederationSiteSpec(
+        name="east",
+        servers=(
+            ServerSpec("e-ws1", (RTX_3090,), "nlp"),
+            ServerSpec("e-ws2", (RTX_3090,), "nlp"),
+            ServerSpec("e-ws3", (RTX_3090,), "nlp"),
+            ServerSpec("e-a6000", (A6000,) * 4, "robotics",
+                       access_gbps=10.0),
+        ),
+        labs=(
+            LabProfile("nlp", batch_jobs_per_day=4.0,
+                       interactive_sessions_per_day=2.0,
+                       job_mix=_mix_small(), mean_job_compute_hours=10.0,
+                       students=6),
+            LabProfile("robotics", batch_jobs_per_day=3.0,
+                       interactive_sessions_per_day=1.5,
+                       job_mix=_mix_small(), mean_job_compute_hours=10.0,
+                       students=5),
+        ),
+    ),
+)
+
+
+def site_demand(
+    seed: int,
+    site: FederationSiteSpec,
+    horizon: float,
+    checkpoint_interval: float = 10 * MINUTE,
+) -> List[Arrival]:
+    """The site's demand trace — identical across both phases.
+
+    Seeded only by the federation seed and the site name, so building
+    the platforms (isolated or federated) cannot perturb it.
+    """
+    generator = WorkloadGenerator(
+        RngStreams(derive_seed(seed, f"demand:{site.name}")).spawn("demand"))
+    return generator.combined_trace(
+        site.labs, horizon,
+        unaffiliated_sessions_per_day=0.0,
+        checkpoint_interval=checkpoint_interval,
+    )
+
+
+_feed = replay_demand
+
+
+def _populate(platform: GPUnionPlatform,
+              site: FederationSiteSpec) -> None:
+    for server in site.servers:
+        platform.add_provider(
+            server.hostname,
+            list(server.gpu_specs),
+            lab=server.lab,
+            access_capacity=gbps(server.access_gbps),
+        )
+
+
+def build_federation(
+    seed: int = 0,
+    sites: Sequence[FederationSiteSpec] = FEDERATION_SITES,
+    wan_capacity: float = mbps(500),
+    wan_latency: float = 0.025,
+    federation_config: Optional[FederationConfig] = None,
+) -> FederatedDeployment:
+    """A full-mesh federation of the experiment's campuses."""
+    fed = FederatedDeployment(seed=seed,
+                              federation_config=federation_config)
+    for site in sites:
+        handle = fed.add_campus(site.name)
+        _populate(handle.platform, site)
+    names = [site.name for site in sites]
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            fed.connect(a, b, capacity=wan_capacity, latency=wan_latency)
+    return fed
+
+
+@dataclass
+class FederationResult:
+    """Isolated vs federated over identical demand."""
+
+    days: float
+    isolated_by_site: Dict[str, float]
+    federated_by_site: Dict[str, float]
+    isolated_overall: float
+    federated_overall: float
+    isolated_completed: int
+    federated_completed: int
+    forwarded_jobs: int
+    wan_bytes: float
+    wan_transfer_seconds: float
+    wan_links: List[dict]
+    credit_balances: Dict[str, float]
+
+    @property
+    def improvement_points(self) -> float:
+        """Aggregate utilization gain in percentage points."""
+        return (self.federated_overall - self.isolated_overall) * 100.0
+
+    def rows(self) -> List[List[str]]:
+        """The experiment as table rows (header first)."""
+        rows = [["Campus", "Isolated", "Federated", "Credit (GPU-h)"]]
+        for site in self.isolated_by_site:
+            rows.append([
+                site,
+                f"{self.isolated_by_site[site] * 100:.1f}%",
+                f"{self.federated_by_site.get(site, 0.0) * 100:.1f}%",
+                f"{self.credit_balances.get(site, 0.0):+.1f}",
+            ])
+        rows.append([
+            "ALL CAMPUSES",
+            f"{self.isolated_overall * 100:.1f}%",
+            f"{self.federated_overall * 100:.1f}%",
+            f"{sum(self.credit_balances.values()):+.1f}",
+        ])
+        return rows
+
+
+def _completed(platform: GPUnionPlatform) -> int:
+    return sum(1 for job in platform.coordinator.jobs.values()
+               if job.is_done)
+
+
+def run_federation(
+    seed: int = 42,
+    days: float = 2.0,
+    sites: Sequence[FederationSiteSpec] = FEDERATION_SITES,
+    federation_config: Optional[FederationConfig] = None,
+) -> FederationResult:
+    """Run both phases and collect the comparison."""
+    horizon = days * DAY
+
+    # Phase 1: three isolated campuses.  Same per-site seeds as the
+    # federated phase, so the only variable is the WAN peering.
+    isolated_by_site: Dict[str, float] = {}
+    isolated_values: List[Tuple[int, float]] = []
+    isolated_completed = 0
+    for site in sites:
+        platform = GPUnionPlatform(
+            seed=derive_seed(seed, f"site:{site.name}"))
+        _populate(platform, site)
+        _feed(platform, site_demand(seed, site, horizon))
+        platform.run(until=horizon)
+        util = platform.fleet_utilization(0, horizon)
+        isolated_by_site[site.name] = util
+        isolated_values.append((site.gpu_count, util))
+        isolated_completed += _completed(platform)
+    total_gpus = sum(count for count, _ in isolated_values)
+    isolated_overall = sum(count * util for count, util in isolated_values)
+    isolated_overall /= max(total_gpus, 1)
+
+    # Phase 2: the same campuses, federated.
+    fed = build_federation(seed=seed, sites=sites,
+                           federation_config=federation_config)
+    for site in sites:
+        _feed(fed.site(site.name).platform,
+              site_demand(seed, site, horizon))
+    fed.run(until=horizon)
+
+    federated_completed = sum(
+        _completed(handle.platform) for handle in fed.sites.values())
+    # Delegated jobs exist in two coordinators (origin stub + host);
+    # count each only once, at its origin.
+    federated_completed -= sum(
+        1 for handle in fed.sites.values()
+        for record in handle.gateway.delegations.values()
+        if record.completed_at is not None
+    )
+    return FederationResult(
+        days=days,
+        isolated_by_site=isolated_by_site,
+        federated_by_site=fed.site_utilization(0, horizon),
+        isolated_overall=isolated_overall,
+        federated_overall=fed.aggregate_utilization(0, horizon),
+        isolated_completed=isolated_completed,
+        federated_completed=federated_completed,
+        forwarded_jobs=fed.total_forwarded(),
+        wan_bytes=fed.wan_bytes(),
+        wan_transfer_seconds=fed.total_wan_transfer_seconds(),
+        wan_links=fed.wan_link_report(horizon),
+        credit_balances=fed.credit_balances(),
+    )

@@ -12,18 +12,16 @@ fleet; only the coordination mechanism differs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from ..units import DAY, WEEK
-from ..workloads.generator import Arrival
-from ..workloads.interactive import InteractiveSessionSpec
-from ..workloads.training import TrainingJobSpec
 from .campus import (
     PAPER_LABS,
     PAPER_SERVERS,
     build_gpunion_campus,
     build_manual_campus,
     campus_demand,
+    replay_demand,
 )
 
 #: Demand generated beyond the horizon keeps the fleet busy at the end
@@ -68,21 +66,8 @@ class Fig2Result:
         return rows
 
 
-def _submit_to_gpunion(platform, trace: Sequence[Arrival]) -> None:
-    """Replay the demand trace into the platform at arrival times."""
-
-    def feeder(env):
-        last = 0.0
-        for arrival in trace:
-            if arrival.time > last:
-                yield env.timeout(arrival.time - last)
-                last = arrival.time
-            if isinstance(arrival.spec, TrainingJobSpec):
-                platform.submit_job(arrival.spec)
-            elif isinstance(arrival.spec, InteractiveSessionSpec):
-                platform.submit_session(arrival.spec)
-
-    platform.env.process(feeder(platform.env), name="demand-feeder")
+#: Replay the demand trace into the platform at arrival times.
+_submit_to_gpunion = replay_demand
 
 
 def run_fig2(seed: int = 42, weeks: float = 6.0) -> Fig2Result:

@@ -19,9 +19,7 @@ from typing import Dict, List
 
 from ..checkpoint import IncrementalPlan
 from ..units import DAY, GIB, MINUTE, gbps
-from ..workloads.interactive import InteractiveSessionSpec
-from ..workloads.training import TrainingJobSpec
-from .campus import build_gpunion_campus, campus_demand
+from .campus import build_gpunion_campus, campus_demand, replay_demand
 
 #: Campus backbone capacity the fractions are measured against.
 BACKBONE = gbps(10)
@@ -64,18 +62,7 @@ def _run_mode(seed: int, days: float, incremental: bool) -> TrafficResult:
     horizon = days * DAY
     trace = campus_demand(seed, horizon)
 
-    def feeder(env):
-        last = 0.0
-        for arrival in trace:
-            if arrival.time > last:
-                yield env.timeout(arrival.time - last)
-                last = arrival.time
-            if isinstance(arrival.spec, TrainingJobSpec):
-                platform.submit_job(arrival.spec)
-            elif isinstance(arrival.spec, InteractiveSessionSpec):
-                platform.submit_session(arrival.spec)
-
-    platform.env.process(feeder(platform.env), name="traffic-feeder")
+    replay_demand(platform, trace, name="traffic-feeder")
     platform.run(until=horizon)
 
     meter = platform.traffic

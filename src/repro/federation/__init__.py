@@ -1,0 +1,32 @@
+"""Multi-campus federation: WAN peering, cross-site dispatch, credits.
+
+A federation peers several single-campus GPUnion deployments over a
+simulated WAN.  Each campus keeps its own coordinator, LAN, and
+provider fleet; a :class:`FederationGateway` per campus advertises
+aggregate free capacity via gossip digests, forwards unplaceable
+training requests to peer sites (hotspot-aware: congested WAN routes
+are penalised), replicates checkpoints across sites so displaced jobs
+can restore at a *different* campus, and settles GPU-hour credits in a
+p2pool-style :class:`CreditLedger`.
+
+Everything runs on one shared :class:`~repro.sim.Environment`, so a
+seeded federated run is exactly reproducible.
+"""
+
+from .deployment import FederatedDeployment, SiteHandle
+from .gateway import FederationGateway
+from .ledger import CreditEntry, CreditLedger
+from .messages import CapacityDigest, ForwardRecord
+from .policy import FederationConfig, ForwardingPolicy
+
+__all__ = [
+    "CapacityDigest",
+    "CreditEntry",
+    "CreditLedger",
+    "FederatedDeployment",
+    "FederationConfig",
+    "FederationGateway",
+    "ForwardRecord",
+    "ForwardingPolicy",
+    "SiteHandle",
+]

@@ -1,0 +1,170 @@
+"""Federated deployment builder.
+
+Assembles N single-campus :class:`GPUnionPlatform`s around one shared
+simulation clock, a :class:`WanTopology` with per-link byte metering,
+one WAN RPC layer, one credit ledger, and a gateway per campus.  This
+is to the federation what :class:`GPUnionPlatform` is to a campus: the
+facade experiments build against.
+
+>>> from repro.federation import FederatedDeployment
+>>> from repro.gpu import RTX_3090, RTX_4090
+>>> fed = FederatedDeployment(seed=7)
+>>> north = fed.add_campus("north")
+>>> south = fed.add_campus("south")
+>>> fed.connect("north", "south")
+>>> _ = north.platform.add_provider("ws1", [RTX_3090], lab="vision")
+>>> _ = south.platform.add_provider("farm", [RTX_4090] * 4, lab="infra")
+>>> fed.run(until=10.0)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..config import PlatformConfig
+from ..core.platform import GPUnionPlatform
+from ..network import FlowNetwork, RpcLayer, WanTopology, attach_wan_meter
+from ..sim import Environment
+from ..sim.rng import derive_seed
+from .gateway import FederationGateway
+from .ledger import CreditLedger
+from .policy import FederationConfig
+
+
+@dataclass
+class SiteHandle:
+    """One campus inside a federation."""
+
+    name: str
+    platform: GPUnionPlatform
+    gateway: FederationGateway
+
+    @property
+    def coordinator(self):
+        """The campus coordinator."""
+        return self.platform.coordinator
+
+
+class FederatedDeployment:
+    """N campuses peered over a simulated WAN, on one clock."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        wan: Optional[WanTopology] = None,
+        federation_config: Optional[FederationConfig] = None,
+    ):
+        self.seed = seed
+        self.env = Environment()
+        self.wan = wan or WanTopology()
+        self.fabric = FlowNetwork(self.env, self.wan)
+        attach_wan_meter(self.fabric)
+        self.wan_rpc = RpcLayer(self.env, self.fabric)
+        self.ledger = CreditLedger()
+        self.federation_config = federation_config or FederationConfig()
+        self.sites: Dict[str, SiteHandle] = {}
+
+    def add_campus(
+        self,
+        name: str,
+        config: Optional[PlatformConfig] = None,
+        **platform_kwargs,
+    ) -> SiteHandle:
+        """Create a campus platform on the shared clock and gate it.
+
+        Each campus derives its RNG family from the federation seed
+        and its own name, so adding a site never perturbs another
+        site's randomness.
+        """
+        if name in self.sites:
+            raise ValueError(f"site {name!r} already exists")
+        platform = GPUnionPlatform(
+            seed=derive_seed(self.seed, f"site:{name}"),
+            config=config,
+            env=self.env,
+            **platform_kwargs,
+        )
+        gateway = FederationGateway(
+            site=name,
+            platform=platform,
+            wan=self.wan,
+            fabric=self.fabric,
+            wan_rpc=self.wan_rpc,
+            ledger=self.ledger,
+            config=self.federation_config,
+        )
+        handle = SiteHandle(name=name, platform=platform, gateway=gateway)
+        self.sites[name] = handle
+        return handle
+
+    def connect(self, a: str, b: str, capacity: Optional[float] = None,
+                latency: Optional[float] = None) -> None:
+        """Join two campuses with a symmetric WAN link pair."""
+        self.wan.connect(a, b, capacity=capacity, latency=latency)
+
+    def site(self, name: str) -> SiteHandle:
+        """Handle for a campus (raises ``KeyError`` if unknown)."""
+        return self.sites[name]
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the shared simulation."""
+        self.env.run(until=until)
+
+    # -- federation-wide measurement --------------------------------------
+
+    def aggregate_utilization(self, since: float = 0.0,
+                              until: Optional[float] = None) -> float:
+        """GPU-weighted mean utilization across every campus.
+
+        Defined as the GPU-count-weighted fold of each campus's own
+        :meth:`~repro.core.platform.GPUnionPlatform.fleet_utilization`,
+        so the aggregate always agrees with the per-site numbers
+        reported beside it.
+        """
+        weighted = 0.0
+        total_gpus = 0
+        for handle in self.sites.values():
+            count = sum(len(node.gpus)
+                        for node in handle.platform.provider_nodes())
+            weighted += count * handle.platform.fleet_utilization(since, until)
+            total_gpus += count
+        if total_gpus == 0:
+            return 0.0
+        return weighted / total_gpus
+
+    def site_utilization(self, since: float = 0.0,
+                         until: Optional[float] = None) -> Dict[str, float]:
+        """Mean GPU utilization per campus."""
+        return {
+            name: handle.platform.fleet_utilization(since, until)
+            for name, handle in self.sites.items()
+        }
+
+    def wan_bytes(self) -> float:
+        """Total bytes carried across all WAN links (per-hop count)."""
+        return self.wan.total_bytes()
+
+    def wan_link_report(self, horizon: float) -> List[dict]:
+        """Per-link bytes and mean utilization over ``horizon`` seconds."""
+        return [
+            {
+                "link": link.name,
+                "bytes": link.bytes_carried,
+                "utilization": link.utilization(horizon),
+            }
+            for link in self.wan.links
+        ]
+
+    def total_forwarded(self) -> int:
+        """Jobs that crossed the WAN, federation-wide."""
+        return sum(h.gateway.forwarded_out for h in self.sites.values())
+
+    def total_wan_transfer_seconds(self) -> float:
+        """Simulated seconds origin gateways spent on WAN replication."""
+        return sum(h.gateway.wan_transfer_seconds
+                   for h in self.sites.values())
+
+    def credit_balances(self) -> Dict[str, float]:
+        """Every site's net GPU-hour credit balance."""
+        return self.ledger.balances()

@@ -1,0 +1,384 @@
+"""Per-campus federation gateway.
+
+One gateway fronts each campus deployment.  It owns four duties:
+
+* **Gossip** — periodically compute a :class:`CapacityDigest` from the
+  local coordinator's registry and push it to every WAN peer, keeping
+  a (possibly stale) view of remote spare capacity.
+* **Egress** — the coordinator's ``on_unplaceable`` hook lands here:
+  when the local fleet cannot place a training request (queue
+  saturated, or no GPU passes the memory/capability filters), the
+  gateway may take ownership and offer the job to the best-scoring
+  peer.  If the job has a durable checkpoint, its flattened restore
+  chain is what crosses the WAN — this is how a provider departure can
+  end with the job resuming at a *different* campus.
+* **Ingress** — the ``forward-request`` handler applies the local
+  acceptance policy, pulls the bulk payload (dataset or checkpoint
+  snapshot) over the WAN with transfer time charged on the sim clock,
+  imports the snapshot into the local checkpoint store, and submits
+  the job to the local coordinator with full provenance.
+* **Settlement** — when a foreign job completes here, the gateway
+  credits this site in the shared :class:`CreditLedger` for the
+  GPU-hours actually donated (arrival progress is *not* billed) and
+  notifies the origin gateway so the submitting user's job record
+  closes at home.
+
+All messaging rides the WAN RPC layer, so control chatter and bulk
+replication compete for the same long-haul links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Generator, List, Optional
+
+from ..core.messages import ResourceRequest
+from ..core.platform import GPUnionPlatform
+from ..errors import NetworkError
+from ..monitoring.events import PlatformEvent
+from ..network import FlowNetwork, RpcLayer, WanTopology
+from ..units import HOUR
+from ..workloads.training import JobStatus
+from .ledger import CreditLedger
+from .messages import CapacityDigest, ForwardEnvelope, ForwardRecord
+from .policy import FederationConfig, ForwardingPolicy
+
+
+class FederationGateway:
+    """One campus's ambassador to the federation."""
+
+    def __init__(
+        self,
+        site: str,
+        platform: GPUnionPlatform,
+        wan: WanTopology,
+        fabric: FlowNetwork,
+        wan_rpc: RpcLayer,
+        ledger: CreditLedger,
+        config: Optional[FederationConfig] = None,
+    ):
+        self.site = site
+        self.platform = platform
+        self.wan = wan
+        self.fabric = fabric
+        self.wan_rpc = wan_rpc
+        self.ledger = ledger
+        self.config = config or FederationConfig()
+        self.policy = ForwardingPolicy(self.config)
+        self.env = platform.env
+
+        self.peer_digests: Dict[str, CapacityDigest] = {}
+        #: Jobs this site hosts for others: job_id → (origin, arrival progress).
+        self._foreign_jobs: Dict[str, tuple] = {}
+        #: Jobs this site delegated out: job_id → ForwardRecord.
+        self.delegations: Dict[str, ForwardRecord] = {}
+        self._retry_after: Dict[str, float] = {}
+        #: Accepted inbound offers whose WAN payload pull is still in
+        #: flight — reserved capacity the digest must not re-advertise.
+        self._inbound_pending = 0
+        self.forwarded_out = 0
+        self.forwarded_in = 0
+        self.declined = 0
+        self.wan_transfer_seconds = 0.0
+
+        wan.add_site(site)
+        ledger.register_site(site)
+        endpoint = wan_rpc.bind(site)
+        endpoint.register("digest", self._handle_digest)
+        endpoint.register("forward-request", self._handle_forward_request)
+        endpoint.register("job-complete", self._handle_job_complete)
+        platform.coordinator.on_unplaceable = self._on_unplaceable
+        platform.events.subscribe(self._on_event)
+        self.env.process(self._gossip_loop(), name=f"gossip:{site}")
+
+    # -- gossip -----------------------------------------------------------
+
+    @property
+    def peers(self) -> List[str]:
+        """Every other site on the WAN, sorted."""
+        return sorted(s for s in self.wan.sites if s != self.site)
+
+    def local_digest(self) -> CapacityDigest:
+        """Summarise this campus's spare capacity right now.
+
+        Only *fully-idle* cards count — forwarded training is
+        exclusive, so a busy card's free memory is not remote-placement
+        capacity.  Inbound offers already accepted but still pulling
+        their payload over the WAN are subtracted, so concurrent
+        origins cannot all claim the same advertised GPU.
+        """
+        free_gpus = 0
+        card_classes = set()
+        for record in self.platform.coordinator.registry.schedulable():
+            for gpu in record.gpus.values():
+                if gpu.memory_free >= gpu.memory_total:
+                    free_gpus += 1
+                    card_classes.add(
+                        (gpu.memory_total, tuple(gpu.compute_capability)))
+        return CapacityDigest(
+            site=self.site,
+            free_gpus=free_gpus - self._inbound_pending,
+            free_cards=tuple(sorted(card_classes)),
+            queue_pressure=(self.platform.coordinator.queue_pressure
+                            + self._inbound_pending),
+            advertised_at=self.env.now,
+        )
+
+    def _gossip_loop(self) -> Generator:
+        while True:
+            yield self.env.timeout(self.config.gossip_interval)
+            digest = self.local_digest()
+            for peer in self.peers:
+                try:
+                    yield self.wan_rpc.call(
+                        self.site, peer, "digest", digest,
+                        request_size=self.config.control_message_bytes,
+                        response_size=self.config.control_message_bytes,
+                    )
+                except NetworkError:
+                    continue  # partitioned peer; try again next round
+
+    def _handle_digest(self, digest: CapacityDigest):
+        self.peer_digests[digest.site] = digest
+        return "ok"
+
+    # -- egress: forwarding unplaceable work ------------------------------
+
+    def _on_unplaceable(self, request: ResourceRequest) -> bool:
+        """Coordinator hook: may we take this request off its hands?"""
+        if request.training is None:
+            return False  # sessions never cross the WAN
+        if request.is_foreign or request.forward_hops >= self.config.max_forward_hops:
+            return False  # no ping-pong between sites
+        retry_at = self._retry_after.get(request.request_id)
+        if retry_at is not None and self.env.now < retry_at:
+            return False
+        dest = self.policy.choose(
+            self.site, request, self.peer_digests,
+            self.wan, self.fabric, self.ledger, self.env.now,
+        )
+        if dest is None:
+            return False
+        # Optimistically consume the advertised GPU so a burst of
+        # parked requests does not dog-pile one remote card before the
+        # next gossip round corrects the view.
+        digest = self.peer_digests[dest]
+        self.peer_digests[dest] = replace(
+            digest,
+            free_gpus=digest.free_gpus - 1,
+            queue_pressure=digest.queue_pressure + 1,
+        )
+        self.env.process(self._forward(request, dest),
+                         name=f"forward:{request.request_id}->{dest}")
+        return True
+
+    def _forward(self, request: ResourceRequest, dest: str) -> Generator:
+        spec = request.training
+        state = self.platform.coordinator.jobs.get(spec.job_id)
+        if state is not None and state.status is JobStatus.CANCELLED:
+            return  # cancelled between the hook firing and this process
+        store = self.platform.store_for(spec)
+        snapshot = None
+        if store.has_checkpoint(spec.job_id):
+            # A migrated job ships its flattened restore chain *and*
+            # its dataset — the data lives at the origin campus, so a
+            # checkpointed forward is never cheaper than a fresh one.
+            snapshot = store.export_snapshot(spec.job_id)
+            payload_bytes = snapshot.nbytes + spec.dataset_bytes
+        else:
+            payload_bytes = spec.dataset_bytes
+        envelope = ForwardEnvelope(
+            spec=spec,
+            origin_site=self.site,
+            payload_bytes=payload_bytes,
+            snapshot=snapshot,
+            forward_hops=request.forward_hops + 1,
+        )
+        started = self.env.now
+        self.platform.events.emit(
+            "job-forward-offered", job_id=spec.job_id, dest=dest,
+            restore=envelope.restore, nbytes=payload_bytes,
+        )
+        try:
+            reply = yield self.wan_rpc.call(
+                self.site, dest, "forward-request", envelope,
+                request_size=self.config.control_message_bytes,
+                response_size=self.config.control_message_bytes,
+            )
+        except NetworkError:
+            reply = {"accepted": False}
+        cancelled = (state is not None
+                     and state.status is JobStatus.CANCELLED)
+        if not reply.get("accepted"):
+            # Back off and hand the request back to the local queue —
+            # it will park there like any other unplaceable work
+            # (unless the user cancelled while the offer was in flight).
+            self.declined += 1
+            self._retry_after[spec.job_id] = (
+                self.env.now + self.config.forward_retry_backoff)
+            self.platform.events.emit("job-forward-declined",
+                                      job_id=spec.job_id, dest=dest)
+            if not cancelled:
+                self.platform.coordinator.queue.push(request)
+            return
+        if cancelled:
+            # The peer accepted before the cancellation landed; the
+            # remote copy runs to completion (cross-WAN cancellation
+            # is a ROADMAP open item).  Keep the record honest.
+            self.platform.events.emit("job-cancel-lost-race",
+                                      job_id=spec.job_id, dest=dest)
+        elapsed = self.env.now - started
+        self.forwarded_out += 1
+        self.wan_transfer_seconds += elapsed
+        record = ForwardRecord(
+            job_id=spec.job_id,
+            dest_site=dest,
+            forwarded_at=started,
+            payload_bytes=payload_bytes,
+            restore=envelope.restore,
+            transfer_seconds=elapsed,
+        )
+        self.delegations[spec.job_id] = record
+        if state is not None and not cancelled:
+            state.status = JobStatus.MIGRATING
+            state.current_node = f"wan:{dest}"
+        self.platform.events.emit(
+            "job-forwarded-out", job_id=spec.job_id, dest=dest,
+            restore=envelope.restore, transfer_seconds=elapsed,
+        )
+
+    # -- ingress: hosting foreign work ------------------------------------
+
+    def accepts(self, envelope: ForwardEnvelope) -> bool:
+        """Local-first admission: host foreign work only with headroom.
+
+        Applies the same filters a peer's forwarding policy applied to
+        our (possibly stale) digest, but against the live local view.
+        """
+        model = envelope.spec.model
+        return self.policy.admissible(
+            self.local_digest(), model.gpu_memory,
+            model.min_compute_capability)
+
+    def _handle_forward_request(self, envelope: ForwardEnvelope) -> Generator:
+        if envelope.spec.job_id in self.platform.coordinator.jobs:
+            # Duplicate offer (e.g. a retried forward after a lost
+            # acknowledgement): we already host this job.  NOTE the
+            # protocol is not failure-atomic — if the *response* leg
+            # is ever severed after we commit below, the origin treats
+            # the offer as declined and re-queues locally while we run
+            # it too; reconciliation belongs to the WAN-partition open
+            # item in ROADMAP.md.
+            return {"accepted": False}
+        if not self.accepts(envelope):
+            self.platform.events.emit("job-forward-rejected",
+                                      job_id=envelope.spec.job_id,
+                                      origin=envelope.origin_site)
+            return {"accepted": False}
+        # Reserve the accepted slot for the duration of the payload
+        # pull, then pull the bulk bytes (checkpoint snapshot or
+        # dataset) over the WAN; the handler runs inside the RPC, so
+        # the origin sees the full replication time before its offer
+        # is acknowledged.
+        self._inbound_pending += 1
+        category = ("federation-checkpoint" if envelope.restore
+                    else "federation-dataset")
+        try:
+            yield self.fabric.transfer(envelope.origin_site, self.site,
+                                       envelope.payload_bytes,
+                                       category=category)
+        finally:
+            self._inbound_pending -= 1
+        if envelope.snapshot is not None:
+            store = self.platform.store_for(envelope.spec)
+            store.import_snapshot(envelope.snapshot)
+            # Keep the local engine's version counter ahead of the
+            # imported record so future checkpoints never collide.
+            self.platform.engine.adopt_base(envelope.spec.job_id,
+                                            envelope.snapshot.version)
+        self._foreign_jobs[envelope.spec.job_id] = (
+            envelope.origin_site, envelope.progress)
+        self.forwarded_in += 1
+        self.platform.coordinator.submit_remote(
+            envelope.spec,
+            origin_site=envelope.origin_site,
+            restore=envelope.restore,
+            progress=envelope.progress,
+            forward_hops=envelope.forward_hops,
+        )
+        return {"accepted": True}
+
+    # -- settlement -------------------------------------------------------
+
+    def _on_event(self, event: PlatformEvent) -> None:
+        if event.kind != "job-completed":
+            return
+        job_id = event.payload.get("job_id")
+        entry = self._foreign_jobs.pop(job_id, None)
+        if entry is None:
+            return
+        origin, arrival_progress = entry
+        state = self.platform.coordinator.jobs.get(job_id)
+        donated = state.spec.total_compute - arrival_progress
+        self.ledger.record_donation(
+            donor=self.site,
+            beneficiary=origin,
+            gpu_hours=donated / HOUR,
+            job_id=job_id,
+            at=self.env.now,
+        )
+        self.platform.events.emit("foreign-job-completed", job_id=job_id,
+                                  origin=origin,
+                                  donated_gpu_hours=donated / HOUR)
+        completed_at = (state.completed_at if state.completed_at is not None
+                        else self.env.now)
+        self.env.process(self._notify_origin(origin, job_id, completed_at),
+                         name=f"notify:{job_id}")
+
+    def _notify_origin(self, origin: str, job_id: str,
+                       completed_at: float) -> Generator:
+        try:
+            yield self.wan_rpc.call(
+                self.site, origin, "job-complete",
+                {"job_id": job_id, "completed_at": completed_at,
+                 "host_site": self.site},
+                request_size=self.config.control_message_bytes,
+                response_size=self.config.control_message_bytes,
+            )
+        except NetworkError:
+            # The origin is partitioned; its job record stays open.
+            self.platform.events.emit("job-complete-notify-failed",
+                                      job_id=job_id, origin=origin)
+
+    def _handle_job_complete(self, payload: dict):
+        job_id = payload["job_id"]
+        # The host stamps completion when the last step finished; the
+        # notice's WAN flight time must not inflate makespan metrics.
+        completed_at = payload.get("completed_at", self.env.now)
+        record = self.delegations.get(job_id)
+        if record is not None:
+            record.completed_at = completed_at
+        state = self.platform.coordinator.jobs.get(job_id)
+        if state is not None:
+            state.progress = state.spec.total_compute
+            state.checkpointed_progress = state.spec.total_compute
+            state.completed_at = completed_at
+            if state.status is JobStatus.CANCELLED:
+                # The user cancelled after delegation; the host ran it
+                # anyway (cross-WAN cancellation is a ROADMAP open
+                # item).  Preserve the cancellation record.
+                self.platform.events.emit("job-cancel-lost-race",
+                                          job_id=job_id,
+                                          dest=payload.get("host_site"))
+            else:
+                state.status = JobStatus.COMPLETED
+        self.platform.events.emit("job-remote-completed", job_id=job_id,
+                                  host=payload.get("host_site"))
+        return "ok"
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def hosted_foreign_count(self) -> int:
+        """Foreign jobs currently hosted (not yet completed)."""
+        return len(self._foreign_jobs)

@@ -1,0 +1,96 @@
+"""Cross-site GPU-hour credit ledger.
+
+Modelled on p2pool's share ledger: every contribution is an immutable
+entry attributing work to the peer that performed it, and balances are
+pure folds over the entry log — there is no mutable per-site counter
+that can drift from the history.  A site *earns* credits for GPU-hours
+its providers donate to foreign jobs and *spends* credits when its own
+jobs run elsewhere, so by construction the balances across all sites
+sum to zero (conservation — the property the tests pin down).
+
+The balance feeds the forwarding policy's fairness term: sites deep in
+credit-debt are preferred hosts for new foreign work (they "repay" in
+GPU-hours), and heavy net donors are spared, which keeps donation
+burden spread across the federation instead of concentrating on
+whichever campus happens to advertise capacity first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class CreditEntry:
+    """One settled donation: ``donor`` ran ``gpu_hours`` for ``beneficiary``."""
+
+    at: float
+    donor: str
+    beneficiary: str
+    gpu_hours: float
+    job_id: str
+
+
+class CreditLedger:
+    """Append-only GPU-hour accounting across federation sites."""
+
+    def __init__(self):
+        self._entries: List[CreditEntry] = []
+        self._sites: List[str] = []
+
+    def register_site(self, site: str) -> None:
+        """Make a site show up in balance reports (idempotent)."""
+        if site not in self._sites:
+            self._sites.append(site)
+
+    @property
+    def sites(self) -> List[str]:
+        """Registered sites, in registration order."""
+        return list(self._sites)
+
+    @property
+    def entries(self) -> List[CreditEntry]:
+        """Every settled entry, in order."""
+        return list(self._entries)
+
+    def record_donation(
+        self,
+        donor: str,
+        beneficiary: str,
+        gpu_hours: float,
+        job_id: str,
+        at: float,
+    ) -> CreditEntry:
+        """Settle ``gpu_hours`` of work ``donor`` ran for ``beneficiary``."""
+        if gpu_hours < 0:
+            raise ValueError(f"negative donation: {gpu_hours}")
+        if donor == beneficiary:
+            raise ValueError(f"site {donor!r} cannot donate to itself")
+        self.register_site(donor)
+        self.register_site(beneficiary)
+        entry = CreditEntry(at=at, donor=donor, beneficiary=beneficiary,
+                            gpu_hours=gpu_hours, job_id=job_id)
+        self._entries.append(entry)
+        return entry
+
+    def donated(self, site: str) -> float:
+        """GPU-hours ``site`` ran for foreign jobs."""
+        return sum(e.gpu_hours for e in self._entries if e.donor == site)
+
+    def consumed(self, site: str) -> float:
+        """GPU-hours other sites ran for ``site``'s jobs."""
+        return sum(e.gpu_hours for e in self._entries
+                   if e.beneficiary == site)
+
+    def balance(self, site: str) -> float:
+        """Net credit: donated minus consumed (positive = net donor)."""
+        return self.donated(site) - self.consumed(site)
+
+    def balances(self) -> Dict[str, float]:
+        """Every registered site's balance."""
+        return {site: self.balance(site) for site in self._sites}
+
+    def total(self) -> float:
+        """Sum of all balances — zero by construction (conservation)."""
+        return sum(self.balances().values())

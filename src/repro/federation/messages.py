@@ -1,0 +1,94 @@
+"""Federation wire types.
+
+The payloads gateways exchange over the WAN RPC layer: gossip-style
+capacity digests, the forwarded-job envelope, and the origin-side
+record of a delegation.  Like the campus control plane, these are
+plain dataclasses — the RPC layer charges their (small) serialized
+size against the WAN links, so control traffic competes with bulk
+checkpoint replication exactly as it would in deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..storage import CheckpointRecord
+from ..workloads.training import TrainingJobSpec
+
+
+@dataclass(frozen=True)
+class CapacityDigest:
+    """One site's gossiped summary of its spare capacity.
+
+    Deliberately coarse (the paper's coordinator keeps the precise
+    per-GPU view *inside* the campus): peers only need enough to
+    decide where forwarding is likely to succeed.
+    """
+
+    site: str
+    #: Fully-idle GPUs on schedulable providers.  All capacity fields
+    #: describe this same population: forwarded training is exclusive,
+    #: so partially-used cards are not remote-placement candidates.
+    free_gpus: int
+    #: Distinct ``(memory_bytes, compute_capability)`` classes among
+    #: the fully-idle cards.  Kept per-class (not as separate maxima)
+    #: so a job's memory floor and capability floor are checked against
+    #: the *same* card — a site with a big-memory old card and a
+    #: small-memory new card must not look like it has a big new one.
+    free_cards: Tuple[Tuple[float, Tuple[int, int]], ...] = ()
+    #: Requests the site has queued or parked (saturation signal).
+    queue_pressure: int = 0
+    #: Simulation time the digest was computed (staleness filtering).
+    advertised_at: float = 0.0
+
+    def is_fresh(self, now: float, staleness: float) -> bool:
+        """Whether the digest is recent enough to act on."""
+        return now - self.advertised_at <= staleness
+
+    def fits(self, memory: float, capability: Tuple[int, int]) -> bool:
+        """Whether some advertised idle card satisfies both floors."""
+        return any(
+            card_memory >= memory and card_capability >= tuple(capability)
+            for card_memory, card_capability in self.free_cards
+        )
+
+
+@dataclass(frozen=True)
+class ForwardEnvelope:
+    """A job offered to a peer site over the WAN.
+
+    ``snapshot`` is present when the origin replicated a checkpoint
+    (cross-site migration); ``payload_bytes`` is whatever bulk data the
+    acceptance pull must move — the training dataset for a fresh job,
+    plus the flattened restore chain for a migrated one.
+    """
+
+    spec: TrainingJobSpec
+    origin_site: str
+    payload_bytes: float
+    snapshot: Optional[CheckpointRecord] = None
+    forward_hops: int = 1
+
+    @property
+    def restore(self) -> bool:
+        """Whether the receiver restores from the replicated snapshot."""
+        return self.snapshot is not None
+
+    @property
+    def progress(self) -> float:
+        """Durable progress the job arrives with (0 for fresh jobs)."""
+        return self.snapshot.progress if self.snapshot is not None else 0.0
+
+
+@dataclass
+class ForwardRecord:
+    """Origin-side record of one delegation to a peer site."""
+
+    job_id: str
+    dest_site: str
+    forwarded_at: float
+    payload_bytes: float
+    restore: bool
+    transfer_seconds: float = 0.0
+    completed_at: Optional[float] = None

@@ -1,0 +1,128 @@
+"""Forwarding decisions: where (if anywhere) to send unplaceable work.
+
+A forward is worthwhile only when the destination has real spare
+capacity *and* the WAN route to it is not already a hotspot.  The
+policy scores each fresh peer digest with three terms:
+
+* **capacity** — advertised fully-idle GPUs (more is better);
+* **hotspot penalty** — active flows currently sharing any link of
+  the origin→peer route (the route-hotspot signal: a congested path
+  delays checkpoint/dataset replication and, transitively, the job);
+* **credit fairness** — the peer's ledger balance.  Net donors are
+  spared further foreign work; sites in credit-debt are preferred so
+  they repay in GPU-hours.
+
+Peers whose digest is stale, shows no free GPU, cannot fit the job's
+memory floor, or is itself saturated are never candidates.  Ties break
+by site name, so decisions are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.messages import ResourceRequest
+from ..errors import NetworkError
+from ..network import FlowNetwork, WanTopology
+from ..units import KIB
+from .ledger import CreditLedger
+from .messages import CapacityDigest
+
+
+@dataclass
+class FederationConfig:
+    """Tunables for one federation deployment."""
+
+    #: Seconds between capacity-digest gossip rounds.
+    gossip_interval: float = 60.0
+    #: Digests older than this are ignored by the forwarding policy.
+    digest_staleness: float = 300.0
+    #: A site declines foreign work when its own queue pressure
+    #: (queued + parked requests) exceeds this.
+    accept_pressure_limit: int = 1
+    #: Maximum times a request may cross the WAN (ping-pong guard).
+    max_forward_hops: int = 1
+    #: Seconds to wait before re-offering a job whose forward was
+    #: declined or failed.
+    forward_retry_backoff: float = 120.0
+    #: Score penalty per active flow sharing the origin→peer route.
+    hotspot_penalty: float = 1.0
+    #: Score weight on the peer's credit balance (GPU-hours).
+    fairness_weight: float = 0.02
+    #: On-the-wire size of federation control messages (digests,
+    #: forward offers, completion notices).
+    control_message_bytes: float = 4 * KIB
+
+    def __post_init__(self):
+        if self.gossip_interval <= 0:
+            raise ValueError("gossip_interval must be positive")
+        if self.digest_staleness < self.gossip_interval:
+            raise ValueError("digest_staleness must cover >= one gossip round")
+        if self.max_forward_hops < 1:
+            raise ValueError("max_forward_hops must be >= 1")
+
+
+class ForwardingPolicy:
+    """Scores peer digests and picks a forwarding destination."""
+
+    def __init__(self, config: FederationConfig):
+        self.config = config
+
+    def admissible(self, digest: CapacityDigest, memory: float,
+                   capability) -> bool:
+        """Capacity filters shared by origin eligibility and host
+        admission: an unsaturated site with an idle card satisfying
+        both the memory and the capability floor."""
+        if digest.queue_pressure > self.config.accept_pressure_limit:
+            return False
+        if digest.free_gpus < 1:
+            return False
+        return digest.fits(memory, capability)
+
+    def eligible(self, digest: CapacityDigest, request: ResourceRequest,
+                 now: float) -> bool:
+        """Hard filters a peer must pass before scoring."""
+        if not digest.is_fresh(now, self.config.digest_staleness):
+            return False
+        return self.admissible(digest, request.gpu_memory_needed,
+                               request.min_capability)
+
+    def score(self, origin: str, digest: CapacityDigest,
+              wan: WanTopology, fabric: FlowNetwork,
+              ledger: CreditLedger) -> float:
+        """Desirability of forwarding from ``origin`` to this peer."""
+        load = wan.path_load(origin, digest.site, fabric)
+        return (
+            digest.free_gpus
+            - self.config.hotspot_penalty * load
+            - self.config.fairness_weight * ledger.balance(digest.site)
+        )
+
+    def choose(
+        self,
+        origin: str,
+        request: ResourceRequest,
+        digests: Dict[str, CapacityDigest],
+        wan: WanTopology,
+        fabric: FlowNetwork,
+        ledger: CreditLedger,
+        now: float,
+    ) -> Optional[str]:
+        """The best destination site, or ``None`` to keep the job local."""
+        best_site: Optional[str] = None
+        best_score = float("-inf")
+        for site in sorted(digests):
+            if site == origin:
+                continue
+            digest = digests[site]
+            if not self.eligible(digest, request, now):
+                continue
+            try:
+                score = self.score(origin, digest, wan, fabric, ledger)
+            except NetworkError:
+                continue  # no WAN route to this peer
+            if score > best_score:
+                best_score = score
+                best_site = site
+        return best_site

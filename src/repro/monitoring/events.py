@@ -28,11 +28,23 @@ class EventLog:
     def __init__(self, env: Environment):
         self.env = env
         self._events: List[PlatformEvent] = []
+        self._subscribers: List[Any] = []
+
+    def subscribe(self, callback) -> None:
+        """Call ``callback(event)`` synchronously on every emit.
+
+        Subscribers run in registration order at the emitting
+        component's simulation time (federation gateways use this to
+        watch for completions of forwarded jobs).
+        """
+        self._subscribers.append(callback)
 
     def emit(self, kind: str, **payload: Any) -> PlatformEvent:
         """Record an event at the current simulation time."""
         event = PlatformEvent(self.env.now, kind, dict(payload))
         self._events.append(event)
+        for callback in list(self._subscribers):
+            callback(event)
         return event
 
     def __len__(self) -> int:

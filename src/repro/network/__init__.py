@@ -1,9 +1,11 @@
-"""Campus LAN substrate: topology, fair-share flows, RPC, metering."""
+"""Network substrate: campus LAN and inter-campus WAN topologies,
+fair-share flows, RPC, metering."""
 
 from .flows import Flow, FlowNetwork, max_min_rates
 from .lan import CampusLAN, HostPort, Link
 from .rpc import DEFAULT_MESSAGE_SIZE, RpcEndpoint, RpcError, RpcLayer
 from .traffic import TrafficMeter
+from .wan import WanLink, WanTopology, attach_wan_meter
 
 __all__ = [
     "CampusLAN",
@@ -17,4 +19,7 @@ __all__ = [
     "RpcError",
     "DEFAULT_MESSAGE_SIZE",
     "TrafficMeter",
+    "WanLink",
+    "WanTopology",
+    "attach_wan_meter",
 ]

@@ -1,0 +1,201 @@
+"""Inter-campus WAN topology.
+
+A federation peers several campus deployments over a wide-area network.
+Unlike the :class:`~repro.network.lan.CampusLAN` star, the WAN is a
+sparse graph of *sites* joined by long-haul links: tens of milliseconds
+of propagation delay, capacities well below the campus backbone, and —
+critically for placement — *shared* by every cross-site transfer, so
+forwarding decisions must account for per-link load rather than treat
+remote capacity as free (the route-hotspot concern of Lei et al.).
+
+:class:`WanTopology` intentionally exposes the same ``path``/``latency``
+interface as :class:`CampusLAN`, so the max-min fair
+:class:`~repro.network.flows.FlowNetwork` and the
+:class:`~repro.network.rpc.RpcLayer` run over the WAN unchanged:
+checkpoint replication, forwarded-job datasets, and gossip digests all
+compete for the same long-haul links.
+
+Every :class:`WanLink` additionally meters the bytes it carried, giving
+experiments per-link utilization and hotspot reports for free (attach
+:func:`attach_wan_meter` to the WAN's flow engine).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import NetworkError
+from ..units import mbps
+from .flows import Flow, FlowNetwork
+from .lan import Link
+
+
+@dataclass
+class WanLink(Link):
+    """A directional long-haul link between two sites.
+
+    On top of the plain :class:`Link` capacity it carries propagation
+    latency and a byte meter, so experiments can report per-link load
+    and locate WAN hotspots.
+    """
+
+    latency: float = 0.010
+    bytes_carried: float = 0.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.latency < 0:
+            raise ValueError(f"link {self.name}: latency must be >= 0")
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def record(self, nbytes: float) -> None:
+        """Meter ``nbytes`` carried over this link."""
+        self.bytes_carried += nbytes
+
+    def utilization(self, elapsed: float) -> float:
+        """Mean utilization over an ``elapsed``-second window."""
+        if elapsed <= 0:
+            return 0.0
+        return self.bytes_carried / (self.capacity * elapsed)
+
+
+class WanTopology:
+    """Named sites joined by directional :class:`WanLink` pairs.
+
+    Routing is shortest-path by propagation latency (hop count breaks
+    ties, then site name, so paths are deterministic).  The interface
+    mirrors :class:`~repro.network.lan.CampusLAN` — ``path`` and
+    ``latency`` — which is all the flow engine needs.
+    """
+
+    def __init__(self, default_capacity: float = mbps(500),
+                 default_latency: float = 0.010):
+        self.default_capacity = default_capacity
+        self.default_latency = default_latency
+        self._sites: List[str] = []
+        self._links: Dict[Tuple[str, str], WanLink] = {}
+
+    @property
+    def sites(self) -> List[str]:
+        """All sites, in attachment order."""
+        return list(self._sites)
+
+    @property
+    def links(self) -> List[WanLink]:
+        """Every directional link, in creation order."""
+        return list(self._links.values())
+
+    def add_site(self, name: str) -> None:
+        """Register a site (idempotent)."""
+        if name not in self._sites:
+            self._sites.append(name)
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        capacity: Optional[float] = None,
+        latency: Optional[float] = None,
+    ) -> Tuple[WanLink, WanLink]:
+        """Join two sites with a symmetric pair of directional links."""
+        if a == b:
+            raise NetworkError(f"cannot connect site {a!r} to itself")
+        self.add_site(a)
+        self.add_site(b)
+        capacity = self.default_capacity if capacity is None else capacity
+        latency = self.default_latency if latency is None else latency
+        forward = WanLink(f"{a}->{b}", capacity, latency=latency)
+        backward = WanLink(f"{b}->{a}", capacity, latency=latency)
+        self._links[(a, b)] = forward
+        self._links[(b, a)] = backward
+        return forward, backward
+
+    def link(self, src: str, dst: str) -> WanLink:
+        """The direct ``src``→``dst`` link (raises if absent)."""
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise NetworkError(f"no WAN link {src!r} -> {dst!r}") from None
+
+    def neighbours(self, site: str) -> List[str]:
+        """Sites with a direct link from ``site`` (sorted)."""
+        return sorted(dst for (src, dst) in self._links if src == site)
+
+    def path(self, src: str, dst: str) -> List[WanLink]:
+        """Links a ``src``→``dst`` transfer traverses (Dijkstra).
+
+        Same-site transfers take no WAN links.  Raises
+        :class:`NetworkError` if either site is unknown or unreachable.
+        """
+        if src == dst:
+            return []
+        for site in (src, dst):
+            if site not in self._sites:
+                raise NetworkError(f"unknown WAN site {site!r}")
+        # Dijkstra by accumulated latency; (hops, name) break ties so
+        # routes are independent of insertion order.
+        frontier: List[Tuple[float, int, str]] = [(0.0, 0, src)]
+        best: Dict[str, Tuple[float, int]] = {src: (0.0, 0)}
+        parent: Dict[str, str] = {}
+        while frontier:
+            cost, hops, here = heapq.heappop(frontier)
+            if here == dst:
+                break
+            if (cost, hops) > best.get(here, (float("inf"), 0)):
+                continue
+            for nxt in self.neighbours(here):
+                link = self._links[(here, nxt)]
+                candidate = (cost + link.latency, hops + 1)
+                if candidate < best.get(nxt, (float("inf"), 0)):
+                    best[nxt] = candidate
+                    parent[nxt] = here
+                    heapq.heappush(frontier, (*candidate, nxt))
+        if dst not in parent:
+            raise NetworkError(f"no WAN route {src!r} -> {dst!r}")
+        route: List[str] = [dst]
+        while route[-1] != src:
+            route.append(parent[route[-1]])
+        route.reverse()
+        return [self._links[(a, b)] for a, b in zip(route, route[1:])]
+
+    def latency(self, src: str, dst: str) -> float:
+        """One-way latency along the routed path (0 for same site)."""
+        return sum(link.latency for link in self.path(src, dst))
+
+    def path_load(self, src: str, dst: str, fabric: FlowNetwork) -> int:
+        """Active flows sharing any link of the ``src``→``dst`` route.
+
+        The hotspot signal for forwarding decisions: a route whose
+        links already carry many concurrent transfers is congested
+        *now*, regardless of its nominal capacity.
+        """
+        route = set(self.path(src, dst))
+        if not route:
+            return 0
+        return sum(
+            1 for flow in fabric.active_flows
+            if route.intersection(flow.links)
+        )
+
+    def total_bytes(self) -> float:
+        """Bytes carried across all WAN links (each hop counted)."""
+        return sum(link.bytes_carried for link in self._links.values())
+
+
+def attach_wan_meter(fabric: FlowNetwork) -> None:
+    """Wire per-link byte metering into a WAN flow engine.
+
+    Every delivered byte is credited to every :class:`WanLink` on its
+    route exactly once (the flow engine's observer contract).
+    """
+
+    def meter(flow: Flow, delta: float) -> None:
+        for link in flow.links:
+            if isinstance(link, WanLink):
+                link.record(delta)
+
+    fabric.add_observer(meter)

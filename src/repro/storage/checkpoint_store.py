@@ -81,17 +81,32 @@ class CheckpointStore:
         self._prune(record.job_id)
 
     def _prune(self, job_id: str) -> None:
+        """Trim a chain to ``keep_versions``, keeping restores intact.
+
+        The cut lands on the newest *full* record that leaves at least
+        ``keep_versions`` records and every retained incremental's
+        base in place; everything older is dead weight (restores only
+        ever start at a full record).  When no such anchor exists —
+        e.g. incrementals still chain off the oldest full — nothing is
+        dropped, so the chain may temporarily exceed the limit until
+        the next full re-anchors it.
+        """
         chain = self._records[job_id]
-        while len(chain) > self.keep_versions:
-            victim = chain[0]
-            needed_bases = {
-                rec.base_version for rec in chain[1:] if rec.incremental
-            }
-            if not victim.incremental and victim.version in needed_bases:
-                break  # still the base of a retained incremental
-            chain.pop(0)
+        if len(chain) <= self.keep_versions:
+            return
+        cut = 0
+        for index in range(len(chain) - self.keep_versions, -1, -1):
+            if chain[index].incremental:
+                continue
+            suffix_versions = {rec.version for rec in chain[index:]}
+            if all(rec.base_version in suffix_versions
+                   for rec in chain[index:] if rec.incremental):
+                cut = index
+                break
+        for victim in chain[:cut]:
             if self.volume.exists(victim.key):
                 self.volume.delete(victim.key)
+        del chain[:cut]
 
     def restore_chain(self, job_id: str) -> List[CheckpointRecord]:
         """Records needed to restore the latest state, in apply order.
@@ -121,6 +136,37 @@ class CheckpointStore:
     def restore_bytes(self, job_id: str) -> float:
         """Total bytes that must move to restore the latest state."""
         return sum(rec.nbytes for rec in self.restore_chain(job_id))
+
+    def export_snapshot(self, job_id: str) -> CheckpointRecord:
+        """Flatten the latest restore chain into one full record.
+
+        Cross-site replication ships a self-contained artifact: the
+        receiving store must be able to restore without this store's
+        incremental bases.  The snapshot's size is the full chain
+        (what actually crosses the WAN) and its progress is the
+        latest durable progress.
+        """
+        latest = self.latest(job_id)
+        return CheckpointRecord(
+            job_id=job_id,
+            version=latest.version,
+            created_at=latest.created_at,
+            nbytes=self.restore_bytes(job_id),
+            progress=latest.progress,
+            incremental=False,
+        )
+
+    def import_snapshot(self, record: CheckpointRecord) -> None:
+        """Adopt a replicated snapshot as this store's newest record.
+
+        The caller has already moved the bytes (over the WAN fabric);
+        this registers them.  Any older local records for the job are
+        superseded by the flattened snapshot.
+        """
+        if record.incremental:
+            raise ValueError("replicated snapshots must be full records")
+        self.drop_job(record.job_id)
+        self.add(record)
 
     def drop_job(self, job_id: str) -> int:
         """Delete all records for a finished job; returns count removed."""

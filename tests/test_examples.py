@@ -39,3 +39,15 @@ def test_auto_submission_runs(capsys):
     out = capsys.readouterr().out
     assert "done=True" in out
     assert "checkpoint interval" in out
+
+
+def test_multi_campus_runs(capsys):
+    run_example("multi_campus.py")
+    out = capsys.readouterr().out
+    assert "federated" in out
+    assert "jobs forwarded across the WAN" in out
+    # Conservation: parse the printed sum instead of matching the
+    # formatted string (a -5e-17 float sum would render as -0.000000).
+    line = next(l for l in out.splitlines()
+                if l.startswith("sum of balances:"))
+    assert abs(float(line.split()[3])) < 1e-6

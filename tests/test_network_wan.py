@@ -1,0 +1,86 @@
+"""WAN topology: links, routing, metering, hotspot signals."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network import FlowNetwork, WanLink, WanTopology, attach_wan_meter
+from repro.sim import Environment
+from repro.units import GIB, mbps
+
+
+def triangle():
+    wan = WanTopology()
+    wan.connect("a", "b", capacity=mbps(100), latency=0.010)
+    wan.connect("b", "c", capacity=mbps(100), latency=0.010)
+    wan.connect("a", "c", capacity=mbps(100), latency=0.050)
+    return wan
+
+
+def test_wan_link_validation():
+    with pytest.raises(ValueError):
+        WanLink("bad", 0.0)
+    with pytest.raises(ValueError):
+        WanLink("bad", mbps(100), latency=-1.0)
+
+
+def test_connect_creates_directional_pair():
+    wan = WanTopology()
+    forward, backward = wan.connect("a", "b", capacity=mbps(10))
+    assert forward.name == "a->b"
+    assert backward.name == "b->a"
+    assert wan.sites == ["a", "b"]
+    assert wan.link("a", "b") is forward
+    with pytest.raises(NetworkError):
+        wan.connect("a", "a")
+
+
+def test_path_prefers_low_latency_route():
+    wan = triangle()
+    # a->c direct costs 50 ms; via b costs 20 ms.
+    path = wan.path("a", "c")
+    assert [link.name for link in path] == ["a->b", "b->c"]
+    assert wan.latency("a", "c") == pytest.approx(0.020)
+    assert wan.path("a", "a") == []
+
+
+def test_unreachable_sites_raise():
+    wan = WanTopology()
+    wan.connect("a", "b")
+    wan.add_site("island")
+    with pytest.raises(NetworkError):
+        wan.path("a", "island")
+    with pytest.raises(NetworkError):
+        wan.path("a", "nowhere")
+
+
+def test_flow_network_runs_over_wan_and_meters_links():
+    env = Environment()
+    wan = WanTopology()
+    wan.connect("a", "b", capacity=mbps(100), latency=0.010)
+    fabric = FlowNetwork(env, wan)
+    attach_wan_meter(fabric)
+    done = fabric.transfer("a", "b", 1 * GIB, category="federation-dataset")
+    env.run()
+    assert done.ok
+    # 1 GiB at 100 Mbps = ~85.9 s plus propagation latency.
+    expected = GIB / mbps(100)
+    assert env.now == pytest.approx(expected + 0.010, rel=1e-6)
+    assert wan.link("a", "b").bytes_carried == pytest.approx(GIB)
+    assert wan.link("b", "a").bytes_carried == 0.0
+    assert wan.total_bytes() == pytest.approx(GIB)
+    assert wan.link("a", "b").utilization(env.now) == pytest.approx(
+        GIB / (mbps(100) * env.now))
+
+
+def test_path_load_counts_flows_sharing_route_links():
+    env = Environment()
+    wan = triangle()
+    fabric = FlowNetwork(env, wan)
+    fabric.transfer("a", "b", 10 * GIB)
+    fabric.transfer("b", "c", 10 * GIB)
+    # a->c routes via b, sharing links with both active flows.
+    assert wan.path_load("a", "c", fabric) == 2
+    # The reverse direction is uncongested.
+    assert wan.path_load("c", "a", fabric) == 0
+    env.run()
+    assert wan.path_load("a", "c", fabric) == 0

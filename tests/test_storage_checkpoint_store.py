@@ -61,6 +61,37 @@ def test_prune_preserves_incremental_base(store):
     assert 1 in versions
 
 
+def test_prune_cuts_at_newer_full_anchor(store):
+    # An old full and its dependent incrementals are dead weight once a
+    # newer full can anchor keep_versions records.
+    store.add(rec("j1", 1))
+    for version in (2, 3, 4):
+        store.add(rec("j1", version, incremental=True, base=1))
+    store.add(rec("j1", 5))
+    store.add(rec("j1", 6, incremental=True, base=5))
+    # Cutting at v5 would leave only 2 records (< keep_versions): the
+    # old anchor must survive for now.
+    assert [r.version for r in store.versions("j1")] == [1, 2, 3, 4, 5, 6]
+    store.add(rec("j1", 7, incremental=True, base=5))
+    # Now v5 anchors a full keep_versions suffix; v1-v4 are dropped.
+    assert [r.version for r in store.versions("j1")] == [5, 6, 7]
+    assert store.volume.keys() == (
+        "ckpt/j1/v5", "ckpt/j1/v6", "ckpt/j1/v7",
+    )
+
+
+def test_import_snapshot_replaces_history(store):
+    store.add(rec("j1", 1))
+    store.add(rec("j1", 2, incremental=True, base=1))
+    snapshot = store.export_snapshot("j1")
+    other = CheckpointStore("other-nas", Volume(Environment(), "d"))
+    other.add(rec("j1", 9))  # stale foreign history
+    other.import_snapshot(snapshot)
+    assert [r.version for r in other.versions("j1")] == [snapshot.version]
+    assert not other.latest("j1").incremental
+    assert other.restore_bytes("j1") == snapshot.nbytes
+
+
 def test_restore_chain_full(store):
     store.add(rec("j1", 1))
     store.add(rec("j1", 2))
