@@ -2,9 +2,12 @@
 
 from .autosubmit import ResourceEstimate, auto_submit, estimate_resources
 from .partition import (
+    LinkOutage,
     ModelLayer,
+    PartitionSchedule,
     PipelinePlan,
     StageAssignment,
+    inject_partitions,
     make_transformer_layers,
     partition_pipeline,
 )
@@ -37,9 +40,12 @@ __all__ = [
     "auto_submit",
     "estimate_resources",
     "ResourceEstimate",
+    "LinkOutage",
     "ModelLayer",
+    "PartitionSchedule",
     "PipelinePlan",
     "StageAssignment",
+    "inject_partitions",
     "make_transformer_layers",
     "partition_pipeline",
     "Coordinator",

@@ -101,6 +101,13 @@ class Coordinator:
         #: :class:`~repro.federation.gateway.FederationGateway` took
         #: ownership (the request must not be parked locally).
         self.on_unplaceable: Optional[Callable[[ResourceRequest], bool]] = None
+        #: Federation hook: called with the job id when
+        #: :meth:`cancel_job` hits a job that is not queued, parked, or
+        #: running here — a gateway holds it (offer in flight or
+        #: delegated to a peer site).  The gateway propagates the
+        #: cancellation across the WAN with at-most-once semantics;
+        #: returning ``True`` means it took responsibility for that.
+        self.on_cancel_delegated: Optional[Callable[[str], bool]] = None
 
         self.jobs: Dict[str, TrainingJobState] = {}
         self.sessions: List[SessionRecord] = []
@@ -230,9 +237,13 @@ class Coordinator:
                 # Not queued, parked, or running here — a federation
                 # gateway holds it (forward offer in flight, or already
                 # delegated).  Record the user's intent; the gateway
-                # checks this before re-queueing or offering.
+                # checks this before re-queueing or offering, and (for
+                # a committed delegation) propagates the cancellation
+                # across the WAN to the hosting site.
                 job.status = JobStatus.CANCELLED
                 self.events.emit("job-cancelled", job_id=job_id)
+                if self.on_cancel_delegated is not None:
+                    self.on_cancel_delegated(job_id)
             return None
         return self.rpc.call(self.hostname, running.hostname, "terminate",
                              {"job_id": job_id})
@@ -653,6 +664,14 @@ class Coordinator:
         gateways advertise in capacity digests.
         """
         return len(self.queue) + len(self._parked)
+
+    def is_dispatching(self, workload_id: str) -> bool:
+        """Whether a placement RPC for this workload is in flight.
+
+        Federation gateways must not confirm a cancellation while the
+        local dispatch round-trip could still land the job on a GPU.
+        """
+        return workload_id in self._dispatching
 
     def running_on(self, node_id: str) -> List[str]:
         """Workload ids currently booked on a node."""

@@ -1,13 +1,13 @@
-"""Heterogeneous large-model deployment (§5.2 future work).
+"""Partitioning, in both senses GPUnion cares about.
 
-"Unlike homogeneous clusters, GPUnion deploys in campus networks,
-which host a variety of GPU architectures whose memory capacity,
-compute capability, and interconnect bandwidth differ substantially.
-This heterogeneity calls for new approaches to model partitioning,
-layer placement, and load balancing that simultaneously respect
-hardware constraints and the fluctuating availability of contributors."
-
-This module implements that pipeline-partitioning problem for GPUnion's
+**Model partitioning** (§5.2 future work): "Unlike homogeneous
+clusters, GPUnion deploys in campus networks, which host a variety of
+GPU architectures whose memory capacity, compute capability, and
+interconnect bandwidth differ substantially.  This heterogeneity calls
+for new approaches to model partitioning, layer placement, and load
+balancing that simultaneously respect hardware constraints and the
+fluctuating availability of contributors."  The first half of this
+module implements that pipeline-partitioning problem for GPUnion's
 fleet: split a large model's layer sequence into contiguous stages,
 one stage per available GPU, such that
 
@@ -17,6 +17,18 @@ one stage per available GPU, such that
 
 with a reliability-aware variant that discounts volatile providers'
 capacity so a flaky host never carries the heaviest stage.
+
+**Network partitioning**: GPUnion's premise is that capacity can vanish
+at any moment — and once campuses federate over a WAN, whole *sites*
+can vanish behind a severed long-haul link.  The second half of this
+module treats link failure and recovery as first-class simulated
+events: a :class:`PartitionSchedule` of :class:`LinkOutage` windows is
+injected into a running :class:`~repro.network.wan.WanTopology` by
+:func:`inject_partitions`, severing routes mid-transfer at the outage
+start and healing them (with route recomputation and gateway
+reconciliation) at its end.  A deterministic flapping-link schedule is
+one classmethod away, which is what the partition-resilience experiment
+drives.
 """
 
 from __future__ import annotations
@@ -26,6 +38,8 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..errors import SchedulingError
 from ..gpu.specs import GPUSpec, speedup_over_reference
+from ..network.wan import WanTopology
+from ..sim import Environment
 from ..units import GIB
 
 
@@ -213,3 +227,119 @@ def partition_pipeline(
     if not stages:
         raise SchedulingError("partition produced no stages")
     return PipelinePlan(stages=tuple(stages))
+
+
+# -- network partitions: link outages as first-class events ---------------
+
+
+@dataclass(frozen=True)
+class LinkOutage:
+    """One window during which a WAN site pair is severed."""
+
+    site_a: str
+    site_b: str
+    start: float
+    duration: float
+
+    def __post_init__(self):
+        if self.site_a == self.site_b:
+            raise ValueError("outage needs two distinct sites")
+        if self.start < 0:
+            raise ValueError("outage start must be >= 0")
+        if self.duration <= 0:
+            raise ValueError("outage duration must be positive")
+
+    @property
+    def end(self) -> float:
+        """Simulation time the link heals."""
+        return self.start + self.duration
+
+    @property
+    def pair(self) -> Tuple[str, str]:
+        """The undirected site pair, name-sorted."""
+        return tuple(sorted((self.site_a, self.site_b)))
+
+
+@dataclass(frozen=True)
+class PartitionSchedule:
+    """A deterministic set of :class:`LinkOutage` windows.
+
+    Purely declarative — build it up front (so an experiment's failure
+    trace is part of its configuration, not a side effect of running
+    it) and hand it to :func:`inject_partitions`.
+    """
+
+    outages: Tuple[LinkOutage, ...] = ()
+
+    def __post_init__(self):
+        ordered = tuple(sorted(
+            self.outages, key=lambda o: (o.start, o.pair, o.duration)))
+        object.__setattr__(self, "outages", ordered)
+
+    @classmethod
+    def flapping(
+        cls,
+        site_a: str,
+        site_b: str,
+        first_down: float,
+        downtime: float,
+        uptime: float,
+        until: float,
+    ) -> "PartitionSchedule":
+        """A link that severs and heals periodically until ``until``.
+
+        Windows start at ``first_down`` and repeat every
+        ``downtime + uptime`` seconds — the classic flapping long-haul
+        link the partition-resilience experiment injects.
+        """
+        if downtime <= 0 or uptime <= 0:
+            raise ValueError("downtime and uptime must be positive")
+        outages = []
+        start = first_down
+        while start < until:
+            outages.append(LinkOutage(site_a, site_b, start, downtime))
+            start += downtime + uptime
+        return cls(outages=tuple(outages))
+
+    def affecting(self, site_a: str, site_b: str) -> Tuple[LinkOutage, ...]:
+        """Outage windows hitting one undirected site pair."""
+        pair = tuple(sorted((site_a, site_b)))
+        return tuple(o for o in self.outages if o.pair == pair)
+
+    @property
+    def total_downtime(self) -> float:
+        """Summed outage seconds (overlaps counted per window)."""
+        return sum(o.duration for o in self.outages)
+
+    def merged(self, other: "PartitionSchedule") -> "PartitionSchedule":
+        """Union of two schedules (windows nest safely on injection)."""
+        return PartitionSchedule(outages=self.outages + other.outages)
+
+
+def inject_partitions(
+    env: Environment,
+    wan: WanTopology,
+    schedule: PartitionSchedule,
+) -> None:
+    """Drive ``schedule``'s outages against ``wan`` on the sim clock.
+
+    Each window becomes a pair of simulated events: sever at its start
+    (in-flight traffic on the route dies, if partition enforcement is
+    attached), heal at its end (routes recompute; gateways reconcile).
+    Overlapping windows on one pair nest via the topology's outage
+    depth, so a pair only heals when its last window lifts.  Observers
+    subscribe to the edge transitions with
+    :meth:`~repro.network.wan.WanTopology.add_listener`.
+    """
+    for outage in schedule.outages:
+        env.process(_drive_outage(env, wan, outage),
+                    name=f"outage:{outage.site_a}<->{outage.site_b}"
+                         f"@{outage.start:g}")
+
+
+def _drive_outage(env, wan, outage):
+    if outage.start > env.now:
+        yield env.timeout(outage.start - env.now)
+    wan.sever(outage.site_a, outage.site_b)
+    yield env.timeout(outage.duration)
+    wan.heal(outage.site_a, outage.site_b)

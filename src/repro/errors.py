@@ -78,3 +78,21 @@ class NetworkError(GPUnionError):
 
 class ProviderDepartedError(NetworkError):
     """The provider node left the platform mid-operation."""
+
+
+class WanPartitionError(NetworkError):
+    """A WAN route is severed: the sites exist and were once connected,
+    but every path between them currently crosses a failed link.
+
+    Distinct from the generic :class:`NetworkError` so federation
+    gateways can tell "the peer is partitioned (retry on heal)" from
+    "the call itself was malformed / the peer never existed"."""
+
+
+class RpcTimeoutError(NetworkError):
+    """An RPC did not complete within the caller's deadline.
+
+    The outcome at the remote side is *unknown*: the request may never
+    have arrived, or the handler may have committed and only the
+    response leg was lost.  Callers must reconcile (query the remote
+    side) before retrying non-idempotent work."""

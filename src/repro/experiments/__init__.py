@@ -13,8 +13,11 @@ from .federation import (
     FEDERATION_SITES,
     FederationResult,
     FederationSiteSpec,
+    PartitionResult,
     build_federation,
+    default_partition_schedule,
     run_federation,
+    run_partition_experiment,
     site_demand,
 )
 from .fig2_utilization import Fig2Result, run_fig2, weekly_series
@@ -47,8 +50,11 @@ __all__ = [
     "FEDERATION_SITES",
     "FederationResult",
     "FederationSiteSpec",
+    "PartitionResult",
     "build_federation",
+    "default_partition_schedule",
     "run_federation",
+    "run_partition_experiment",
     "site_demand",
     "Fig2Result",
     "run_fig2",

@@ -23,12 +23,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core.partition import PartitionSchedule
 from ..core.platform import GPUnionPlatform
 from ..federation import FederatedDeployment, FederationConfig
 from ..gpu.specs import A100_40GB, A6000, RTX_3090, RTX_4090
 from ..sim import RngStreams
 from ..sim.rng import derive_seed
-from ..units import DAY, MINUTE, gbps, mbps
+from ..units import DAY, HOUR, MINUTE, gbps, mbps
 from ..workloads.generator import Arrival, LabProfile, WorkloadGenerator
 from .campus import ServerSpec, replay_demand
 
@@ -280,4 +281,160 @@ def run_federation(
         wan_transfer_seconds=fed.total_wan_transfer_seconds(),
         wan_links=fed.wan_link_report(horizon),
         credit_balances=fed.credit_balances(),
+    )
+
+
+# -- WAN-partition resilience ----------------------------------------------
+
+
+def default_partition_schedule(horizon: float,
+                               first_down: float = 30 * MINUTE,
+                               downtime: float = 20 * MINUTE,
+                               uptime: float = 30 * MINUTE,
+                               ) -> PartitionSchedule:
+    """The experiment's flapping-WAN failure trace.
+
+    Both of "north"'s links (to "south" and to "east") flap on the
+    same windows, so the overloaded campus is periodically *fully
+    isolated* — the hard case: no alternate route, in-flight
+    replication dies, forward handshakes lose legs, completion notices
+    go missing until the heal-time reconciliation pass.  Windows stop
+    two hours before the horizon so every outage heals (and reconciles)
+    inside the measured run.
+    """
+    until = max(first_down, horizon - 2 * HOUR)
+    south = PartitionSchedule.flapping(
+        "north", "south", first_down, downtime, uptime, until)
+    east = PartitionSchedule.flapping(
+        "north", "east", first_down, downtime, uptime, until)
+    return south.merged(east)
+
+
+@dataclass
+class PartitionResult:
+    """Stable WAN vs flapping WAN over identical demand."""
+
+    days: float
+    outages_injected: int
+    downtime_seconds: float
+    stable_by_site: Dict[str, float]
+    flapping_by_site: Dict[str, float]
+    stable_overall: float
+    flapping_overall: float
+    stable_completed: int
+    flapping_completed: int
+    #: Jobs that completed at more than one campus — the duplicate-
+    #: execution bug.  Must be empty with the two-phase handshake.
+    duplicate_jobs: List[str]
+    forwarded_stable: int
+    forwarded_flapping: int
+    #: Commit legs whose outcome was ambiguous (parked, then probed).
+    forward_unknowns: int
+    #: Handshakes the status probe proved uncommitted (safely requeued).
+    forward_requeues: int
+    #: Payload pulls killed mid-replication by a sever.
+    commit_aborts: int
+    #: Completion notices that failed against a partitioned origin
+    #: (every one must be re-delivered by reconciliation).
+    notify_failures: int
+    #: Offer leases that expired unclaimed after a severed commit leg.
+    lease_expiries: int
+    #: Open reconciliation work left at the horizon (target: 0).
+    unresolved_at_end: int
+
+    @property
+    def degradation_points(self) -> float:
+        """Utilization cost of the flapping link, in percentage points."""
+        return (self.stable_overall - self.flapping_overall) * 100.0
+
+    def rows(self) -> List[List[str]]:
+        """The experiment as table rows (header first)."""
+        rows = [["Campus", "Stable WAN", "Flapping WAN"]]
+        for site in self.stable_by_site:
+            rows.append([
+                site,
+                f"{self.stable_by_site[site] * 100:.1f}%",
+                f"{self.flapping_by_site.get(site, 0.0) * 100:.1f}%",
+            ])
+        rows.append([
+            "ALL CAMPUSES",
+            f"{self.stable_overall * 100:.1f}%",
+            f"{self.flapping_overall * 100:.1f}%",
+        ])
+        return rows
+
+
+def _run_federated_phase(
+    seed: int,
+    sites: Sequence[FederationSiteSpec],
+    horizon: float,
+    schedule: Optional[PartitionSchedule] = None,
+    federation_config: Optional[FederationConfig] = None,
+) -> FederatedDeployment:
+    fed = build_federation(seed=seed, sites=sites,
+                           federation_config=federation_config)
+    if schedule is not None:
+        fed.inject_partitions(schedule)
+    for site in sites:
+        _feed(fed.site(site.name).platform,
+              site_demand(seed, site, horizon))
+    fed.run(until=horizon)
+    return fed
+
+
+def _event_total(fed: FederatedDeployment, kind: str) -> int:
+    return sum(handle.platform.events.count(kind)
+               for handle in fed.sites.values())
+
+
+def _completed_once(fed: FederatedDeployment) -> int:
+    """Jobs that completed at exactly one campus, federation-wide."""
+    return sum(1 for count in fed.completion_counts().values()
+               if count == 1)
+
+
+def run_partition_experiment(
+    seed: int = 42,
+    days: float = 1.5,
+    sites: Sequence[FederationSiteSpec] = FEDERATION_SITES,
+    schedule: Optional[PartitionSchedule] = None,
+    federation_config: Optional[FederationConfig] = None,
+) -> PartitionResult:
+    """Federated utilization under a flapping WAN link.
+
+    Two federated runs over identical demand traces: a stable WAN, and
+    the same WAN with :func:`default_partition_schedule` (or a caller-
+    supplied schedule) severing and healing links mid-run.  The point
+    is *graceful* degradation: utilization dips while the overloaded
+    campus is isolated, but every job still executes at most once, no
+    completion notice is permanently lost, and all reconciliation work
+    drains by the horizon.
+    """
+    horizon = days * DAY
+    if schedule is None:
+        schedule = default_partition_schedule(horizon)
+
+    stable = _run_federated_phase(seed, sites, horizon,
+                                  federation_config=federation_config)
+    flapping = _run_federated_phase(seed, sites, horizon, schedule=schedule,
+                                    federation_config=federation_config)
+    return PartitionResult(
+        days=days,
+        outages_injected=len(schedule.outages),
+        downtime_seconds=schedule.total_downtime,
+        stable_by_site=stable.site_utilization(0, horizon),
+        flapping_by_site=flapping.site_utilization(0, horizon),
+        stable_overall=stable.aggregate_utilization(0, horizon),
+        flapping_overall=flapping.aggregate_utilization(0, horizon),
+        stable_completed=_completed_once(stable),
+        flapping_completed=_completed_once(flapping),
+        duplicate_jobs=flapping.duplicate_executions(),
+        forwarded_stable=stable.total_forwarded(),
+        forwarded_flapping=flapping.total_forwarded(),
+        forward_unknowns=_event_total(flapping, "job-forward-unknown"),
+        forward_requeues=_event_total(flapping, "job-forward-requeued"),
+        commit_aborts=_event_total(flapping, "forward-commit-aborted"),
+        notify_failures=_event_total(flapping, "job-complete-notify-failed"),
+        lease_expiries=_event_total(flapping, "forward-lease-expired"),
+        unresolved_at_end=flapping.unresolved_count(),
     )

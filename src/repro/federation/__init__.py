@@ -16,16 +16,25 @@ seeded federated run is exactly reproducible.
 from .deployment import FederatedDeployment, SiteHandle
 from .gateway import FederationGateway
 from .ledger import CreditEntry, CreditLedger
-from .messages import CapacityDigest, ForwardRecord
+from .messages import (
+    CapacityDigest,
+    DelegationState,
+    ForwardEnvelope,
+    ForwardOffer,
+    ForwardRecord,
+)
 from .policy import FederationConfig, ForwardingPolicy
 
 __all__ = [
     "CapacityDigest",
     "CreditEntry",
     "CreditLedger",
+    "DelegationState",
     "FederatedDeployment",
     "FederationConfig",
     "FederationGateway",
+    "ForwardEnvelope",
+    "ForwardOffer",
     "ForwardRecord",
     "ForwardingPolicy",
     "SiteHandle",

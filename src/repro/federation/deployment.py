@@ -23,8 +23,15 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..config import PlatformConfig
+from ..core.partition import PartitionSchedule, inject_partitions
 from ..core.platform import GPUnionPlatform
-from ..network import FlowNetwork, RpcLayer, WanTopology, attach_wan_meter
+from ..network import (
+    FlowNetwork,
+    RpcLayer,
+    WanTopology,
+    attach_partition_enforcement,
+    attach_wan_meter,
+)
 from ..sim import Environment
 from ..sim.rng import derive_seed
 from .gateway import FederationGateway
@@ -60,6 +67,8 @@ class FederatedDeployment:
         self.wan = wan or WanTopology()
         self.fabric = FlowNetwork(self.env, self.wan)
         attach_wan_meter(self.fabric)
+        # Link failures kill in-flight WAN flows with WanPartitionError.
+        attach_partition_enforcement(self.fabric, self.wan)
         self.wan_rpc = RpcLayer(self.env, self.fabric)
         self.ledger = CreditLedger()
         self.federation_config = federation_config or FederationConfig()
@@ -110,6 +119,26 @@ class FederatedDeployment:
     def run(self, until: Optional[float] = None) -> None:
         """Advance the shared simulation."""
         self.env.run(until=until)
+
+    # -- WAN failure injection ---------------------------------------------
+
+    def sever(self, a: str, b: str) -> bool:
+        """Cut the ``a``↔``b`` WAN link pair now (both directions).
+
+        In-flight transfers and RPCs on routes over the pair fail with
+        :class:`~repro.errors.WanPartitionError`; routing recomputes.
+        """
+        return self.wan.sever(a, b)
+
+    def heal(self, a: str, b: str) -> bool:
+        """Restore the ``a``↔``b`` pair; gateways reconcile immediately."""
+        return self.wan.heal(a, b)
+
+    def inject_partitions(self, schedule: PartitionSchedule) -> None:
+        """Drive a :class:`~repro.core.partition.PartitionSchedule`
+        of link outages against this federation's WAN on the shared
+        clock."""
+        inject_partitions(self.env, self.wan, schedule)
 
     # -- federation-wide measurement --------------------------------------
 
@@ -168,3 +197,34 @@ class FederatedDeployment:
     def credit_balances(self) -> Dict[str, float]:
         """Every site's net GPU-hour credit balance."""
         return self.ledger.balances()
+
+    def completion_counts(self) -> Dict[str, int]:
+        """``job-completed`` events per job id, federation-wide."""
+        completions: Dict[str, int] = {}
+        for handle in self.sites.values():
+            for event in handle.platform.events.of_kind("job-completed"):
+                job_id = event.payload.get("job_id")
+                completions[job_id] = completions.get(job_id, 0) + 1
+        return completions
+
+    def duplicate_executions(self) -> List[str]:
+        """Job ids that *completed* at more than one campus.
+
+        The smoking gun of a non-failure-atomic forward protocol: a
+        lost commit acknowledgement used to make the origin requeue a
+        job its host was already running.  With the two-phase
+        handshake this list must stay empty under any partition
+        schedule.
+        """
+        return sorted(job_id for job_id, count
+                      in self.completion_counts().items() if count > 1)
+
+    def unresolved_count(self) -> int:
+        """Open reconciliation work across all gateways (unknown
+        delegations + pending cancels + unacked completion notices)."""
+        return sum(
+            handle.gateway.unresolved_delegations
+            + handle.gateway.pending_cancel_count
+            + handle.gateway.unacked_completion_count
+            for handle in self.sites.values()
+        )

@@ -1,46 +1,65 @@
 """Per-campus federation gateway.
 
-One gateway fronts each campus deployment.  It owns four duties:
+One gateway fronts each campus deployment.  It owns five duties:
 
 * **Gossip** — periodically compute a :class:`CapacityDigest` from the
   local coordinator's registry and push it to every WAN peer, keeping
   a (possibly stale) view of remote spare capacity.
 * **Egress** — the coordinator's ``on_unplaceable`` hook lands here:
-  when the local fleet cannot place a training request (queue
-  saturated, or no GPU passes the memory/capability filters), the
-  gateway may take ownership and offer the job to the best-scoring
-  peer.  If the job has a durable checkpoint, its flattened restore
-  chain is what crosses the WAN — this is how a provider departure can
-  end with the job resuming at a *different* campus.
-* **Ingress** — the ``forward-request`` handler applies the local
-  acceptance policy, pulls the bulk payload (dataset or checkpoint
-  snapshot) over the WAN with transfer time charged on the sim clock,
-  imports the snapshot into the local checkpoint store, and submits
-  the job to the local coordinator with full provenance.
+  when the local fleet cannot place a training request, the gateway
+  may take ownership and offer the job to the best-scoring peer via a
+  **two-phase handshake** (offer → claim-token → commit-ack).  Phase 1
+  moves only metadata and costs at most an expiring capacity lease;
+  phase 2 carries the claim token, pulls the bulk payload, and commits
+  at most once per token.  A lost commit acknowledgement therefore
+  parks the delegation as *unknown outcome* — resolved by an
+  idempotent ``forward-status`` probe, never by blind re-queuing (the
+  double-schedule bug the one-shot protocol had).
+* **Ingress** — the phase handlers apply the local acceptance policy,
+  pull the bulk payload (dataset or checkpoint snapshot) over the WAN
+  with transfer time charged on the sim clock, import the snapshot
+  into the local checkpoint store, and submit the job to the local
+  coordinator with full provenance.
 * **Settlement** — when a foreign job completes here, the gateway
   credits this site in the shared :class:`CreditLedger` for the
   GPU-hours actually donated (arrival progress is *not* billed) and
-  notifies the origin gateway so the submitting user's job record
-  closes at home.
+  notifies the origin gateway; the notice is kept until acknowledged,
+  so a partitioned origin receives it on heal instead of never.
+* **Reconciliation** — a periodic pass (kicked immediately by every
+  WAN heal) resolves unknown-outcome delegations, delivers pending
+  cross-site cancellations with at-most-once effect, and re-sends
+  unacknowledged completion notices.  Every reconciliation message is
+  idempotent at the receiver, so heal-kicks and the steady-state timer
+  may race freely.
 
 All messaging rides the WAN RPC layer, so control chatter and bulk
-replication compete for the same long-haul links.
+replication compete for the same long-haul links — and all of it can
+fail mid-flight with :class:`~repro.errors.WanPartitionError` when a
+link is severed.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import replace
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, List, Optional, Set, Tuple
 
 from ..core.messages import ResourceRequest
 from ..core.platform import GPUnionPlatform
 from ..errors import NetworkError
 from ..monitoring.events import PlatformEvent
 from ..network import FlowNetwork, RpcLayer, WanTopology
+from ..sim import Event
 from ..units import HOUR
-from ..workloads.training import JobStatus
+from ..workloads.training import JobStatus, TrainingJobSpec
 from .ledger import CreditLedger
-from .messages import CapacityDigest, ForwardEnvelope, ForwardRecord
+from .messages import (
+    CapacityDigest,
+    DelegationState,
+    ForwardEnvelope,
+    ForwardOffer,
+    ForwardRecord,
+)
 from .policy import FederationConfig, ForwardingPolicy
 
 
@@ -69,27 +88,60 @@ class FederationGateway:
 
         self.peer_digests: Dict[str, CapacityDigest] = {}
         #: Jobs this site hosts for others: job_id → (origin, arrival progress).
-        self._foreign_jobs: Dict[str, tuple] = {}
+        self._foreign_jobs: Dict[str, Tuple[str, float]] = {}
         #: Jobs this site delegated out: job_id → ForwardRecord.
         self.delegations: Dict[str, ForwardRecord] = {}
+        #: Requests whose delegation is still unresolved (unknown
+        #: outcome) — kept so an "absent" probe result can requeue.
+        self._pending_requests: Dict[str, ResourceRequest] = {}
+        #: Delegated jobs the user cancelled; delivered to the hosting
+        #: site by the reconciliation pass (idempotent at the host, so
+        #: the effect is at-most-once).
+        self._pending_cancels: Set[str] = set()
+        #: Forward handshakes currently in flight (no record yet).
+        self._inflight: Set[str] = set()
         self._retry_after: Dict[str, float] = {}
-        #: Accepted inbound offers whose WAN payload pull is still in
-        #: flight — reserved capacity the digest must not re-advertise.
+
+        #: Host-side capacity leases: claim token → granted offer.
+        self._offers: Dict[str, ForwardOffer] = {}
+        #: Host-side commits in progress (payload pull running).
+        self._committing: Set[str] = set()
+        #: Host-side committed handshakes: job_id → claim token, for
+        #: idempotent replay of a commit whose ack was lost.
+        self._commits: Dict[str, str] = {}
+        #: Completion notices not yet acknowledged by the origin:
+        #: job_id → (origin site, notice payload).
+        self._unacked: Dict[str, Tuple[str, dict]] = {}
+        #: Accepted inbound offers (leases + commits in flight) —
+        #: reserved capacity the digest must not re-advertise.
         self._inbound_pending = 0
+
+        self._token_seq = itertools.count(1)
+        self._reconcile_wake: Optional[Event] = None
+        self._reconcile_kicked = False
+        self._pass_running = False
+
         self.forwarded_out = 0
         self.forwarded_in = 0
         self.declined = 0
         self.wan_transfer_seconds = 0.0
 
         wan.add_site(site)
+        wan.add_listener(self._on_wan_transition)
         ledger.register_site(site)
         endpoint = wan_rpc.bind(site)
         endpoint.register("digest", self._handle_digest)
-        endpoint.register("forward-request", self._handle_forward_request)
+        endpoint.register("forward-offer", self._handle_forward_offer)
+        endpoint.register("forward-commit", self._handle_forward_commit)
+        endpoint.register("forward-release", self._handle_forward_release)
+        endpoint.register("forward-status", self._handle_forward_status)
+        endpoint.register("cancel-job", self._handle_cancel_job)
         endpoint.register("job-complete", self._handle_job_complete)
         platform.coordinator.on_unplaceable = self._on_unplaceable
+        platform.coordinator.on_cancel_delegated = self._on_cancel_delegated
         platform.events.subscribe(self._on_event)
         self.env.process(self._gossip_loop(), name=f"gossip:{site}")
+        self.env.process(self._reconcile_loop(), name=f"reconcile:{site}")
 
     # -- gossip -----------------------------------------------------------
 
@@ -103,9 +155,9 @@ class FederationGateway:
 
         Only *fully-idle* cards count — forwarded training is
         exclusive, so a busy card's free memory is not remote-placement
-        capacity.  Inbound offers already accepted but still pulling
-        their payload over the WAN are subtracted, so concurrent
-        origins cannot all claim the same advertised GPU.
+        capacity.  Inbound offers already accepted (leases granted or
+        payload pulls in flight) are subtracted, so concurrent origins
+        cannot all claim the same advertised GPU.
         """
         free_gpus = 0
         card_classes = set()
@@ -134,6 +186,7 @@ class FederationGateway:
                         self.site, peer, "digest", digest,
                         request_size=self.config.control_message_bytes,
                         response_size=self.config.control_message_bytes,
+                        timeout=self.config.control_rpc_timeout,
                     )
                 except NetworkError:
                     continue  # partitioned peer; try again next round
@@ -141,6 +194,16 @@ class FederationGateway:
     def _handle_digest(self, digest: CapacityDigest):
         self.peer_digests[digest.site] = digest
         return "ok"
+
+    # -- WAN transitions --------------------------------------------------
+
+    def _on_wan_transition(self, event: str, a: str, b: str) -> None:
+        kind = "wan-link-severed" if event == "sever" else "wan-link-healed"
+        self.platform.events.emit(kind, a=a, b=b)
+        if event == "heal":
+            # Reconcile immediately: resolve unknown outcomes, deliver
+            # pending cancels, re-send missed completion notices.
+            self._kick_reconcile()
 
     # -- egress: forwarding unplaceable work ------------------------------
 
@@ -173,9 +236,19 @@ class FederationGateway:
         return True
 
     def _forward(self, request: ResourceRequest, dest: str) -> Generator:
+        job_id = request.training.job_id
+        self._inflight.add(job_id)
+        try:
+            yield from self._forward_handshake(request, dest)
+        finally:
+            self._inflight.discard(job_id)
+
+    def _forward_handshake(self, request: ResourceRequest,
+                           dest: str) -> Generator:
         spec = request.training
         state = self.platform.coordinator.jobs.get(spec.job_id)
         if state is not None and state.status is JobStatus.CANCELLED:
+            self._pending_cancels.discard(spec.job_id)
             return  # cancelled between the hook firing and this process
         store = self.platform.store_for(spec)
         snapshot = None
@@ -187,46 +260,79 @@ class FederationGateway:
             payload_bytes = snapshot.nbytes + spec.dataset_bytes
         else:
             payload_bytes = spec.dataset_bytes
+        restore = snapshot is not None
+        started = self.env.now
+        self.platform.events.emit(
+            "job-forward-offered", job_id=spec.job_id, dest=dest,
+            restore=restore, nbytes=payload_bytes,
+        )
+        # Phase 1: metadata-only offer.  A failure here is *safe* —
+        # nothing durable happened at the host beyond an expiring
+        # lease — so any error reads as a decline.
+        offer = ForwardOffer(
+            spec=spec,
+            origin_site=self.site,
+            payload_bytes=payload_bytes,
+            restore=restore,
+            progress=snapshot.progress if restore else 0.0,
+            forward_hops=request.forward_hops + 1,
+        )
+        try:
+            reply = yield self.wan_rpc.call(
+                self.site, dest, "forward-offer", offer,
+                request_size=self.config.control_message_bytes,
+                response_size=self.config.control_message_bytes,
+                timeout=self.config.control_rpc_timeout,
+            )
+        except NetworkError:
+            reply = {}
+        if not reply.get("accepted"):
+            self._decline(request, dest)
+            return
+        token = reply["claim_token"]
+        state = self.platform.coordinator.jobs.get(spec.job_id)
+        if state is not None and state.status is JobStatus.CANCELLED:
+            # Cancelled while the offer was in flight: nothing has
+            # committed — release the lease (best-effort; it expires
+            # on its own if this leg is lost too) and walk away.
+            self._pending_cancels.discard(spec.job_id)
+            yield from self._release_lease(dest, token)
+            return
+        # Phase 2: claim-bearing commit.  A failure here is AMBIGUOUS
+        # — the host may have pulled the payload and scheduled the job
+        # — so it parks the delegation as unknown outcome for the
+        # reconciliation pass to resolve.  Re-queuing here is exactly
+        # the double-schedule bug.
         envelope = ForwardEnvelope(
             spec=spec,
             origin_site=self.site,
             payload_bytes=payload_bytes,
             snapshot=snapshot,
             forward_hops=request.forward_hops + 1,
-        )
-        started = self.env.now
-        self.platform.events.emit(
-            "job-forward-offered", job_id=spec.job_id, dest=dest,
-            restore=envelope.restore, nbytes=payload_bytes,
+            claim_token=token,
         )
         try:
-            reply = yield self.wan_rpc.call(
-                self.site, dest, "forward-request", envelope,
+            commit = yield self.wan_rpc.call(
+                self.site, dest, "forward-commit", envelope,
                 request_size=self.config.control_message_bytes,
                 response_size=self.config.control_message_bytes,
+                timeout=self.config.commit_rpc_timeout,
             )
         except NetworkError:
-            reply = {"accepted": False}
-        cancelled = (state is not None
-                     and state.status is JobStatus.CANCELLED)
-        if not reply.get("accepted"):
-            # Back off and hand the request back to the local queue —
-            # it will park there like any other unplaceable work
-            # (unless the user cancelled while the offer was in flight).
-            self.declined += 1
-            self._retry_after[spec.job_id] = (
-                self.env.now + self.config.forward_retry_backoff)
-            self.platform.events.emit("job-forward-declined",
+            record = ForwardRecord(
+                job_id=spec.job_id, dest_site=dest, forwarded_at=started,
+                payload_bytes=payload_bytes, restore=restore,
+                claim_token=token, state=DelegationState.UNKNOWN,
+            )
+            self.delegations[spec.job_id] = record
+            self._pending_requests[spec.job_id] = request
+            self.platform.events.emit("job-forward-unknown",
                                       job_id=spec.job_id, dest=dest)
-            if not cancelled:
-                self.platform.coordinator.queue.push(request)
+            self._kick_reconcile()
             return
-        if cancelled:
-            # The peer accepted before the cancellation landed; the
-            # remote copy runs to completion (cross-WAN cancellation
-            # is a ROADMAP open item).  Keep the record honest.
-            self.platform.events.emit("job-cancel-lost-race",
-                                      job_id=spec.job_id, dest=dest)
+        if not commit.get("committed"):
+            self._decline(request, dest)
+            return
         elapsed = self.env.now - started
         self.forwarded_out += 1
         self.wan_transfer_seconds += elapsed
@@ -235,69 +341,154 @@ class FederationGateway:
             dest_site=dest,
             forwarded_at=started,
             payload_bytes=payload_bytes,
-            restore=envelope.restore,
+            restore=restore,
             transfer_seconds=elapsed,
+            claim_token=token,
         )
         self.delegations[spec.job_id] = record
-        if state is not None and not cancelled:
+        state = self.platform.coordinator.jobs.get(spec.job_id)
+        if state is not None and state.status is JobStatus.CANCELLED:
+            # The user cancelled mid-commit; the host runs the job
+            # until the pending cancellation lands there.
+            self._pending_cancels.add(spec.job_id)
+            self._kick_reconcile()
+        elif state is not None:
             state.status = JobStatus.MIGRATING
             state.current_node = f"wan:{dest}"
         self.platform.events.emit(
             "job-forwarded-out", job_id=spec.job_id, dest=dest,
-            restore=envelope.restore, transfer_seconds=elapsed,
+            restore=restore, transfer_seconds=elapsed,
         )
+
+    def _on_cancel_delegated(self, job_id: str) -> bool:
+        """Coordinator hook: the user cancelled a gateway-held job.
+
+        The local record is already CANCELLED; if the job crossed (or
+        is crossing) the WAN, queue the cancellation for at-most-once
+        delivery to the hosting site.
+        """
+        if job_id in self.delegations or job_id in self._inflight:
+            self._pending_cancels.add(job_id)
+            self._kick_reconcile()
+            return True
+        return False
+
+    def _decline(self, request: ResourceRequest, dest: str) -> None:
+        """Offer declined (or failed safely): back off and re-park.
+
+        The request goes back to the local queue like any other
+        unplaceable work — unless the user cancelled while the offer
+        was in flight.
+        """
+        spec = request.training
+        self.declined += 1
+        self._retry_after[spec.job_id] = (
+            self.env.now + self.config.forward_retry_backoff)
+        self.platform.events.emit("job-forward-declined",
+                                  job_id=spec.job_id, dest=dest)
+        state = self.platform.coordinator.jobs.get(spec.job_id)
+        if state is None or state.status is not JobStatus.CANCELLED:
+            self.platform.coordinator.queue.push(request)
+        else:
+            self._pending_cancels.discard(spec.job_id)
+
+    def _release_lease(self, dest: str, token: str) -> Generator:
+        try:
+            yield self.wan_rpc.call(
+                self.site, dest, "forward-release", {"claim_token": token},
+                request_size=self.config.control_message_bytes,
+                response_size=self.config.control_message_bytes,
+                timeout=self.config.control_rpc_timeout,
+            )
+        except NetworkError:
+            pass  # the lease expires at the host on its own
 
     # -- ingress: hosting foreign work ------------------------------------
 
-    def accepts(self, envelope: ForwardEnvelope) -> bool:
+    def accepts(self, spec: TrainingJobSpec) -> bool:
         """Local-first admission: host foreign work only with headroom.
 
         Applies the same filters a peer's forwarding policy applied to
         our (possibly stale) digest, but against the live local view.
         """
-        model = envelope.spec.model
+        model = spec.model
         return self.policy.admissible(
             self.local_digest(), model.gpu_memory,
             model.min_compute_capability)
 
-    def _handle_forward_request(self, envelope: ForwardEnvelope) -> Generator:
-        if envelope.spec.job_id in self.platform.coordinator.jobs:
-            # Duplicate offer (e.g. a retried forward after a lost
-            # acknowledgement): we already host this job.  NOTE the
-            # protocol is not failure-atomic — if the *response* leg
-            # is ever severed after we commit below, the origin treats
-            # the offer as declined and re-queues locally while we run
-            # it too; reconciliation belongs to the WAN-partition open
-            # item in ROADMAP.md.
-            return {"accepted": False}
-        if not self.accepts(envelope):
+    def _handle_forward_offer(self, offer: ForwardOffer) -> dict:
+        job_id = offer.spec.job_id
+        if job_id in self.platform.coordinator.jobs or job_id in self._committing:
+            # We already host (or are mid-commit of) this job; the
+            # origin should resolve its handshake via forward-status,
+            # never re-offer — decline defensively.
+            return {"accepted": False, "reason": "already-hosted"}
+        if not self.accepts(offer.spec):
             self.platform.events.emit("job-forward-rejected",
-                                      job_id=envelope.spec.job_id,
-                                      origin=envelope.origin_site)
+                                      job_id=job_id,
+                                      origin=offer.origin_site)
             return {"accepted": False}
-        # Reserve the accepted slot for the duration of the payload
-        # pull, then pull the bulk bytes (checkpoint snapshot or
-        # dataset) over the WAN; the handler runs inside the RPC, so
-        # the origin sees the full replication time before its offer
-        # is acknowledged.
+        token = f"{self.site}#{next(self._token_seq)}"
+        self._offers[token] = offer
+        # Reserve the accepted card until the claim arrives, so
+        # concurrent origins cannot all book the same advertised GPU.
         self._inbound_pending += 1
+        self.env.process(self._lease_expiry(token),
+                         name=f"lease:{self.site}:{job_id}")
+        return {"accepted": True, "claim_token": token}
+
+    def _lease_expiry(self, token: str) -> Generator:
+        yield self.env.timeout(self.config.offer_lease_timeout)
+        offer = self._offers.pop(token, None)
+        if offer is not None:
+            self._inbound_pending -= 1
+            self.platform.events.emit("forward-lease-expired",
+                                      job_id=offer.spec.job_id,
+                                      origin=offer.origin_site)
+
+    def _handle_forward_commit(self, envelope: ForwardEnvelope) -> Generator:
+        job_id = envelope.spec.job_id
+        token = envelope.claim_token
+        if self._commits.get(job_id) == token:
+            # Idempotent replay: we committed this exact handshake and
+            # the acknowledgement was lost.  Do NOT schedule again.
+            return {"committed": True}
+        offer = self._offers.pop(token, None)
+        if offer is None:
+            # Lease expired (or was never granted): nothing committed,
+            # so the origin can safely requeue.
+            return {"committed": False, "reason": "lease-expired"}
+        # Pull the bulk bytes (checkpoint snapshot or dataset) over the
+        # WAN; the handler runs inside the RPC, so the origin sees the
+        # full replication time before its commit is acknowledged.
+        self._committing.add(job_id)
         category = ("federation-checkpoint" if envelope.restore
                     else "federation-dataset")
         try:
             yield self.fabric.transfer(envelope.origin_site, self.site,
                                        envelope.payload_bytes,
                                        category=category)
-        finally:
+        except NetworkError:
+            # The pull died (e.g. the WAN severed mid-replication):
+            # abort without committing, so a forward-status probe
+            # reports "absent" and the origin requeues safely.
+            self._committing.discard(job_id)
             self._inbound_pending -= 1
+            self.platform.events.emit("forward-commit-aborted",
+                                      job_id=job_id,
+                                      origin=envelope.origin_site)
+            return {"committed": False, "reason": "pull-failed"}
+        self._inbound_pending -= 1
         if envelope.snapshot is not None:
             store = self.platform.store_for(envelope.spec)
             store.import_snapshot(envelope.snapshot)
             # Keep the local engine's version counter ahead of the
             # imported record so future checkpoints never collide.
-            self.platform.engine.adopt_base(envelope.spec.job_id,
+            self.platform.engine.adopt_base(job_id,
                                             envelope.snapshot.version)
-        self._foreign_jobs[envelope.spec.job_id] = (
-            envelope.origin_site, envelope.progress)
+        self._foreign_jobs[job_id] = (envelope.origin_site,
+                                      envelope.progress)
+        self._commits[job_id] = token
         self.forwarded_in += 1
         self.platform.coordinator.submit_remote(
             envelope.spec,
@@ -306,7 +497,97 @@ class FederationGateway:
             progress=envelope.progress,
             forward_hops=envelope.forward_hops,
         )
-        return {"accepted": True}
+        self._committing.discard(job_id)
+        return {"committed": True}
+
+    def _handle_forward_release(self, payload: dict):
+        offer = self._offers.pop(payload.get("claim_token"), None)
+        if offer is not None:
+            self._inbound_pending -= 1
+        return "ok"
+
+    def _handle_forward_status(self, payload: dict) -> dict:
+        """Idempotent probe: what happened to this handshake here?
+
+        ``absent`` is a *guarantee* that the commit never happened and
+        never will (an unclaimed lease for the token is released), so
+        the origin may requeue without risking a duplicate.
+        """
+        job_id = payload["job_id"]
+        if job_id in self._committing:
+            return {"state": "pending"}
+        state = self.platform.coordinator.jobs.get(job_id)
+        if state is None:
+            offer = self._offers.pop(payload.get("claim_token"), None)
+            if offer is not None:
+                # The origin abandoned this handshake; free the lease
+                # now instead of waiting for expiry.
+                self._inbound_pending -= 1
+            return {"state": "absent"}
+        if state.status is JobStatus.CANCELLED:
+            return {"state": "cancelled"}
+        if state.is_done:
+            return {"state": "completed",
+                    "completed_at": state.completed_at,
+                    "host_site": self.site}
+        return {"state": "committed"}
+
+    def _handle_cancel_job(self, payload: dict) -> Generator:
+        """Cross-WAN cancellation of a job delegated to this site.
+
+        Idempotent: re-delivery after a lost response reports the same
+        terminal outcome instead of acting twice, so the origin's
+        retry loop gives at-most-once *effect*.
+        """
+        job_id = payload["job_id"]
+        coordinator = self.platform.coordinator
+        if job_id in self._committing or coordinator.is_dispatching(job_id):
+            # Mid-commit or mid-dispatch: the job's fate is changing
+            # under us — ask the origin to retry shortly.
+            return {"pending": True}
+        state = coordinator.jobs.get(job_id)
+        if state is None:
+            return {"known": False}
+        if state.status is JobStatus.CANCELLED:
+            return {"cancelled": True}
+        if state.is_done:
+            # Completed before the cancellation arrived: report the
+            # race honestly rather than pretending to cancel.
+            return {"completed": True,
+                    "completed_at": state.completed_at,
+                    "host_site": self.site}
+        terminate = coordinator.cancel_job(job_id)
+        if terminate is not None:
+            try:
+                yield terminate
+            except NetworkError:
+                pass  # provider vanished mid-terminate; reclaim handles it
+            if state.is_done:
+                # The job finished during the terminate round trip: the
+                # completion path already settled full credits and
+                # queued the notice — report the lost race, don't
+                # overwrite a finished job with CANCELLED.
+                return {"completed": True,
+                        "completed_at": state.completed_at,
+                        "host_site": self.site}
+        state.status = JobStatus.CANCELLED
+        entry = self._foreign_jobs.pop(job_id, None)
+        if entry is not None:
+            origin, arrival_progress = entry
+            executed = max(0.0, state.progress - arrival_progress)
+            if executed > 1e-9:
+                # Bill the hours actually donated before the cancel.
+                self.ledger.record_donation(
+                    donor=self.site,
+                    beneficiary=origin,
+                    gpu_hours=executed / HOUR,
+                    job_id=job_id,
+                    at=self.env.now,
+                )
+            self.platform.events.emit("foreign-job-cancelled",
+                                      job_id=job_id, origin=origin,
+                                      donated_gpu_hours=executed / HOUR)
+        return {"cancelled": True}
 
     # -- settlement -------------------------------------------------------
 
@@ -332,49 +613,226 @@ class FederationGateway:
                                   donated_gpu_hours=donated / HOUR)
         completed_at = (state.completed_at if state.completed_at is not None
                         else self.env.now)
-        self.env.process(self._notify_origin(origin, job_id, completed_at),
+        # The notice stays registered until the origin acknowledges it,
+        # so a partitioned origin receives it on heal (reconciliation)
+        # instead of never.
+        self._unacked[job_id] = (origin, {
+            "job_id": job_id, "completed_at": completed_at,
+            "host_site": self.site,
+        })
+        self.env.process(self._notify_origin(job_id),
                          name=f"notify:{job_id}")
 
-    def _notify_origin(self, origin: str, job_id: str,
-                       completed_at: float) -> Generator:
+    def _notify_origin(self, job_id: str) -> Generator:
+        entry = self._unacked.get(job_id)
+        if entry is None:
+            return
+        origin, payload = entry
         try:
             yield self.wan_rpc.call(
-                self.site, origin, "job-complete",
-                {"job_id": job_id, "completed_at": completed_at,
-                 "host_site": self.site},
+                self.site, origin, "job-complete", payload,
                 request_size=self.config.control_message_bytes,
                 response_size=self.config.control_message_bytes,
+                timeout=self.config.control_rpc_timeout,
             )
         except NetworkError:
-            # The origin is partitioned; its job record stays open.
+            # The origin is partitioned; the reconciliation pass
+            # re-sends this notice once the WAN heals.
             self.platform.events.emit("job-complete-notify-failed",
                                       job_id=job_id, origin=origin)
+            return
+        self._unacked.pop(job_id, None)
 
     def _handle_job_complete(self, payload: dict):
         job_id = payload["job_id"]
         # The host stamps completion when the last step finished; the
         # notice's WAN flight time must not inflate makespan metrics.
         completed_at = payload.get("completed_at", self.env.now)
+        self._apply_remote_completion(job_id, completed_at,
+                                      payload.get("host_site"))
+        return "ok"
+
+    def _apply_remote_completion(self, job_id: str, completed_at: float,
+                                 host_site: Optional[str]) -> bool:
+        """Close the origin-side record of a delegated job (idempotent).
+
+        Returns ``False`` on a duplicate (the completion was already
+        applied — e.g. a re-sent notice after a lost acknowledgement).
+        """
         record = self.delegations.get(job_id)
         if record is not None:
+            if record.state is DelegationState.COMPLETED:
+                return False
+            if record.state is DelegationState.UNKNOWN:
+                # The commit-ack was lost but the host clearly
+                # committed; the completion resolves the handshake.
+                self._confirm_delegation(record)
             record.completed_at = completed_at
+            record.state = DelegationState.COMPLETED
+        self._pending_requests.pop(job_id, None)
         state = self.platform.coordinator.jobs.get(job_id)
         if state is not None:
             state.progress = state.spec.total_compute
             state.checkpointed_progress = state.spec.total_compute
             state.completed_at = completed_at
             if state.status is JobStatus.CANCELLED:
-                # The user cancelled after delegation; the host ran it
-                # anyway (cross-WAN cancellation is a ROADMAP open
-                # item).  Preserve the cancellation record.
+                # The cancellation raced the completion and lost; the
+                # user's cancellation record survives.
+                self._pending_cancels.discard(job_id)
                 self.platform.events.emit("job-cancel-lost-race",
-                                          job_id=job_id,
-                                          dest=payload.get("host_site"))
+                                          job_id=job_id, dest=host_site)
             else:
                 state.status = JobStatus.COMPLETED
         self.platform.events.emit("job-remote-completed", job_id=job_id,
-                                  host=payload.get("host_site"))
-        return "ok"
+                                  host=host_site)
+        return True
+
+    def _confirm_delegation(self, record: ForwardRecord) -> None:
+        """An unknown-outcome handshake turned out to have committed."""
+        record.state = DelegationState.COMMITTED
+        self.forwarded_out += 1
+        self._pending_requests.pop(record.job_id, None)
+        state = self.platform.coordinator.jobs.get(record.job_id)
+        if state is not None and state.status is JobStatus.CANCELLED:
+            self._pending_cancels.add(record.job_id)
+        elif state is not None:
+            state.status = JobStatus.MIGRATING
+            state.current_node = f"wan:{record.dest_site}"
+        self.platform.events.emit(
+            "job-forwarded-out", job_id=record.job_id,
+            dest=record.dest_site, restore=record.restore,
+            transfer_seconds=record.transfer_seconds,
+        )
+
+    # -- reconciliation ---------------------------------------------------
+
+    def _kick_reconcile(self) -> None:
+        """Run a reconciliation pass as soon as possible.
+
+        A kick while a pass is already running (whose wake event is
+        abandoned) must set the flag, not succeed the stale event —
+        otherwise the heal-time kick is silently lost until the next
+        timer tick.
+        """
+        wake = self._reconcile_wake
+        if (not self._pass_running and wake is not None
+                and not wake.triggered):
+            wake.succeed()
+        else:
+            self._reconcile_kicked = True  # picked up next loop turn
+
+    def _has_reconcile_work(self) -> bool:
+        unknown = any(r.state is DelegationState.UNKNOWN
+                      for r in self.delegations.values())
+        return bool(unknown or self._pending_cancels or self._unacked)
+
+    def _reconcile_loop(self) -> Generator:
+        while True:
+            self._reconcile_wake = self.env.event()
+            if self._reconcile_kicked:
+                self._reconcile_kicked = False
+                self._reconcile_wake.succeed()
+            yield self.env.any_of([
+                self.env.timeout(self.config.reconcile_interval),
+                self._reconcile_wake,
+            ])
+            if self._has_reconcile_work():
+                self._pass_running = True
+                try:
+                    yield from self._reconcile_pass()
+                finally:
+                    self._pass_running = False
+
+    def _reconcile_pass(self) -> Generator:
+        """One idempotent sweep over everything a partition left open."""
+        # 1. Resolve unknown-outcome delegations with status probes.
+        for job_id in sorted(self.delegations):
+            record = self.delegations.get(job_id)
+            if record is None or record.state is not DelegationState.UNKNOWN:
+                continue
+            yield from self._probe_delegation(job_id, record)
+        # 2. Deliver pending cross-site cancellations.
+        for job_id in sorted(self._pending_cancels):
+            record = self.delegations.get(job_id)
+            if record is None:
+                if job_id not in self._inflight:
+                    self._pending_cancels.discard(job_id)
+                continue
+            if record.state is DelegationState.UNKNOWN:
+                continue  # probe must resolve the handshake first
+            if record.state in (DelegationState.COMPLETED,
+                                DelegationState.CANCELLED):
+                self._pending_cancels.discard(job_id)
+                continue
+            yield from self._send_cancel(job_id, record)
+        # 3. Re-send completion notices the origin never acknowledged.
+        for job_id in sorted(self._unacked):
+            yield from self._notify_origin(job_id)
+
+    def _probe_delegation(self, job_id: str,
+                          record: ForwardRecord) -> Generator:
+        try:
+            reply = yield self.wan_rpc.call(
+                self.site, record.dest_site, "forward-status",
+                {"job_id": job_id, "claim_token": record.claim_token},
+                request_size=self.config.control_message_bytes,
+                response_size=self.config.control_message_bytes,
+                timeout=self.config.control_rpc_timeout,
+            )
+        except NetworkError:
+            return  # still unreachable; retried next pass
+        outcome = reply.get("state")
+        if outcome == "pending":
+            return  # host mid-commit; stay unknown and re-probe later
+        if outcome == "absent":
+            # Guaranteed not (and never to be) committed at the host:
+            # requeuing locally cannot duplicate the job.
+            del self.delegations[job_id]
+            request = self._pending_requests.pop(job_id, None)
+            self._pending_cancels.discard(job_id)
+            self.platform.events.emit("job-forward-requeued",
+                                      job_id=job_id, dest=record.dest_site)
+            state = self.platform.coordinator.jobs.get(job_id)
+            if request is not None and (
+                    state is None
+                    or state.status is not JobStatus.CANCELLED):
+                self._retry_after[job_id] = (
+                    self.env.now + self.config.forward_retry_backoff)
+                self.platform.coordinator.queue.push(request)
+            return
+        # The host committed: resolve the handshake.
+        if record.state is DelegationState.UNKNOWN:
+            self._confirm_delegation(record)
+        if outcome == "completed":
+            self._apply_remote_completion(
+                job_id, reply.get("completed_at", self.env.now),
+                reply.get("host_site", record.dest_site))
+        elif outcome == "cancelled":
+            record.state = DelegationState.CANCELLED
+            self._pending_cancels.discard(job_id)
+
+    def _send_cancel(self, job_id: str, record: ForwardRecord) -> Generator:
+        try:
+            reply = yield self.wan_rpc.call(
+                self.site, record.dest_site, "cancel-job",
+                {"job_id": job_id, "origin_site": self.site},
+                request_size=self.config.control_message_bytes,
+                response_size=self.config.control_message_bytes,
+                timeout=self.config.control_rpc_timeout,
+            )
+        except NetworkError:
+            return  # unreachable; retried next pass (host is idempotent)
+        if reply.get("pending"):
+            return  # host mid-commit/dispatch; retry shortly
+        self._pending_cancels.discard(job_id)
+        if reply.get("completed"):
+            self._apply_remote_completion(
+                job_id, reply.get("completed_at", self.env.now),
+                reply.get("host_site", record.dest_site))
+        else:
+            record.state = DelegationState.CANCELLED
+            self.platform.events.emit("job-cancel-delivered",
+                                      job_id=job_id, dest=record.dest_site)
 
     # -- introspection ----------------------------------------------------
 
@@ -382,3 +840,19 @@ class FederationGateway:
     def hosted_foreign_count(self) -> int:
         """Foreign jobs currently hosted (not yet completed)."""
         return len(self._foreign_jobs)
+
+    @property
+    def unresolved_delegations(self) -> int:
+        """Delegations parked as unknown outcome (partition pending)."""
+        return sum(1 for record in self.delegations.values()
+                   if record.state is DelegationState.UNKNOWN)
+
+    @property
+    def pending_cancel_count(self) -> int:
+        """Cancellations awaiting cross-WAN delivery."""
+        return len(self._pending_cancels)
+
+    @property
+    def unacked_completion_count(self) -> int:
+        """Completion notices the origin has not acknowledged yet."""
+        return len(self._unacked)

@@ -1,16 +1,28 @@
 """Federation wire types.
 
 The payloads gateways exchange over the WAN RPC layer: gossip-style
-capacity digests, the forwarded-job envelope, and the origin-side
-record of a delegation.  Like the campus control plane, these are
-plain dataclasses — the RPC layer charges their (small) serialized
-size against the WAN links, so control traffic competes with bulk
-checkpoint replication exactly as it would in deployment.
+capacity digests, the two-phase forward handshake (offer →
+claim-token → commit-ack), and the origin-side record of a delegation.
+Like the campus control plane, these are plain dataclasses — the RPC
+layer charges their (small) serialized size against the WAN links, so
+control traffic competes with bulk checkpoint replication exactly as
+it would in deployment.
+
+The handshake is failure-atomic by construction:
+
+* a lost **offer** leg leaves at most an expiring capacity lease at the
+  host — nothing ran, the origin may safely retry or requeue;
+* a lost **commit** leg is *ambiguous* (the host may be running the
+  job), so the origin parks the delegation in
+  :attr:`DelegationState.UNKNOWN` and resolves it with an idempotent
+  ``forward-status`` probe instead of re-queuing — the double-schedule
+  bug the one-shot protocol had.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from enum import Enum
 from typing import Optional, Tuple
 
 from ..storage import CheckpointRecord
@@ -55,13 +67,37 @@ class CapacityDigest:
 
 
 @dataclass(frozen=True)
+class ForwardOffer:
+    """Phase 1 of the forward handshake: metadata only, no bulk data.
+
+    The host checks admission against this, reserves an idle card
+    under a lease, and answers with a claim token.  Nothing durable
+    happens yet — a lost response leg costs at most one lease timeout
+    of reserved capacity.
+    """
+
+    spec: TrainingJobSpec
+    origin_site: str
+    #: Bulk bytes the commit-phase pull will move (dataset, plus the
+    #: flattened restore chain for a migrated job).
+    payload_bytes: float
+    #: Whether the job would resume from a replicated checkpoint.
+    restore: bool = False
+    #: Durable progress that checkpoint carries (0 for fresh jobs).
+    progress: float = 0.0
+    forward_hops: int = 1
+
+
+@dataclass(frozen=True)
 class ForwardEnvelope:
-    """A job offered to a peer site over the WAN.
+    """Phase 2 of the handshake: the claim-bearing commit message.
 
     ``snapshot`` is present when the origin replicated a checkpoint
     (cross-site migration); ``payload_bytes`` is whatever bulk data the
-    acceptance pull must move — the training dataset for a fresh job,
-    plus the flattened restore chain for a migrated one.
+    commit pull must move.  ``claim_token`` names the lease granted in
+    phase 1 — the host commits at most once per token, so a retried
+    commit after a lost acknowledgement is answered idempotently
+    instead of double-scheduling the job.
     """
 
     spec: TrainingJobSpec
@@ -69,6 +105,7 @@ class ForwardEnvelope:
     payload_bytes: float
     snapshot: Optional[CheckpointRecord] = None
     forward_hops: int = 1
+    claim_token: str = ""
 
     @property
     def restore(self) -> bool:
@@ -79,6 +116,21 @@ class ForwardEnvelope:
     def progress(self) -> float:
         """Durable progress the job arrives with (0 for fresh jobs)."""
         return self.snapshot.progress if self.snapshot is not None else 0.0
+
+
+class DelegationState(Enum):
+    """Origin-side lifecycle of one delegation."""
+
+    #: The host acknowledged the commit; the job runs remotely.
+    COMMITTED = "committed"
+    #: The commit's outcome is ambiguous (response leg lost / timed
+    #: out).  Resolved by a ``forward-status`` probe — never by
+    #: re-queuing, which is how jobs used to double-schedule.
+    UNKNOWN = "unknown"
+    #: The host reported completion (notice or probe).
+    COMPLETED = "completed"
+    #: The host confirmed the job was cancelled there.
+    CANCELLED = "cancelled"
 
 
 @dataclass
@@ -92,3 +144,5 @@ class ForwardRecord:
     restore: bool
     transfer_seconds: float = 0.0
     completed_at: Optional[float] = None
+    claim_token: str = ""
+    state: DelegationState = DelegationState.COMMITTED

@@ -53,6 +53,21 @@ class FederationConfig:
     #: On-the-wire size of federation control messages (digests,
     #: forward offers, completion notices).
     control_message_bytes: float = 4 * KIB
+    #: Deadline for small control RPCs (offers, status probes, cancels,
+    #: completion notices).  A timed-out call means *unknown outcome*,
+    #: never "declined".
+    control_rpc_timeout: float = 60.0
+    #: Deadline for the commit leg of a forward, which includes the
+    #: bulk payload pull — generous, because a congested WAN can
+    #: legitimately stretch a multi-GiB replication.
+    commit_rpc_timeout: float = 2 * 3600.0
+    #: How long a host holds the capacity lease granted with a claim
+    #: token before an unclaimed offer expires.
+    offer_lease_timeout: float = 600.0
+    #: Cadence of the reconciliation pass (unknown-outcome probes,
+    #: pending cancels, unacked completion notices).  A WAN heal kicks
+    #: the pass immediately; this is the steady-state fallback.
+    reconcile_interval: float = 120.0
 
     def __post_init__(self):
         if self.gossip_interval <= 0:
@@ -61,6 +76,13 @@ class FederationConfig:
             raise ValueError("digest_staleness must cover >= one gossip round")
         if self.max_forward_hops < 1:
             raise ValueError("max_forward_hops must be >= 1")
+        if self.control_rpc_timeout <= 0 or self.commit_rpc_timeout <= 0:
+            raise ValueError("RPC timeouts must be positive")
+        if self.offer_lease_timeout <= self.control_rpc_timeout:
+            raise ValueError(
+                "offer_lease_timeout must outlive the offer round trip")
+        if self.reconcile_interval <= 0:
+            raise ValueError("reconcile_interval must be positive")
 
 
 class ForwardingPolicy:

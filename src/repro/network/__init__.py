@@ -5,7 +5,12 @@ from .flows import Flow, FlowNetwork, max_min_rates
 from .lan import CampusLAN, HostPort, Link
 from .rpc import DEFAULT_MESSAGE_SIZE, RpcEndpoint, RpcError, RpcLayer
 from .traffic import TrafficMeter
-from .wan import WanLink, WanTopology, attach_wan_meter
+from .wan import (
+    WanLink,
+    WanTopology,
+    attach_partition_enforcement,
+    attach_wan_meter,
+)
 
 __all__ = [
     "CampusLAN",
@@ -21,5 +26,6 @@ __all__ = [
     "TrafficMeter",
     "WanLink",
     "WanTopology",
+    "attach_partition_enforcement",
     "attach_wan_meter",
 ]

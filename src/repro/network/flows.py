@@ -180,6 +180,33 @@ class FlowNetwork:
             self._reallocate()
         return len(doomed)
 
+    def kill_flows_on(
+        self,
+        links,
+        reason: str = "link severed",
+        error_factory: Optional[Callable[[Flow], NetworkError]] = None,
+    ) -> int:
+        """Fail every flow whose route crosses any of ``links``.
+
+        Called when a link fails mid-transfer (WAN partition).  Each
+        doomed flow's ``done`` event fails with ``error_factory(flow)``
+        — default :class:`NetworkError` — so waiters can distinguish
+        partition kills from other failures.  Returns the kill count.
+        """
+        links = set(links)
+        self._settle()
+        doomed = [f for f in self._flows if links.intersection(f.links)]
+        for flow in doomed:
+            self._flows.remove(flow)
+            if error_factory is not None:
+                error = error_factory(flow)
+            else:
+                error = NetworkError(f"flow {flow.flow_id} killed: {reason}")
+            flow.done.fail(error)
+        if doomed:
+            self._reallocate()
+        return len(doomed)
+
     # -- engine ------------------------------------------------------------
 
     def _notify(self, flow: Flow, delta: float) -> None:

@@ -10,13 +10,21 @@ data for the same links, exactly as on a real campus LAN.
 
 Handlers may be plain functions (instant logic) or generator functions
 (logic that itself takes simulated time, e.g. "checkpoint then reply").
+
+Calls may carry a ``timeout``: if the full round trip has not finished
+by the deadline, the caller's event fails with
+:class:`~repro.errors.RpcTimeoutError` while the in-flight exchange
+keeps running to completion at the remote side — the real-world shape
+of a lost acknowledgement, where the handler may well have committed.
+Callers of non-idempotent methods must treat a timeout as *unknown
+outcome* and reconcile before retrying.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, Generator, Optional
 
-from ..errors import NetworkError
+from ..errors import NetworkError, RpcTimeoutError
 from ..sim import Environment, Event
 from ..units import KIB
 from .flows import FlowNetwork
@@ -92,12 +100,16 @@ class RpcLayer:
         payload: Any = None,
         request_size: float = DEFAULT_MESSAGE_SIZE,
         response_size: float = DEFAULT_MESSAGE_SIZE,
+        timeout: Optional[float] = None,
     ) -> Event:
         """Invoke ``method`` on ``dst`` from ``src``.
 
         Returns an event that fires with the handler's return value, or
-        fails with :class:`RpcError` (handler missing / raised) or
-        :class:`NetworkError` (endpoint unreachable mid-call).
+        fails with :class:`RpcError` (handler missing / raised),
+        :class:`NetworkError` (endpoint unreachable mid-call), or
+        :class:`~repro.errors.RpcTimeoutError` when ``timeout`` seconds
+        pass first (remote outcome unknown — the exchange continues at
+        the remote side and any late response is dropped).
         """
         result = self.env.event()
         self.env.process(
@@ -105,7 +117,25 @@ class RpcLayer:
                                request_size, response_size, result),
             name=f"rpc:{method}@{dst}",
         )
+        if timeout is not None:
+            self.env.process(
+                self._deadline(result, timeout, method, dst),
+                name=f"rpc-deadline:{method}@{dst}",
+            )
         return result
+
+    def _deadline(self, result: Event, timeout: float, method: str,
+                  dst: str) -> Generator:
+        # The kernel has no cancellable timers, so this timeout stays
+        # queued (as a no-op) even when the call settles early — the
+        # same accepted idiom as the flow engine's generation-counter
+        # wake-ups.
+        yield self.env.timeout(timeout)
+        if not result.triggered:
+            result.fail(RpcTimeoutError(
+                f"{method}@{dst} timed out after {timeout:g}s "
+                f"(remote outcome unknown)"
+            ))
 
     def _call_process(
         self,
@@ -128,9 +158,12 @@ class RpcLayer:
                 response = yield self.env.process(response)
             yield self.network.transfer(dst, src, response_size, category="control")
         except NetworkError as exc:
-            result.fail(exc)
+            if not result.triggered:  # a deadline may have fired first
+                result.fail(exc)
             return
         except Exception as exc:  # handler bug → remote error to caller
-            result.fail(RpcError(f"{method}@{dst} raised: {exc!r}"))
+            if not result.triggered:
+                result.fail(RpcError(f"{method}@{dst} raised: {exc!r}"))
             return
-        result.succeed(response)
+        if not result.triggered:
+            result.succeed(response)

@@ -18,15 +18,24 @@ compete for the same long-haul links.
 Every :class:`WanLink` additionally meters the bytes it carried, giving
 experiments per-link utilization and hotspot reports for free (attach
 :func:`attach_wan_meter` to the WAN's flow engine).
+
+WAN links can also *fail*: :meth:`WanTopology.sever` takes a site pair's
+link pair down and :meth:`WanTopology.heal` brings it back, with routes
+recomputed on both transitions.  Transfers and RPCs that would cross a
+severed route fail with :class:`~repro.errors.WanPartitionError` — a
+distinct error so federation gateways can treat "partitioned, retry on
+heal" differently from a permanent routing mistake.  Attach
+:func:`attach_partition_enforcement` so flows already in flight over a
+link die the instant it is severed, exactly like a real long-haul cut.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from ..errors import NetworkError
+from ..errors import NetworkError, WanPartitionError
 from ..units import mbps
 from .flows import Flow, FlowNetwork
 from .lan import Link
@@ -43,6 +52,10 @@ class WanLink(Link):
 
     latency: float = 0.010
     bytes_carried: float = 0.0
+    #: Whether the link currently carries traffic.  Managed by
+    #: :meth:`WanTopology.sever` / :meth:`WanTopology.heal`; a down
+    #: link is invisible to routing.
+    up: bool = True
 
     def __post_init__(self):
         super().__post_init__()
@@ -78,6 +91,16 @@ class WanTopology:
         self.default_latency = default_latency
         self._sites: List[str] = []
         self._links: Dict[Tuple[str, str], WanLink] = {}
+        #: Outage depth per undirected site pair: overlapping sever
+        #: windows nest, and the pair only heals when every window
+        #: that severed it has lifted.
+        self._down_depth: Dict[Tuple[str, str], int] = {}
+        #: Computed routes, invalidated on every topology transition
+        #: (connect / sever / heal) so both failure and recovery
+        #: recompute paths instead of serving stale ones.
+        self._route_cache: Dict[Tuple[str, str], List[WanLink]] = {}
+        self.route_epoch = 0
+        self._listeners: List[Callable[[str, str, str], None]] = []
 
     @property
     def sites(self) -> List[str]:
@@ -112,7 +135,80 @@ class WanTopology:
         backward = WanLink(f"{b}->{a}", capacity, latency=latency)
         self._links[(a, b)] = forward
         self._links[(b, a)] = backward
+        self._invalidate_routes()
         return forward, backward
+
+    # -- link failure and recovery ----------------------------------------
+
+    def add_listener(self, callback: Callable[[str, str, str], None]) -> None:
+        """Register ``callback(event, a, b)`` for link transitions.
+
+        ``event`` is ``"sever"`` or ``"heal"``; listeners fire only on
+        the edge transitions (up→down, down→up), never on nested
+        sever/heal of an already-down pair.
+        """
+        self._listeners.append(callback)
+
+    def _pair_key(self, a: str, b: str) -> Tuple[str, str]:
+        if (a, b) not in self._links:
+            raise NetworkError(f"no WAN link {a!r} <-> {b!r}")
+        return (a, b) if a <= b else (b, a)
+
+    def sever(self, a: str, b: str) -> bool:
+        """Take the ``a``↔``b`` link pair down (both directions).
+
+        Overlapping outage windows nest: each :meth:`sever` must be
+        matched by a :meth:`heal` before traffic flows again.  Returns
+        ``True`` on the up→down edge transition (listeners notified),
+        ``False`` when the pair was already down.
+        """
+        key = self._pair_key(a, b)
+        depth = self._down_depth.get(key, 0)
+        self._down_depth[key] = depth + 1
+        if depth > 0:
+            return False
+        self._links[(a, b)].up = False
+        self._links[(b, a)].up = False
+        self._invalidate_routes()
+        self._notify("sever", key[0], key[1])
+        return True
+
+    def heal(self, a: str, b: str) -> bool:
+        """Lift one sever window from the ``a``↔``b`` pair.
+
+        Returns ``True`` on the down→up edge transition (all windows
+        lifted, listeners notified), ``False`` while other windows
+        still hold the pair down.  Healing an up pair is a no-op.
+        """
+        key = self._pair_key(a, b)
+        depth = self._down_depth.get(key, 0)
+        if depth == 0:
+            return False
+        self._down_depth[key] = depth - 1
+        if depth > 1:
+            return False
+        del self._down_depth[key]
+        self._links[(a, b)].up = True
+        self._links[(b, a)].up = True
+        self._invalidate_routes()
+        self._notify("heal", key[0], key[1])
+        return True
+
+    def is_severed(self, a: str, b: str) -> bool:
+        """Whether the direct ``a``↔``b`` link pair is currently down."""
+        return self._down_depth.get(self._pair_key(a, b), 0) > 0
+
+    def severed_pairs(self) -> List[Tuple[str, str]]:
+        """Every currently-down site pair (sorted)."""
+        return sorted(self._down_depth)
+
+    def _notify(self, event: str, a: str, b: str) -> None:
+        for listener in list(self._listeners):
+            listener(event, a, b)
+
+    def _invalidate_routes(self) -> None:
+        self._route_cache.clear()
+        self.route_epoch += 1
 
     def link(self, src: str, dst: str) -> WanLink:
         """The direct ``src``→``dst`` link (raises if absent)."""
@@ -121,23 +217,32 @@ class WanTopology:
         except KeyError:
             raise NetworkError(f"no WAN link {src!r} -> {dst!r}") from None
 
-    def neighbours(self, site: str) -> List[str]:
-        """Sites with a direct link from ``site`` (sorted)."""
-        return sorted(dst for (src, dst) in self._links if src == site)
+    def neighbours(self, site: str, include_down: bool = False) -> List[str]:
+        """Sites with a *live* direct link from ``site`` (sorted).
 
-    def path(self, src: str, dst: str) -> List[WanLink]:
-        """Links a ``src``→``dst`` transfer traverses (Dijkstra).
-
-        Same-site transfers take no WAN links.  Raises
-        :class:`NetworkError` if either site is unknown or unreachable.
+        ``include_down=True`` also lists neighbours behind severed
+        links — the physical adjacency rather than the routable one.
         """
+        return sorted(
+            dst for (src, dst), link in self._links.items()
+            if src == site and (include_down or link.up)
+        )
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Whether a live route currently exists (same site counts)."""
         if src == dst:
-            return []
-        for site in (src, dst):
-            if site not in self._sites:
-                raise NetworkError(f"unknown WAN site {site!r}")
-        # Dijkstra by accumulated latency; (hops, name) break ties so
-        # routes are independent of insertion order.
+            return True
+        try:
+            self.path(src, dst)
+        except NetworkError:
+            return False
+        return True
+
+    def _search(self, src: str, dst: str,
+                include_down: bool) -> Optional[List[str]]:
+        """Dijkstra by accumulated latency; (hops, name) break ties so
+        routes are independent of insertion order.  Returns the site
+        sequence, or ``None`` if no route exists."""
         frontier: List[Tuple[float, int, str]] = [(0.0, 0, src)]
         best: Dict[str, Tuple[float, int]] = {src: (0.0, 0)}
         parent: Dict[str, str] = {}
@@ -147,7 +252,7 @@ class WanTopology:
                 break
             if (cost, hops) > best.get(here, (float("inf"), 0)):
                 continue
-            for nxt in self.neighbours(here):
+            for nxt in self.neighbours(here, include_down=include_down):
                 link = self._links[(here, nxt)]
                 candidate = (cost + link.latency, hops + 1)
                 if candidate < best.get(nxt, (float("inf"), 0)):
@@ -155,12 +260,41 @@ class WanTopology:
                     parent[nxt] = here
                     heapq.heappush(frontier, (*candidate, nxt))
         if dst not in parent:
-            raise NetworkError(f"no WAN route {src!r} -> {dst!r}")
+            return None
         route: List[str] = [dst]
         while route[-1] != src:
             route.append(parent[route[-1]])
         route.reverse()
-        return [self._links[(a, b)] for a, b in zip(route, route[1:])]
+        return route
+
+    def path(self, src: str, dst: str) -> List[WanLink]:
+        """Links a ``src``→``dst`` transfer traverses (Dijkstra over
+        live links, cached until the next topology transition).
+
+        Same-site transfers take no WAN links.  Raises
+        :class:`~repro.errors.WanPartitionError` when the sites are
+        connected in the physical graph but every route crosses a
+        severed link, and plain :class:`NetworkError` when either site
+        is unknown or was never connected at all.
+        """
+        if src == dst:
+            return []
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        for site in (src, dst):
+            if site not in self._sites:
+                raise NetworkError(f"unknown WAN site {site!r}")
+        route = self._search(src, dst, include_down=False)
+        if route is None:
+            if self._search(src, dst, include_down=True) is not None:
+                raise WanPartitionError(
+                    f"WAN route {src!r} -> {dst!r} is partitioned"
+                )
+            raise NetworkError(f"no WAN route {src!r} -> {dst!r}")
+        links = [self._links[(a, b)] for a, b in zip(route, route[1:])]
+        self._route_cache[(src, dst)] = links
+        return links
 
     def latency(self, src: str, dst: str) -> float:
         """One-way latency along the routed path (0 for same site)."""
@@ -199,3 +333,30 @@ def attach_wan_meter(fabric: FlowNetwork) -> None:
                 link.record(delta)
 
     fabric.add_observer(meter)
+
+
+def attach_partition_enforcement(fabric: FlowNetwork,
+                                 wan: WanTopology) -> None:
+    """Make link failures bite in-flight traffic.
+
+    Subscribes to ``wan``'s sever transitions; every flow whose pinned
+    route crosses a freshly-severed link fails immediately with
+    :class:`~repro.errors.WanPartitionError` (delivered at the waiter's
+    ``yield``, exactly like a TCP reset after a long-haul cut).  Heals
+    need no enforcement — surviving flows keep their routes, and new
+    transfers pick up the recomputed paths.
+    """
+
+    def on_transition(event: str, a: str, b: str) -> None:
+        if event != "sever":
+            return
+        down = {wan.link(a, b), wan.link(b, a)}
+        fabric.kill_flows_on(
+            down,
+            error_factory=lambda flow: WanPartitionError(
+                f"flow {flow.flow_id} ({flow.src}->{flow.dst}) lost: "
+                f"WAN link {a}<->{b} severed"
+            ),
+        )
+
+    wan.add_listener(on_transition)

@@ -6,6 +6,7 @@ from repro.experiments import run_federation
 from repro.federation import (
     CapacityDigest,
     CreditLedger,
+    DelegationState,
     FederatedDeployment,
     FederationConfig,
     ForwardingPolicy,
@@ -313,7 +314,7 @@ def test_cancel_while_forward_offer_in_flight():
     assert len(fed.ledger.entries) == 0
 
 
-def test_delegated_completion_keeps_cancellation_and_host_timestamp():
+def test_cross_wan_cancel_terminates_delegated_job_at_host():
     fed, north, south = _two_campuses([RTX_3090], [RTX_4090] * 2)
     fed.run(until=100)
     jobs = [
@@ -326,14 +327,23 @@ def test_delegated_completion_keeps_cancellation_and_host_timestamp():
     north.coordinator.cancel_job(delegated.job_id)
     assert delegated.status is JobStatus.CANCELLED
     fed.run(until=12 * HOUR)
-    # The host ran it anyway (cross-WAN cancel is an open item), but the
-    # origin's cancellation record survives the completion notice...
-    assert delegated.status is JobStatus.CANCELLED
-    assert north.platform.events.count("job-cancel-lost-race") == 1
-    # ...and completion is stamped with the host's finish time, not the
-    # notice's WAN arrival time.
+    # The cancellation propagated across the WAN: the hosting site
+    # terminated the job instead of running it to completion.
     host_state = south.coordinator.jobs[delegated.job_id]
-    assert delegated.completed_at == host_state.completed_at
+    assert host_state.status is JobStatus.CANCELLED
+    assert not host_state.is_done
+    assert delegated.status is JobStatus.CANCELLED
+    assert not delegated.is_done
+    assert north.platform.events.count("job-cancel-delivered") == 1
+    assert north.platform.events.count("job-cancel-lost-race") == 0
+    assert north.gateway.pending_cancel_count == 0
+    record = north.gateway.delegations[delegated.job_id]
+    assert record.state is DelegationState.CANCELLED
+    assert south.gateway.hosted_foreign_count == 0
+    # The GPU-hours south actually burned before the cancel are billed.
+    donated = fed.ledger.donated("south")
+    assert 0 < donated < delegated.spec.total_compute / HOUR
+    assert fed.ledger.total() == pytest.approx(0.0)
 
 
 # -- seeded 3-campus experiment --------------------------------------------

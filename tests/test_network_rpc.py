@@ -161,3 +161,50 @@ def test_concurrent_calls(stack):
         env.process(caller(env, n))
     env.run()
     assert sorted(results) == [0, 2, 4, 6, 8]
+
+
+def test_call_timeout_fails_with_unknown_outcome(stack):
+    env, lan, net, rpc = stack
+    committed = []
+    endpoint = rpc.bind("agent1")
+
+    def slow_commit(payload):
+        yield env.timeout(10.0)
+        committed.append(payload)
+        return "done"
+
+    endpoint.register("commit", slow_commit)
+    outcomes = []
+
+    def caller(env):
+        from repro.errors import RpcTimeoutError
+        try:
+            yield rpc.call("coordinator", "agent1", "commit", "x",
+                           timeout=1.0)
+        except RpcTimeoutError as exc:
+            outcomes.append(exc)
+
+    env.process(caller(env))
+    env.run()
+    # The caller timed out after 1 s ...
+    assert len(outcomes) == 1
+    # ... but the handler kept running and committed anyway — the
+    # real-world lost-acknowledgement shape.  The late completion must
+    # not blow up the already-failed caller event.
+    assert committed == ["x"]
+
+
+def test_call_within_timeout_is_unaffected(stack):
+    env, lan, net, rpc = stack
+    endpoint = rpc.bind("agent1")
+    endpoint.register("ping", lambda n: n + 1)
+    results = []
+
+    def caller(env):
+        response = yield rpc.call("coordinator", "agent1", "ping", 41,
+                                  timeout=60.0)
+        results.append(response)
+
+    env.process(caller(env))
+    env.run()
+    assert results == [42]

@@ -1,9 +1,15 @@
-"""WAN topology: links, routing, metering, hotspot signals."""
+"""WAN topology: links, routing, metering, hotspots, partitions."""
 
 import pytest
 
-from repro.errors import NetworkError
-from repro.network import FlowNetwork, WanLink, WanTopology, attach_wan_meter
+from repro.errors import NetworkError, WanPartitionError
+from repro.network import (
+    FlowNetwork,
+    WanLink,
+    WanTopology,
+    attach_partition_enforcement,
+    attach_wan_meter,
+)
 from repro.sim import Environment
 from repro.units import GIB, mbps
 
@@ -70,6 +76,101 @@ def test_flow_network_runs_over_wan_and_meters_links():
     assert wan.total_bytes() == pytest.approx(GIB)
     assert wan.link("a", "b").utilization(env.now) == pytest.approx(
         GIB / (mbps(100) * env.now))
+
+
+def test_sever_reroutes_and_heal_restores_direct_path():
+    wan = triangle()
+    assert [l.name for l in wan.path("a", "b")] == ["a->b"]
+    epoch = wan.route_epoch
+    assert wan.sever("a", "b") is True
+    assert wan.is_severed("a", "b")
+    assert wan.route_epoch > epoch
+    # Routing recomputes around the severed pair (a->c->b).
+    assert [l.name for l in wan.path("a", "b")] == ["a->c", "c->b"]
+    assert wan.heal("a", "b") is True
+    assert not wan.is_severed("a", "b")
+    assert [l.name for l in wan.path("a", "b")] == ["a->b"]
+
+
+def test_full_partition_raises_distinct_error():
+    wan = triangle()
+    wan.sever("a", "b")
+    wan.sever("a", "c")
+    # 'a' is connected in the physical graph but unreachable now.
+    with pytest.raises(WanPartitionError):
+        wan.path("a", "b")
+    assert not wan.reachable("a", "c")
+    assert wan.severed_pairs() == [("a", "b"), ("a", "c")]
+    # A site that was never connected still raises the generic error.
+    wan.add_site("island")
+    with pytest.raises(NetworkError) as err:
+        wan.path("a", "island")
+    assert not isinstance(err.value, WanPartitionError)
+    wan.heal("a", "b")
+    assert wan.reachable("a", "c")  # via b
+
+
+def test_sever_windows_nest():
+    wan = WanTopology()
+    wan.connect("a", "b")
+    assert wan.sever("a", "b") is True
+    assert wan.sever("a", "b") is False  # nested window, no transition
+    assert wan.heal("a", "b") is False   # one window still holds it down
+    assert wan.is_severed("a", "b")
+    assert wan.heal("a", "b") is True
+    assert not wan.is_severed("a", "b")
+    assert wan.heal("a", "b") is False   # healing an up pair is a no-op
+    with pytest.raises(NetworkError):
+        wan.sever("a", "nowhere")
+
+
+def test_listeners_fire_on_edge_transitions_only():
+    wan = WanTopology()
+    wan.connect("a", "b")
+    log = []
+    wan.add_listener(lambda event, a, b: log.append((event, a, b)))
+    wan.sever("a", "b")
+    wan.sever("a", "b")
+    wan.heal("a", "b")
+    wan.heal("a", "b")
+    assert log == [("sever", "a", "b"), ("heal", "a", "b")]
+
+
+def test_sever_kills_in_flight_flows_with_partition_error():
+    env = Environment()
+    wan = WanTopology()
+    wan.connect("a", "b", capacity=mbps(100), latency=0.010)
+    fabric = FlowNetwork(env, wan)
+    attach_partition_enforcement(fabric, wan)
+    done = fabric.transfer("a", "b", 10 * GIB)
+    env.run(until=5.0)
+    assert not done.triggered
+    wan.sever("a", "b")
+    env.run(until=6.0)
+    assert done.processed and not done.ok
+    assert isinstance(done.value, WanPartitionError)
+    # New transfers on the severed route fail at the path lookup.
+    with pytest.raises(WanPartitionError):
+        fabric.transfer("a", "b", 1 * GIB)
+    # After heal, transfers flow again.
+    wan.heal("a", "b")
+    done2 = fabric.transfer("a", "b", 1 * GIB)
+    env.run()
+    assert done2.ok
+
+
+def test_sever_spares_flows_on_other_routes():
+    env = Environment()
+    wan = triangle()
+    fabric = FlowNetwork(env, wan)
+    attach_partition_enforcement(fabric, wan)
+    doomed = fabric.transfer("a", "b", 1 * GIB)
+    safe = fabric.transfer("c", "b", 1 * GIB)
+    env.run(until=1.0)
+    wan.sever("a", "b")
+    env.run()
+    assert not doomed.ok
+    assert safe.ok
 
 
 def test_path_load_counts_flows_sharing_route_links():

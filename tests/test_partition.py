@@ -122,3 +122,78 @@ def test_partition_properties(num_layers, num_gpus):
     total = sum(layer.compute_cost for layer in layers)
     capacity = sum(speedup_over_reference(gpu) for gpu in gpus)
     assert plan.bottleneck >= total / capacity - 1e-9
+
+
+# -- network partitions: outage schedules ----------------------------------
+
+from repro.core.partition import LinkOutage, PartitionSchedule, inject_partitions
+from repro.network import WanTopology
+from repro.sim import Environment
+
+
+def test_link_outage_validation():
+    with pytest.raises(ValueError):
+        LinkOutage("a", "a", 0.0, 1.0)
+    with pytest.raises(ValueError):
+        LinkOutage("a", "b", -1.0, 1.0)
+    with pytest.raises(ValueError):
+        LinkOutage("a", "b", 0.0, 0.0)
+    outage = LinkOutage("b", "a", 5.0, 2.0)
+    assert outage.end == 7.0
+    assert outage.pair == ("a", "b")
+
+
+def test_flapping_schedule_is_periodic_and_bounded():
+    schedule = PartitionSchedule.flapping(
+        "a", "b", first_down=10.0, downtime=5.0, uptime=15.0, until=60.0)
+    starts = [o.start for o in schedule.outages]
+    assert starts == [10.0, 30.0, 50.0]
+    assert all(o.duration == 5.0 for o in schedule.outages)
+    assert schedule.total_downtime == 15.0
+    assert schedule.affecting("b", "a") == schedule.outages
+    assert schedule.affecting("a", "c") == ()
+    with pytest.raises(ValueError):
+        PartitionSchedule.flapping("a", "b", 0.0, 0.0, 1.0, 10.0)
+
+
+def test_inject_partitions_drives_sever_and_heal():
+    env = Environment()
+    wan = WanTopology()
+    wan.connect("a", "b")
+    log = []
+    wan.add_listener(lambda ev, a, b: log.append((env.now, ev)))
+    schedule = PartitionSchedule.flapping(
+        "a", "b", first_down=10.0, downtime=5.0, uptime=15.0, until=40.0)
+    inject_partitions(env, wan, schedule)
+    env.run(until=12.0)
+    assert wan.is_severed("a", "b")
+    env.run(until=16.0)
+    assert not wan.is_severed("a", "b")
+    env.run(until=100.0)
+    assert log == [(10.0, "sever"), (15.0, "heal"),
+                   (30.0, "sever"), (35.0, "heal")]
+
+
+def test_overlapping_outages_nest_on_injection():
+    env = Environment()
+    wan = WanTopology()
+    wan.connect("a", "b")
+    schedule = PartitionSchedule(outages=(
+        LinkOutage("a", "b", 10.0, 20.0),   # heals at 30
+        LinkOutage("a", "b", 15.0, 5.0),    # nested window, heals at 20
+    ))
+    inject_partitions(env, wan, schedule)
+    env.run(until=22.0)
+    # The nested window lifted at t=20, but the outer one holds.
+    assert wan.is_severed("a", "b")
+    env.run(until=31.0)
+    assert not wan.is_severed("a", "b")
+
+
+def test_merged_schedules_combine_outages():
+    first = PartitionSchedule.flapping("a", "b", 0.0, 1.0, 9.0, 20.0)
+    second = PartitionSchedule.flapping("a", "c", 5.0, 1.0, 9.0, 20.0)
+    merged = first.merged(second)
+    assert len(merged.outages) == len(first.outages) + len(second.outages)
+    assert merged.outages == tuple(
+        sorted(merged.outages, key=lambda o: (o.start, o.pair, o.duration)))

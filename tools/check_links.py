@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Check that relative markdown links resolve.
+
+Scans the given markdown files (default: README.md and docs/*.md) for
+inline links and verifies that every *relative* target exists on disk,
+including `#anchor` fragments against the target file's headings.
+External links (http/https/mailto) are ignored — CI must not depend on
+the network.  Exits non-zero listing every broken link.
+
+Usage:
+    python tools/check_links.py [file.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links: [text](target) — images share the syntax.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Fenced code blocks, stripped before link extraction so example
+#: snippets cannot produce false positives.
+FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    content = FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return {slugify(match) for match in HEADING_RE.findall(content)}
+
+
+def check_file(path: Path) -> list:
+    """Broken-link descriptions for one markdown file."""
+    problems = []
+    content = FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    for target in LINK_RE.findall(content):
+        if target.startswith(EXTERNAL):
+            continue
+        raw, _, fragment = target.partition("#")
+        if not raw:  # pure in-page anchor
+            if fragment and slugify(fragment) not in anchors_of(path):
+                problems.append(f"{path}: broken anchor #{fragment}")
+            continue
+        resolved = (path.parent / raw).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}: broken link {target!r}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if slugify(fragment) not in anchors_of(resolved):
+                problems.append(
+                    f"{path}: broken anchor {target!r} "
+                    f"(no heading #{fragment} in {raw})")
+    return problems
+
+
+def main(argv: list) -> int:
+    root = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    problems = []
+    for path in files:
+        if not path.exists():
+            problems.append(f"missing file: {path}")
+            continue
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = ", ".join(str(f) for f in files)
+    if not problems:
+        print(f"ok: all relative links resolve ({checked})")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
