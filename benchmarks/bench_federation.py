@@ -10,7 +10,11 @@ utilization, WAN bytes, and ledger balances.
 from conftest import run_once
 
 from repro.analysis import render_table
-from repro.experiments import run_federation, run_partition_experiment
+from repro.experiments import (
+    run_federation,
+    run_partition_experiment,
+    run_relay_experiment,
+)
 from repro.units import as_gib
 
 
@@ -41,6 +45,36 @@ def test_federation_utilization_gain(benchmark):
     # More jobs finish when surplus demand reaches idle GPUs.
     assert result.federated_completed >= result.isolated_completed
     # Credit conservation: balances sum to zero across sites.
+    assert abs(sum(result.credit_balances.values())) < 1e-6
+
+
+def test_federation_relay_recovery(benchmark):
+    result = run_once(benchmark, run_relay_experiment, seed=42, days=2.0)
+    print()
+    print(render_table(result.rows(),
+                       title="Multi-hop relay vs 1-hop-only forwarding"))
+    print(f"\naggregate: {result.baseline_overall:.1%} 1-hop -> "
+          f"{result.relay_overall:.1%} with relaying "
+          f"(+{result.improvement_points:.1f} pp)")
+    print(f"forwards: {result.baseline_forwarded} baseline / "
+          f"{result.relay_forwarded} relay run "
+          f"({result.relayed_jobs} relay hops), "
+          f"WAN: {as_gib(result.wan_bytes):.1f} GiB")
+    print(f"completions: {result.baseline_completed} -> "
+          f"{result.relay_completed}")
+
+    # Relaying actually happened, through the middle campus only.
+    assert result.relayed_jobs > 0
+    assert result.relay_fees["bravo"] > 0
+    assert result.relay_fees["alpha"] == 0
+    assert result.relay_fees["charlie"] == 0
+    # The strand-at-the-saturated-peer pathology is what relaying
+    # fixes: aggregate utilization recovers and the far farm wakes up.
+    assert result.relay_overall > result.baseline_overall
+    assert (result.relay_by_site["charlie"]
+            > result.baseline_by_site["charlie"])
+    assert result.relay_completed >= result.baseline_completed
+    # Credit conservation holds with relay fees in the mix.
     assert abs(sum(result.credit_balances.values())) < 1e-6
 
 

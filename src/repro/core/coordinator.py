@@ -116,9 +116,9 @@ class Coordinator:
         self._migrating_back: Set[str] = set()
         self._dispatching: Set[str] = set()
         self._departure_hints: Dict[str, str] = {}
-        #: job_id → (origin campus, forward hops) for work forwarded
-        #: here by a federation gateway; keeps provenance attached
-        #: across local requeues/migrations.
+        #: job_id → (origin campus, forward hops, relay path) for work
+        #: forwarded here by a federation gateway; keeps provenance
+        #: attached across local requeues/migrations.
         self._origin_sites: Dict[str, tuple] = {}
         self._session_requested_at: Dict[str, float] = {}
 
@@ -182,19 +182,24 @@ class Coordinator:
         restore: bool = False,
         progress: float = 0.0,
         forward_hops: int = 1,
+        relay_path: tuple = (),
     ) -> TrainingJobState:
         """Accept a training job forwarded from a peer campus.
 
         The federation gateway calls this after replicating the job's
         checkpoint (if any) into a local store; ``progress`` is the
         durable progress that checkpoint carries, so the job resumes
-        here instead of restarting from scratch.
+        here instead of restarting from scratch.  ``relay_path`` is
+        the chain of sites the job already crossed (origin first) —
+        kept attached so a later relay of this same job never revisits
+        one of them.
         """
         state = TrainingJobState(spec, submitted_at=self.env.now)
         state.progress = progress
         state.checkpointed_progress = progress
         self.jobs[spec.job_id] = state
-        self._origin_sites[spec.job_id] = (origin_site, forward_hops)
+        self._origin_sites[spec.job_id] = (origin_site, forward_hops,
+                                           tuple(relay_path))
         request = ResourceRequest(
             kind=RequestKind.TRAINING,
             training=spec,
@@ -204,6 +209,7 @@ class Coordinator:
             allow_shared=restore,  # resume fast, like a local migration
             origin_site=origin_site,
             forward_hops=forward_hops,
+            relay_path=tuple(relay_path),
         )
         self.queue.push(request)
         self.events.emit("job-forwarded-in", job_id=spec.job_id,
@@ -412,8 +418,8 @@ class Coordinator:
         store = (self.store_resolver(job.spec)
                  if self.store_resolver is not None else None)
         restore = bool(store is not None and store.has_checkpoint(job.job_id))
-        origin_site, forward_hops = self._origin_sites.get(
-            job.job_id, (None, 0))
+        origin_site, forward_hops, relay_path = self._origin_sites.get(
+            job.job_id, (None, 0, ()))
         request = ResourceRequest(
             kind=RequestKind.TRAINING,
             training=job.spec,
@@ -425,6 +431,7 @@ class Coordinator:
             allow_shared=True,  # resume fast; co-locate if needed
             origin_site=origin_site,
             forward_hops=forward_hops,
+            relay_path=relay_path,
         )
         self.queue.push(request)
         self.events.emit("job-migration-queued", job_id=job.job_id,

@@ -46,8 +46,13 @@ class ResourceRequest:
     #: ``None`` for locally-submitted work.
     origin_site: Optional[str] = None
     #: How many times federation gateways forwarded this request
-    #: between sites (loop/ping-pong guard).
+    #: between sites (hop budget for multi-hop relaying).
     forward_hops: int = 0
+    #: Every site the request passed through on its way here, in
+    #: order, starting with the true origin — empty for local work.
+    #: Relay forwarding excludes these sites, so a multi-hop forward
+    #: never loops.
+    relay_path: Tuple[str, ...] = ()
 
     def __post_init__(self):
         if self.kind is RequestKind.TRAINING and self.training is None:

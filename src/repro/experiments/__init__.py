@@ -11,13 +11,17 @@ from .campus import (
 )
 from .federation import (
     FEDERATION_SITES,
+    RELAY_SITES,
     FederationResult,
     FederationSiteSpec,
     PartitionResult,
+    RelayResult,
     build_federation,
+    build_relay_federation,
     default_partition_schedule,
     run_federation,
     run_partition_experiment,
+    run_relay_experiment,
     site_demand,
 )
 from .fig2_utilization import Fig2Result, run_fig2, weekly_series
@@ -48,13 +52,17 @@ __all__ = [
     "campus_demand",
     "total_gpus",
     "FEDERATION_SITES",
+    "RELAY_SITES",
     "FederationResult",
     "FederationSiteSpec",
     "PartitionResult",
+    "RelayResult",
     "build_federation",
+    "build_relay_federation",
     "default_partition_schedule",
     "run_federation",
     "run_partition_experiment",
+    "run_relay_experiment",
     "site_demand",
     "Fig2Result",
     "run_fig2",

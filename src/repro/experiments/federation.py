@@ -20,9 +20,10 @@ one variable: whether the WAN peering exists.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..agent import BehaviorProfile
 from ..core.partition import PartitionSchedule
 from ..core.platform import GPUnionPlatform
 from ..federation import FederatedDeployment, FederationConfig
@@ -281,6 +282,202 @@ def run_federation(
         wan_transfer_seconds=fed.total_wan_transfer_seconds(),
         wan_links=fed.wan_link_report(horizon),
         credit_balances=fed.credit_balances(),
+    )
+
+
+# -- multi-hop relay forwarding --------------------------------------------
+
+
+#: The relay scenario's three campuses on a *line*: "alpha" is
+#: overloaded, "bravo" (its only WAN neighbour) runs hot enough that
+#: forwarded work often lands just as bravo's own demand takes the
+#: cards, and "charlie" — reachable only through bravo, because gossip
+#: is neighbour-scoped — hosts an idle farm.  Without relaying,
+#: alpha's surplus piles up at the saturated middle while charlie
+#: idles two hops away.
+RELAY_SITES: Tuple[FederationSiteSpec, ...] = (
+    FederationSiteSpec(
+        name="alpha",
+        servers=(
+            ServerSpec("a-ws1", (RTX_3090,), "vision"),
+            ServerSpec("a-ws2", (RTX_3090,), "vision"),
+        ),
+        labs=(
+            LabProfile("vision", batch_jobs_per_day=10.0,
+                       interactive_sessions_per_day=1.0,
+                       job_mix=_mix_small(), mean_job_compute_hours=10.0,
+                       students=6),
+            LabProfile("theory", batch_jobs_per_day=16.0,
+                       interactive_sessions_per_day=1.0,
+                       job_mix=_mix_small(), mean_job_compute_hours=9.0,
+                       students=8),
+        ),
+    ),
+    FederationSiteSpec(
+        name="bravo",
+        servers=(
+            ServerSpec("b-ws1", (RTX_3090,), "nlp"),
+            ServerSpec("b-ws2", (RTX_3090,), "nlp"),
+        ),
+        labs=(
+            LabProfile("nlp", batch_jobs_per_day=7.0,
+                       interactive_sessions_per_day=1.0,
+                       job_mix=_mix_small(), mean_job_compute_hours=9.0,
+                       students=5),
+        ),
+    ),
+    FederationSiteSpec(
+        name="charlie",
+        servers=(
+            ServerSpec("c-farm", (RTX_4090,) * 6, "ml-infra",
+                       access_gbps=10.0),
+        ),
+        labs=(
+            LabProfile("ml-infra", batch_jobs_per_day=1.0,
+                       interactive_sessions_per_day=0.5,
+                       job_mix=_mix_large(), mean_job_compute_hours=8.0,
+                       students=3),
+        ),
+    ),
+)
+
+
+#: Provider volatility at the middle campus: its owners reclaim their
+#: workstations for hours at a time, so bravo keeps accepting foreign
+#: work it can no longer run — the situation relaying exists to fix.
+MIDDLE_VOLATILITY = BehaviorProfile(
+    events_per_day=3.0,
+    p_scheduled=0.2, p_emergency=0.2, p_temporary=0.6,
+    mean_temporary_downtime=2 * HOUR,
+    mean_rejoin_delay=90 * MINUTE,
+)
+
+
+def build_relay_federation(
+    seed: int = 0,
+    sites: Sequence[FederationSiteSpec] = RELAY_SITES,
+    wan_capacity: float = mbps(500),
+    wan_latency: float = 0.025,
+    federation_config: Optional[FederationConfig] = None,
+    middle_volatility: Optional[BehaviorProfile] = MIDDLE_VOLATILITY,
+) -> FederatedDeployment:
+    """A *line* federation (each campus linked only to the next one).
+
+    Gossip is neighbour-scoped, so the first campus never learns the
+    last one's capacity directly — placement beyond the immediate
+    neighbour exists only if relaying is allowed.  The middle site's
+    providers run ``middle_volatility`` departure schedules: foreign
+    jobs displaced by an owner reclaiming a card are what the relay
+    path (or, in the 1-hop baseline, a long wait) must absorb.
+    """
+    fed = FederatedDeployment(seed=seed,
+                              federation_config=federation_config)
+    for site in sites:
+        handle = fed.add_campus(site.name)
+        _populate(handle.platform, site)
+    if middle_volatility is not None and len(sites) > 2:
+        middle = fed.site(sites[1].name).platform
+        for server in sites[1].servers:
+            middle.add_behavior(server.hostname, middle_volatility)
+    names = [site.name for site in sites]
+    for a, b in zip(names, names[1:]):
+        fed.connect(a, b, capacity=wan_capacity, latency=wan_latency)
+    return fed
+
+
+@dataclass
+class RelayResult:
+    """1-hop-only forwarding vs 2-hop relaying over identical demand."""
+
+    days: float
+    baseline_by_site: Dict[str, float]
+    relay_by_site: Dict[str, float]
+    baseline_overall: float
+    relay_overall: float
+    baseline_completed: int
+    relay_completed: int
+    baseline_forwarded: int
+    relay_forwarded: int
+    #: Forwards that were relay hops (a site re-forwarding a foreign
+    #: job) in the multi-hop run — 0 by construction in the baseline.
+    relayed_jobs: int
+    #: GPU-hour relay fees per site in the multi-hop run.
+    relay_fees: Dict[str, float]
+    credit_balances: Dict[str, float]
+    wan_bytes: float
+
+    @property
+    def improvement_points(self) -> float:
+        """Aggregate utilization recovered by relaying, in points."""
+        return (self.relay_overall - self.baseline_overall) * 100.0
+
+    def rows(self) -> List[List[str]]:
+        """The experiment as table rows (header first)."""
+        rows = [["Campus", "1-hop only", "2-hop relay", "Relay fees (GPU-h)"]]
+        for site in self.baseline_by_site:
+            rows.append([
+                site,
+                f"{self.baseline_by_site[site] * 100:.1f}%",
+                f"{self.relay_by_site.get(site, 0.0) * 100:.1f}%",
+                f"{self.relay_fees.get(site, 0.0):+.2f}",
+            ])
+        rows.append([
+            "ALL CAMPUSES",
+            f"{self.baseline_overall * 100:.1f}%",
+            f"{self.relay_overall * 100:.1f}%",
+            f"{sum(self.relay_fees.values()):+.2f}",
+        ])
+        return rows
+
+
+def run_relay_experiment(
+    seed: int = 42,
+    days: float = 2.0,
+    sites: Sequence[FederationSiteSpec] = RELAY_SITES,
+    max_forward_hops: int = 2,
+    federation_config: Optional[FederationConfig] = None,
+) -> RelayResult:
+    """Multi-hop relaying vs the PR-1 hop budget, on the line topology.
+
+    Both runs replay identical per-site demand; the only difference is
+    ``max_forward_hops`` (1 vs ``max_forward_hops``).  The baseline
+    strands alpha's surplus at the saturated middle campus; the relay
+    run lets bravo pass it on to charlie's idle farm, recovering
+    aggregate utilization — with bravo's relay fees visible in the
+    ledger.
+    """
+    horizon = days * DAY
+    if federation_config is None:
+        federation_config = FederationConfig()
+    configs = {
+        "baseline": replace(federation_config, max_forward_hops=1),
+        "relay": replace(federation_config,
+                         max_forward_hops=max_forward_hops),
+    }
+    runs: Dict[str, FederatedDeployment] = {}
+    for label, config in configs.items():
+        fed = build_relay_federation(seed=seed, sites=sites,
+                                     federation_config=config)
+        for site in sites:
+            _feed(fed.site(site.name).platform,
+                  site_demand(seed, site, horizon))
+        fed.run(until=horizon)
+        runs[label] = fed
+    baseline, relay = runs["baseline"], runs["relay"]
+    return RelayResult(
+        days=days,
+        baseline_by_site=baseline.site_utilization(0, horizon),
+        relay_by_site=relay.site_utilization(0, horizon),
+        baseline_overall=baseline.aggregate_utilization(0, horizon),
+        relay_overall=relay.aggregate_utilization(0, horizon),
+        baseline_completed=_completed_once(baseline),
+        relay_completed=_completed_once(relay),
+        baseline_forwarded=baseline.total_forwarded(),
+        relay_forwarded=relay.total_forwarded(),
+        relayed_jobs=relay.total_relayed(),
+        relay_fees=relay.relay_fees(),
+        credit_balances=relay.credit_balances(),
+        wan_bytes=relay.wan_bytes(),
     )
 
 

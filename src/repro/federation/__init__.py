@@ -13,6 +13,7 @@ Everything runs on one shared :class:`~repro.sim.Environment`, so a
 seeded federated run is exactly reproducible.
 """
 
+from .admission import AdmissionController
 from .deployment import FederatedDeployment, SiteHandle
 from .gateway import FederationGateway
 from .ledger import CreditEntry, CreditLedger
@@ -26,6 +27,7 @@ from .messages import (
 from .policy import FederationConfig, ForwardingPolicy
 
 __all__ = [
+    "AdmissionController",
     "CapacityDigest",
     "CreditEntry",
     "CreditLedger",

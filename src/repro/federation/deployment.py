@@ -78,13 +78,18 @@ class FederatedDeployment:
         self,
         name: str,
         config: Optional[PlatformConfig] = None,
+        federation_config: Optional[FederationConfig] = None,
         **platform_kwargs,
     ) -> SiteHandle:
         """Create a campus platform on the shared clock and gate it.
 
         Each campus derives its RNG family from the federation seed
         and its own name, so adding a site never perturbs another
-        site's randomness.
+        site's randomness.  ``federation_config`` overrides the
+        deployment-wide federation tunables for this one site — how a
+        campus opts out of hosting foreign jobs
+        (``host_foreign_jobs=False``) or runs its own admission
+        headroom while its peers keep the defaults.
         """
         if name in self.sites:
             raise ValueError(f"site {name!r} already exists")
@@ -101,7 +106,7 @@ class FederatedDeployment:
             fabric=self.fabric,
             wan_rpc=self.wan_rpc,
             ledger=self.ledger,
-            config=self.federation_config,
+            config=federation_config or self.federation_config,
         )
         handle = SiteHandle(name=name, platform=platform, gateway=gateway)
         self.sites[name] = handle
@@ -188,6 +193,16 @@ class FederatedDeployment:
     def total_forwarded(self) -> int:
         """Jobs that crossed the WAN, federation-wide."""
         return sum(h.gateway.forwarded_out for h in self.sites.values())
+
+    def total_relayed(self) -> int:
+        """Forwards that were *relay* hops (a site re-forwarding a
+        foreign job it could not place), federation-wide."""
+        return sum(h.gateway.relayed_out for h in self.sites.values())
+
+    def relay_fees(self) -> Dict[str, float]:
+        """GPU-hour relay fees each site has earned from the ledger."""
+        return {name: self.ledger.relay_fees_earned(name)
+                for name in self.sites}
 
     def total_wan_transfer_seconds(self) -> float:
         """Simulated seconds origin gateways spent on WAN replication."""

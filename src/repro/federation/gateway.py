@@ -3,8 +3,14 @@
 One gateway fronts each campus deployment.  It owns five duties:
 
 * **Gossip** — periodically compute a :class:`CapacityDigest` from the
-  local coordinator's registry and push it to every WAN peer, keeping
-  a (possibly stale) view of remote spare capacity.
+  local coordinator's registry and push it to every *WAN neighbour*
+  (direct peering only: capacity knowledge is one hop wide, which is
+  what makes multi-hop relaying worth having), keeping a (possibly
+  stale) view of neighbouring spare capacity.  With
+  ``gossip_interval_min`` set the cadence turns adaptive: digests push
+  early whenever spare capacity, queue pressure, or the credit balance
+  drifts, cutting the staleness window that makes peers forward into
+  a wall.
 * **Egress** — the coordinator's ``on_unplaceable`` hook lands here:
   when the local fleet cannot place a training request, the gateway
   may take ownership and offer the job to the best-scoring peer via a
@@ -14,17 +20,24 @@ One gateway fronts each campus deployment.  It owns five duties:
   at most once per token.  A lost commit acknowledgement therefore
   parks the delegation as *unknown outcome* — resolved by an
   idempotent ``forward-status`` probe, never by blind re-queuing (the
-  double-schedule bug the one-shot protocol had).
-* **Ingress** — the phase handlers apply the local acceptance policy,
-  pull the bulk payload (dataset or checkpoint snapshot) over the WAN
-  with transfer time charged on the sim clock, import the snapshot
-  into the local checkpoint store, and submit the job to the local
-  coordinator with full provenance.
+  double-schedule bug the one-shot protocol had).  *Foreign* jobs this
+  site cannot place take the same path — a **relay** hop toward a
+  neighbour the job has not visited yet (``relay_path`` is the loop
+  guard), up to ``max_forward_hops`` WAN crossings in total.
+* **Ingress** — the phase handlers apply the local acceptance policy
+  (queue pressure, card fit, the admission controller's home-demand
+  headroom, and the ``host_foreign_jobs`` opt-out), pull the bulk
+  payload (dataset or checkpoint snapshot) over the WAN from the
+  *previous hop* with transfer time charged on the sim clock, import
+  the snapshot into the local checkpoint store, and submit the job to
+  the local coordinator with full provenance.
 * **Settlement** — when a foreign job completes here, the gateway
   credits this site in the shared :class:`CreditLedger` for the
-  GPU-hours actually donated (arrival progress is *not* billed) and
-  notifies the origin gateway; the notice is kept until acknowledged,
-  so a partitioned origin receives it on heal instead of never.
+  GPU-hours actually donated (arrival progress is *not* billed), pays
+  each intermediate relay site its fee out of the origin's balance,
+  and notifies the previous hop; relays chain the notice onward, each
+  hop keeping it until acknowledged, so a partitioned origin receives
+  it on heal instead of never.
 * **Reconciliation** — a periodic pass (kicked immediately by every
   WAN heal) resolves unknown-outcome delegations, delivers pending
   cross-site cancellations with at-most-once effect, and re-sends
@@ -52,6 +65,7 @@ from ..network import FlowNetwork, RpcLayer, WanTopology
 from ..sim import Event
 from ..units import HOUR
 from ..workloads.training import JobStatus, TrainingJobSpec
+from .admission import AdmissionController
 from .ledger import CreditLedger
 from .messages import (
     CapacityDigest,
@@ -86,9 +100,13 @@ class FederationGateway:
         self.policy = ForwardingPolicy(self.config)
         self.env = platform.env
 
+        self.admission = AdmissionController(
+            self.env, self.config, jobs=platform.coordinator.jobs)
+
         self.peer_digests: Dict[str, CapacityDigest] = {}
-        #: Jobs this site hosts for others: job_id → (origin, arrival progress).
-        self._foreign_jobs: Dict[str, Tuple[str, float]] = {}
+        #: Jobs this site hosts for others:
+        #: job_id → (origin, arrival progress, relay path).
+        self._foreign_jobs: Dict[str, Tuple[str, float, Tuple[str, ...]]] = {}
         #: Jobs this site delegated out: job_id → ForwardRecord.
         self.delegations: Dict[str, ForwardRecord] = {}
         #: Requests whose delegation is still unresolved (unknown
@@ -121,9 +139,19 @@ class FederationGateway:
         self._reconcile_kicked = False
         self._pass_running = False
 
+        #: Adaptive-gossip state: the digest last pushed, when, and the
+        #: credit balance it reflected.
+        self._last_digest: Optional[CapacityDigest] = None
+        self._last_gossip_at = float("-inf")
+        self._last_gossip_balance = 0.0
+
         self.forwarded_out = 0
         self.forwarded_in = 0
+        #: Foreign jobs this site re-forwarded onward (subset of
+        #: ``forwarded_out``): the relay traffic multi-hop enables.
+        self.relayed_out = 0
         self.declined = 0
+        self.gossip_rounds = 0
         self.wan_transfer_seconds = 0.0
 
         wan.add_site(site)
@@ -147,8 +175,16 @@ class FederationGateway:
 
     @property
     def peers(self) -> List[str]:
-        """Every other site on the WAN, sorted."""
-        return sorted(s for s in self.wan.sites if s != self.site)
+        """Gossip targets: sites with a direct WAN link to this one.
+
+        Capacity knowledge is deliberately *neighbour-scoped* — a
+        digest travels one peering hop, never transitively — so a
+        job's placement reach beyond the neighbourhood comes from
+        multi-hop relaying, not from gossip flooding.  Severed
+        neighbours stay on the list (the push just fails and is
+        retried next round), exactly as before a partition.
+        """
+        return self.wan.neighbours(self.site, include_down=True)
 
     def local_digest(self) -> CapacityDigest:
         """Summarise this campus's spare capacity right now.
@@ -157,16 +193,22 @@ class FederationGateway:
         exclusive, so a busy card's free memory is not remote-placement
         capacity.  Inbound offers already accepted (leases granted or
         payload pulls in flight) are subtracted, so concurrent origins
-        cannot all claim the same advertised GPU.
+        cannot all claim the same advertised GPU.  The admission
+        controller's home-demand headroom is subtracted too, and an
+        opted-out site (``host_foreign_jobs=False``) advertises no
+        capacity at all — the digest is the single place admission
+        policy turns into what peers (and the live offer check) see.
         """
         free_gpus = 0
         card_classes = set()
-        for record in self.platform.coordinator.registry.schedulable():
-            for gpu in record.gpus.values():
-                if gpu.memory_free >= gpu.memory_total:
-                    free_gpus += 1
-                    card_classes.add(
-                        (gpu.memory_total, tuple(gpu.compute_capability)))
+        if self.config.host_foreign_jobs:
+            for record in self.platform.coordinator.registry.schedulable():
+                for gpu in record.gpus.values():
+                    if gpu.memory_free >= gpu.memory_total:
+                        free_gpus += 1
+                        card_classes.add(
+                            (gpu.memory_total, tuple(gpu.compute_capability)))
+            free_gpus -= self.admission.reserved_headroom()
         return CapacityDigest(
             site=self.site,
             free_gpus=free_gpus - self._inbound_pending,
@@ -176,10 +218,43 @@ class FederationGateway:
             advertised_at=self.env.now,
         )
 
+    def _digest_drifted(self, digest: CapacityDigest) -> bool:
+        """Whether the view peers hold of us has gone materially stale."""
+        last = self._last_digest
+        if last is None:
+            return True
+        if digest.free_gpus != last.free_gpus:
+            return True
+        if digest.free_cards != last.free_cards:
+            return True  # same count, different card classes
+        if digest.queue_pressure != last.queue_pressure:
+            return True
+        drift = abs(self.ledger.balance(self.site)
+                    - self._last_gossip_balance)
+        return drift >= self.config.gossip_balance_drift
+
     def _gossip_loop(self) -> Generator:
+        """Push capacity digests to neighbours.
+
+        Fixed cadence by default (every ``gossip_interval``).  With
+        ``gossip_interval_min`` set, the loop wakes at the fast tick
+        and pushes early whenever the digest drifted — freshly-freed
+        capacity, a growing queue, or credit-balance movement reach
+        peers within seconds instead of a full gossip round, which is
+        what cuts staleness-declined forwards.
+        """
+        interval = self.config.gossip_interval
+        tick = self.config.gossip_interval_min or interval
         while True:
-            yield self.env.timeout(self.config.gossip_interval)
+            yield self.env.timeout(tick)
             digest = self.local_digest()
+            due = self.env.now - self._last_gossip_at >= interval
+            if not due and not self._digest_drifted(digest):
+                continue
+            self._last_digest = digest
+            self._last_gossip_at = self.env.now
+            self._last_gossip_balance = self.ledger.balance(self.site)
+            self.gossip_rounds += 1
             for peer in self.peers:
                 try:
                     yield self.wan_rpc.call(
@@ -208,17 +283,26 @@ class FederationGateway:
     # -- egress: forwarding unplaceable work ------------------------------
 
     def _on_unplaceable(self, request: ResourceRequest) -> bool:
-        """Coordinator hook: may we take this request off its hands?"""
+        """Coordinator hook: may we take this request off its hands?
+
+        Both home surplus and *foreign* jobs this site cannot place
+        are candidates — the latter is a relay hop.  The relay path
+        (every site the job already visited) is excluded from the
+        destination choice, so a multi-hop forward can fan outward but
+        never ping-pong, and the total WAN crossings are capped by
+        ``max_forward_hops``.
+        """
         if request.training is None:
             return False  # sessions never cross the WAN
-        if request.is_foreign or request.forward_hops >= self.config.max_forward_hops:
-            return False  # no ping-pong between sites
+        if request.forward_hops >= self.config.max_forward_hops:
+            return False  # out of hops: the job stays parked here
         retry_at = self._retry_after.get(request.request_id)
         if retry_at is not None and self.env.now < retry_at:
             return False
         dest = self.policy.choose(
             self.site, request, self.peer_digests,
             self.wan, self.fabric, self.ledger, self.env.now,
+            exclude=set(request.relay_path),
         )
         if dest is None:
             return False
@@ -262,20 +346,29 @@ class FederationGateway:
             payload_bytes = spec.dataset_bytes
         restore = snapshot is not None
         started = self.env.now
+        # Relay provenance: a foreign job keeps its true origin; the
+        # chain of visited sites grows by this site, and the previous
+        # hop (if any) is where the completion notice must chain back.
+        origin = request.origin_site or self.site
+        relay_path = tuple(request.relay_path) + (self.site,)
+        upstream = request.relay_path[-1] if request.relay_path else None
+        shipped_progress = snapshot.progress if restore else 0.0
         self.platform.events.emit(
             "job-forward-offered", job_id=spec.job_id, dest=dest,
             restore=restore, nbytes=payload_bytes,
+            hops=request.forward_hops + 1,
         )
         # Phase 1: metadata-only offer.  A failure here is *safe* —
         # nothing durable happened at the host beyond an expiring
         # lease — so any error reads as a decline.
         offer = ForwardOffer(
             spec=spec,
-            origin_site=self.site,
+            origin_site=origin,
             payload_bytes=payload_bytes,
             restore=restore,
-            progress=snapshot.progress if restore else 0.0,
+            progress=shipped_progress,
             forward_hops=request.forward_hops + 1,
+            relay_path=relay_path,
         )
         try:
             reply = yield self.wan_rpc.call(
@@ -305,11 +398,12 @@ class FederationGateway:
         # the double-schedule bug.
         envelope = ForwardEnvelope(
             spec=spec,
-            origin_site=self.site,
+            origin_site=origin,
             payload_bytes=payload_bytes,
             snapshot=snapshot,
             forward_hops=request.forward_hops + 1,
             claim_token=token,
+            relay_path=relay_path,
         )
         try:
             commit = yield self.wan_rpc.call(
@@ -323,6 +417,8 @@ class FederationGateway:
                 job_id=spec.job_id, dest_site=dest, forwarded_at=started,
                 payload_bytes=payload_bytes, restore=restore,
                 claim_token=token, state=DelegationState.UNKNOWN,
+                origin_site=request.origin_site, upstream=upstream,
+                shipped_progress=shipped_progress,
             )
             self.delegations[spec.job_id] = record
             self._pending_requests[spec.job_id] = request
@@ -344,8 +440,12 @@ class FederationGateway:
             restore=restore,
             transfer_seconds=elapsed,
             claim_token=token,
+            origin_site=request.origin_site,
+            upstream=upstream,
+            shipped_progress=shipped_progress,
         )
         self.delegations[spec.job_id] = record
+        self._settle_relay_departure(record)
         state = self.platform.coordinator.jobs.get(spec.job_id)
         if state is not None and state.status is JobStatus.CANCELLED:
             # The user cancelled mid-commit; the host runs the job
@@ -392,6 +492,61 @@ class FederationGateway:
         else:
             self._pending_cancels.discard(spec.job_id)
 
+    def _settle_relay_departure(self, record: ForwardRecord) -> None:
+        """Close this site's hosting role after relaying a job onward.
+
+        A relay stops hosting the moment its outgoing commit is
+        confirmed: the foreign-job entry closes, and any *durable*
+        progress this site added beyond the arrival snapshot (it may
+        have run the job between hosting and relaying) is settled as a
+        donation now — the downstream host bills only the remainder,
+        so the origin is charged each GPU-hour exactly once across the
+        chain.
+        """
+        if record.origin_site is None:
+            return  # we are the true origin, not a relay
+        entry = self._foreign_jobs.pop(record.job_id, None)
+        self.relayed_out += 1
+        self.platform.events.emit(
+            "job-relayed", job_id=record.job_id, dest=record.dest_site,
+            origin=record.origin_site,
+        )
+        if entry is None:
+            return
+        origin, arrival_progress, _path = entry
+        executed = max(0.0, record.shipped_progress - arrival_progress)
+        if executed > 1e-9:
+            self.ledger.record_donation(
+                donor=self.site,
+                beneficiary=origin,
+                gpu_hours=executed / HOUR,
+                job_id=record.job_id,
+                at=self.env.now,
+            )
+
+    def _settle_relay_fees(self, job_id: str, origin: str,
+                           relay_path: Tuple[str, ...],
+                           executed_seconds: float) -> None:
+        """Pay each intermediate relay its cut of a settled donation.
+
+        ``relay_path[0]`` is the origin itself and earns nothing; every
+        later entry carried the job one hop and is credited
+        ``relay_fee_fraction`` of the donated hours, charged to the
+        origin — entries are plain transfers, so ledger conservation
+        holds by construction.
+        """
+        fee = (executed_seconds / HOUR) * self.config.relay_fee_fraction
+        if fee <= 1e-12:
+            return
+        for relay in relay_path[1:]:
+            self.ledger.record_relay_fee(
+                relay=relay,
+                beneficiary=origin,
+                gpu_hours=fee,
+                job_id=job_id,
+                at=self.env.now,
+            )
+
     def _release_lease(self, dest: str, token: str) -> Generator:
         try:
             yield self.wan_rpc.call(
@@ -418,6 +573,16 @@ class FederationGateway:
 
     def _handle_forward_offer(self, offer: ForwardOffer) -> dict:
         job_id = offer.spec.job_id
+        if not self.config.host_foreign_jobs:
+            # Opted out of hosting: our digest already advertises no
+            # capacity, but a peer acting on a pre-opt-out digest (or
+            # probing blindly) still gets a clean decline.
+            return {"accepted": False, "reason": "opted-out"}
+        if self.site in offer.relay_path:
+            # The job already passed through here; the sender's policy
+            # should have excluded us — decline defensively rather
+            # than let a relay loop form.
+            return {"accepted": False, "reason": "relay-loop"}
         if job_id in self.platform.coordinator.jobs or job_id in self._committing:
             # We already host (or are mid-commit of) this job; the
             # origin should resolve its handshake via forward-status,
@@ -459,13 +624,15 @@ class FederationGateway:
             # so the origin can safely requeue.
             return {"committed": False, "reason": "lease-expired"}
         # Pull the bulk bytes (checkpoint snapshot or dataset) over the
-        # WAN; the handler runs inside the RPC, so the origin sees the
-        # full replication time before its commit is acknowledged.
+        # WAN from the *previous hop* — on a relayed forward the data
+        # lives at the relay, not the origin; the handler runs inside
+        # the RPC, so the sender sees the full replication time before
+        # its commit is acknowledged.
         self._committing.add(job_id)
         category = ("federation-checkpoint" if envelope.restore
                     else "federation-dataset")
         try:
-            yield self.fabric.transfer(envelope.origin_site, self.site,
+            yield self.fabric.transfer(envelope.sender_site, self.site,
                                        envelope.payload_bytes,
                                        category=category)
         except NetworkError:
@@ -487,7 +654,8 @@ class FederationGateway:
             self.platform.engine.adopt_base(job_id,
                                             envelope.snapshot.version)
         self._foreign_jobs[job_id] = (envelope.origin_site,
-                                      envelope.progress)
+                                      envelope.progress,
+                                      envelope.relay_path)
         self._commits[job_id] = token
         self.forwarded_in += 1
         self.platform.coordinator.submit_remote(
@@ -496,6 +664,7 @@ class FederationGateway:
             restore=envelope.restore,
             progress=envelope.progress,
             forward_hops=envelope.forward_hops,
+            relay_path=envelope.relay_path,
         )
         self._committing.discard(job_id)
         return {"committed": True}
@@ -529,8 +698,17 @@ class FederationGateway:
         if state.is_done:
             return {"state": "completed",
                     "completed_at": state.completed_at,
-                    "host_site": self.site}
+                    "host_site": self._host_of(job_id)}
         return {"state": "committed"}
+
+    def _host_of(self, job_id: str) -> str:
+        """The site that actually ran a job done *from here*: this one,
+        unless we relayed it onward — then the downstream record knows
+        the true host, and probe/cancel replies must not claim it."""
+        record = self.delegations.get(job_id)
+        if record is not None:
+            return record.host_site or record.dest_site
+        return self.site
 
     def _handle_cancel_job(self, payload: dict) -> Generator:
         """Cross-WAN cancellation of a job delegated to this site.
@@ -555,7 +733,7 @@ class FederationGateway:
             # race honestly rather than pretending to cancel.
             return {"completed": True,
                     "completed_at": state.completed_at,
-                    "host_site": self.site}
+                    "host_site": self._host_of(job_id)}
         terminate = coordinator.cancel_job(job_id)
         if terminate is not None:
             try:
@@ -569,14 +747,15 @@ class FederationGateway:
                 # overwrite a finished job with CANCELLED.
                 return {"completed": True,
                         "completed_at": state.completed_at,
-                        "host_site": self.site}
+                        "host_site": self._host_of(job_id)}
         state.status = JobStatus.CANCELLED
         entry = self._foreign_jobs.pop(job_id, None)
         if entry is not None:
-            origin, arrival_progress = entry
+            origin, arrival_progress, relay_path = entry
             executed = max(0.0, state.progress - arrival_progress)
             if executed > 1e-9:
-                # Bill the hours actually donated before the cancel.
+                # Bill the hours actually donated before the cancel —
+                # and the relays' cut of that partial settlement.
                 self.ledger.record_donation(
                     donor=self.site,
                     beneficiary=origin,
@@ -584,6 +763,8 @@ class FederationGateway:
                     job_id=job_id,
                     at=self.env.now,
                 )
+                self._settle_relay_fees(job_id, origin, relay_path,
+                                        executed)
             self.platform.events.emit("foreign-job-cancelled",
                                       job_id=job_id, origin=origin,
                                       donated_gpu_hours=executed / HOUR)
@@ -592,13 +773,14 @@ class FederationGateway:
     # -- settlement -------------------------------------------------------
 
     def _on_event(self, event: PlatformEvent) -> None:
+        self.admission.on_event(event)
         if event.kind != "job-completed":
             return
         job_id = event.payload.get("job_id")
         entry = self._foreign_jobs.pop(job_id, None)
         if entry is None:
             return
-        origin, arrival_progress = entry
+        origin, arrival_progress, relay_path = entry
         state = self.platform.coordinator.jobs.get(job_id)
         donated = state.spec.total_compute - arrival_progress
         self.ledger.record_donation(
@@ -608,38 +790,61 @@ class FederationGateway:
             job_id=job_id,
             at=self.env.now,
         )
+        # Relays along the path earn their fee out of the origin's
+        # balance — settled here, at the one site that knows the final
+        # donated hours.
+        self._settle_relay_fees(job_id, origin, relay_path, donated)
         self.platform.events.emit("foreign-job-completed", job_id=job_id,
                                   origin=origin,
                                   donated_gpu_hours=donated / HOUR)
         completed_at = (state.completed_at if state.completed_at is not None
                         else self.env.now)
-        # The notice stays registered until the origin acknowledges it,
-        # so a partitioned origin receives it on heal (reconciliation)
-        # instead of never.
-        self._unacked[job_id] = (origin, {
+        # The notice goes to the *previous hop* (on a relayed job that
+        # is the relay, which chains it onward) and stays registered
+        # until acknowledged, so a partitioned upstream receives it on
+        # heal (reconciliation) instead of never.
+        self._queue_completion_notice(
+            job_id,
+            upstream=relay_path[-1] if relay_path else origin,
+            completed_at=completed_at,
+            host_site=self.site,
+        )
+
+    def _queue_completion_notice(self, job_id: str, upstream: str,
+                                 completed_at: float,
+                                 host_site: str) -> None:
+        """Register a completion notice toward the previous hop and
+        start delivering it.
+
+        The one place the keep-until-acknowledged payload is built —
+        both the hosting site's settlement and a relay chaining a
+        downstream notice onward go through here, so the wire shape
+        cannot drift between them.
+        """
+        self._unacked[job_id] = (upstream, {
             "job_id": job_id, "completed_at": completed_at,
-            "host_site": self.site,
+            "host_site": host_site,
         })
-        self.env.process(self._notify_origin(job_id),
+        self.env.process(self._notify_upstream(job_id),
                          name=f"notify:{job_id}")
 
-    def _notify_origin(self, job_id: str) -> Generator:
+    def _notify_upstream(self, job_id: str) -> Generator:
         entry = self._unacked.get(job_id)
         if entry is None:
             return
-        origin, payload = entry
+        upstream, payload = entry
         try:
             yield self.wan_rpc.call(
-                self.site, origin, "job-complete", payload,
+                self.site, upstream, "job-complete", payload,
                 request_size=self.config.control_message_bytes,
                 response_size=self.config.control_message_bytes,
                 timeout=self.config.control_rpc_timeout,
             )
         except NetworkError:
-            # The origin is partitioned; the reconciliation pass
+            # The previous hop is partitioned; the reconciliation pass
             # re-sends this notice once the WAN heals.
             self.platform.events.emit("job-complete-notify-failed",
-                                      job_id=job_id, origin=origin)
+                                      job_id=job_id, origin=upstream)
             return
         self._unacked.pop(job_id, None)
 
@@ -668,6 +873,7 @@ class FederationGateway:
                 # committed; the completion resolves the handshake.
                 self._confirm_delegation(record)
             record.completed_at = completed_at
+            record.host_site = host_site or record.dest_site
             record.state = DelegationState.COMPLETED
         self._pending_requests.pop(job_id, None)
         state = self.platform.coordinator.jobs.get(job_id)
@@ -685,12 +891,23 @@ class FederationGateway:
                 state.status = JobStatus.COMPLETED
         self.platform.events.emit("job-remote-completed", job_id=job_id,
                                   host=host_site)
+        if record is not None and record.upstream is not None:
+            # We were a relay hop for this job: chain the completion
+            # notice toward the previous hop with the *host's* stamp
+            # intact, under the same keep-until-acknowledged rule.
+            self._queue_completion_notice(
+                job_id,
+                upstream=record.upstream,
+                completed_at=completed_at,
+                host_site=host_site or record.dest_site,
+            )
         return True
 
     def _confirm_delegation(self, record: ForwardRecord) -> None:
         """An unknown-outcome handshake turned out to have committed."""
         record.state = DelegationState.COMMITTED
         self.forwarded_out += 1
+        self._settle_relay_departure(record)
         self._pending_requests.pop(record.job_id, None)
         state = self.platform.coordinator.jobs.get(record.job_id)
         if state is not None and state.status is JobStatus.CANCELLED:
@@ -765,9 +982,10 @@ class FederationGateway:
                 self._pending_cancels.discard(job_id)
                 continue
             yield from self._send_cancel(job_id, record)
-        # 3. Re-send completion notices the origin never acknowledged.
+        # 3. Re-send completion notices the previous hop never
+        #    acknowledged.
         for job_id in sorted(self._unacked):
-            yield from self._notify_origin(job_id)
+            yield from self._notify_upstream(job_id)
 
     def _probe_delegation(self, job_id: str,
                           record: ForwardRecord) -> Generator:

@@ -1,12 +1,28 @@
 """Cross-site GPU-hour credit ledger.
 
 Modelled on p2pool's share ledger: every contribution is an immutable
-entry attributing work to the peer that performed it, and balances are
-pure folds over the entry log — there is no mutable per-site counter
-that can drift from the history.  A site *earns* credits for GPU-hours
+entry attributing work to the peer that performed it.  Balances are a
+running fold over the entry log, maintained per append so the hot
+readers (the forwarding policy's fairness term, adaptive gossip's
+drift check — both on fast timers) stay O(1), and always re-derivable
+from the log — the property tests audit the counter against the full
+``donated − consumed`` fold.  A site *earns* credits for GPU-hours
 its providers donate to foreign jobs and *spends* credits when its own
 jobs run elsewhere, so by construction the balances across all sites
 sum to zero (conservation — the property the tests pin down).
+
+Two entry kinds exist, both plain transfers:
+
+* ``donation`` — the hosting site ran GPU-hours for the origin's job
+  (recorded at completion, or at cancellation for the partial hours
+  actually executed);
+* ``relay-fee`` — an intermediate site carried the job one WAN hop on
+  a multi-hop forward; the origin pays it a small fraction of the
+  donated hours for the relay service.
+
+Every entry moves credit from ``beneficiary`` to ``donor``, so the
+zero-sum conservation property holds under *any* interleaving of
+donations, relay fees, and partial-hour cancel settlements.
 
 The balance feeds the forwarding policy's fairness term: sites deep in
 credit-debt are preferred hosts for new foreign work (they "repay" in
@@ -23,13 +39,15 @@ from typing import Dict, List
 
 @dataclass(frozen=True)
 class CreditEntry:
-    """One settled donation: ``donor`` ran ``gpu_hours`` for ``beneficiary``."""
+    """One settled transfer: ``donor`` earned ``gpu_hours`` from
+    ``beneficiary`` (by hosting its job, or by relaying it)."""
 
     at: float
     donor: str
     beneficiary: str
     gpu_hours: float
     job_id: str
+    kind: str = "donation"
 
 
 class CreditLedger:
@@ -38,11 +56,13 @@ class CreditLedger:
     def __init__(self):
         self._entries: List[CreditEntry] = []
         self._sites: List[str] = []
+        self._balances: Dict[str, float] = {}
 
     def register_site(self, site: str) -> None:
         """Make a site show up in balance reports (idempotent)."""
         if site not in self._sites:
             self._sites.append(site)
+            self._balances.setdefault(site, 0.0)
 
     @property
     def sites(self) -> List[str]:
@@ -54,6 +74,21 @@ class CreditLedger:
         """Every settled entry, in order."""
         return list(self._entries)
 
+    def _record(self, donor: str, beneficiary: str, gpu_hours: float,
+                job_id: str, at: float, kind: str) -> CreditEntry:
+        if gpu_hours < 0:
+            raise ValueError(f"negative {kind}: {gpu_hours}")
+        if donor == beneficiary:
+            raise ValueError(f"site {donor!r} cannot donate to itself")
+        self.register_site(donor)
+        self.register_site(beneficiary)
+        entry = CreditEntry(at=at, donor=donor, beneficiary=beneficiary,
+                            gpu_hours=gpu_hours, job_id=job_id, kind=kind)
+        self._entries.append(entry)
+        self._balances[donor] += gpu_hours
+        self._balances[beneficiary] -= gpu_hours
+        return entry
+
     def record_donation(
         self,
         donor: str,
@@ -63,29 +98,52 @@ class CreditLedger:
         at: float,
     ) -> CreditEntry:
         """Settle ``gpu_hours`` of work ``donor`` ran for ``beneficiary``."""
-        if gpu_hours < 0:
-            raise ValueError(f"negative donation: {gpu_hours}")
-        if donor == beneficiary:
-            raise ValueError(f"site {donor!r} cannot donate to itself")
-        self.register_site(donor)
-        self.register_site(beneficiary)
-        entry = CreditEntry(at=at, donor=donor, beneficiary=beneficiary,
-                            gpu_hours=gpu_hours, job_id=job_id)
-        self._entries.append(entry)
-        return entry
+        return self._record(donor, beneficiary, gpu_hours, job_id, at,
+                            kind="donation")
+
+    def record_relay_fee(
+        self,
+        relay: str,
+        beneficiary: str,
+        gpu_hours: float,
+        job_id: str,
+        at: float,
+    ) -> CreditEntry:
+        """Credit ``relay`` for carrying ``beneficiary``'s job one hop.
+
+        The fee is charged to the *origin* (who benefited from the
+        extended placement reach), so the transfer nets to zero like
+        every other entry.
+        """
+        return self._record(relay, beneficiary, gpu_hours, job_id, at,
+                            kind="relay-fee")
 
     def donated(self, site: str) -> float:
-        """GPU-hours ``site`` ran for foreign jobs."""
+        """GPU-hours of credit ``site`` earned (hosting + relaying)."""
         return sum(e.gpu_hours for e in self._entries if e.donor == site)
 
     def consumed(self, site: str) -> float:
-        """GPU-hours other sites ran for ``site``'s jobs."""
+        """GPU-hours of credit ``site`` paid out for its own jobs."""
         return sum(e.gpu_hours for e in self._entries
                    if e.beneficiary == site)
 
+    def relay_fees_earned(self, site: str) -> float:
+        """Credit ``site`` earned purely for relaying foreign jobs."""
+        return sum(e.gpu_hours for e in self._entries
+                   if e.donor == site and e.kind == "relay-fee")
+
+    def entries_of_kind(self, kind: str) -> List[CreditEntry]:
+        """Every entry of one kind (``donation`` / ``relay-fee``)."""
+        return [e for e in self._entries if e.kind == kind]
+
     def balance(self, site: str) -> float:
-        """Net credit: donated minus consumed (positive = net donor)."""
-        return self.donated(site) - self.consumed(site)
+        """Net credit: donated minus consumed (positive = net donor).
+
+        O(1) — the running fold, equal to the
+        ``donated(site) - consumed(site)`` re-derivation by induction
+        over :meth:`_record` (the property tests audit this).
+        """
+        return self._balances.get(site, 0.0)
 
     def balances(self) -> Dict[str, float]:
         """Every registered site's balance."""

@@ -17,6 +17,15 @@ The handshake is failure-atomic by construction:
   :attr:`DelegationState.UNKNOWN` and resolves it with an idempotent
   ``forward-status`` probe instead of re-queuing — the double-schedule
   bug the one-shot protocol had.
+
+Forwards may be **relayed**: a site hosting a foreign job it cannot
+place re-runs the same handshake toward one of its own neighbours, so
+a job can travel ``origin → relay → host``.  Every offer/envelope
+carries ``relay_path`` — the ordered chain of sites the job passed
+through, starting with the true origin — which is simultaneously the
+loop guard (a site never appears twice), the provenance record relay
+fees settle against, and the return path completion notices chain back
+along hop by hop.
 """
 
 from __future__ import annotations
@@ -86,6 +95,17 @@ class ForwardOffer:
     #: Durable progress that checkpoint carries (0 for fresh jobs).
     progress: float = 0.0
     forward_hops: int = 1
+    #: Sites the job passed through before the receiver, in order,
+    #: starting with the true origin.  ``("a",)`` for a first-hop
+    #: forward from ``a``; ``("a", "b")`` when ``b`` relays ``a``'s
+    #: job onward.  The last element is the *physical sender* the
+    #: commit-phase payload pull draws from.
+    relay_path: Tuple[str, ...] = ()
+
+    @property
+    def sender_site(self) -> str:
+        """The site physically holding the payload (previous hop)."""
+        return self.relay_path[-1] if self.relay_path else self.origin_site
 
 
 @dataclass(frozen=True)
@@ -106,6 +126,13 @@ class ForwardEnvelope:
     snapshot: Optional[CheckpointRecord] = None
     forward_hops: int = 1
     claim_token: str = ""
+    #: Same chain as :attr:`ForwardOffer.relay_path`.
+    relay_path: Tuple[str, ...] = ()
+
+    @property
+    def sender_site(self) -> str:
+        """The site physically holding the payload (previous hop)."""
+        return self.relay_path[-1] if self.relay_path else self.origin_site
 
     @property
     def restore(self) -> bool:
@@ -135,7 +162,12 @@ class DelegationState(Enum):
 
 @dataclass
 class ForwardRecord:
-    """Origin-side record of one delegation to a peer site."""
+    """Sender-side record of one delegation to a peer site.
+
+    Kept both by the true origin and by every relay along the chain —
+    each hop records only its *own* outgoing leg, so probes, cancels,
+    and completion notices all travel hop by hop.
+    """
 
     job_id: str
     dest_site: str
@@ -146,3 +178,17 @@ class ForwardRecord:
     completed_at: Optional[float] = None
     claim_token: str = ""
     state: DelegationState = DelegationState.COMMITTED
+    #: The job's true origin, or ``None`` when this site *is* the
+    #: origin.  Set on relay records: it marks the delegation as one
+    #: whose completion notice must chain onward to :attr:`upstream`.
+    origin_site: Optional[str] = None
+    #: The previous hop the job arrived from (``None`` at the true
+    #: origin) — where chained completion notices are delivered.
+    upstream: Optional[str] = None
+    #: Durable progress shipped with the payload — what a relay
+    #: settles its own donated hours against.
+    shipped_progress: float = 0.0
+    #: The site that actually ran the job to completion, learned from
+    #: the completion notice/probe — ``dest_site`` unless the job was
+    #: relayed onward from there.
+    host_site: Optional[str] = None

@@ -20,7 +20,7 @@ by site name, so decisions are deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Collection, Dict, Optional
 
 from ..core.messages import ResourceRequest
 from ..errors import NetworkError
@@ -41,11 +41,38 @@ class FederationConfig:
     #: A site declines foreign work when its own queue pressure
     #: (queued + parked requests) exceeds this.
     accept_pressure_limit: int = 1
-    #: Maximum times a request may cross the WAN (ping-pong guard).
-    max_forward_hops: int = 1
+    #: Maximum times a request may cross the WAN.  Values above 1
+    #: enable *relaying*: a site hosting a foreign job it cannot place
+    #: re-forwards it to one of its own neighbours (never back along
+    #: the relay path).
+    max_forward_hops: int = 2
+    #: Fraction of the donated GPU-hours the origin pays each
+    #: intermediate relay site on a multi-hop forward.
+    relay_fee_fraction: float = 0.05
     #: Seconds to wait before re-offering a job whose forward was
     #: declined or failed.
     forward_retry_backoff: float = 120.0
+    #: Whether this site hosts foreign jobs at all.  Opted-out sites
+    #: advertise zero spare capacity and decline every offer, but may
+    #: still forward their own surplus out.
+    host_foreign_jobs: bool = True
+    #: Seconds of *predicted home demand* the admission controller
+    #: reserves before accepting foreign work: expected home arrivals
+    #: within this horizon hold back one GPU each.  0 disables the
+    #: reservation (accept on raw spare capacity, the PR-1 behaviour).
+    admission_headroom_horizon: float = 0.0
+    #: EWMA smoothing factor for the admission controller's arrival
+    #: and service-time estimates (1.0 = only the latest sample).
+    admission_ewma_alpha: float = 0.3
+    #: When set, gossip turns adaptive: each gateway re-checks its
+    #: digest every ``gossip_interval_min`` seconds and pushes early
+    #: whenever spare capacity or queue pressure changed, or its
+    #: credit balance drifted by ``gossip_balance_drift`` — cutting
+    #: the staleness window that makes peers forward into a wall.
+    #: ``None`` keeps the fixed ``gossip_interval`` cadence.
+    gossip_interval_min: Optional[float] = None
+    #: GPU-hour balance drift that triggers an early adaptive gossip.
+    gossip_balance_drift: float = 1.0
     #: Score penalty per active flow sharing the origin→peer route.
     hotspot_penalty: float = 1.0
     #: Score weight on the peer's credit balance (GPU-hours).
@@ -76,6 +103,22 @@ class FederationConfig:
             raise ValueError("digest_staleness must cover >= one gossip round")
         if self.max_forward_hops < 1:
             raise ValueError("max_forward_hops must be >= 1")
+        if not 0.0 <= self.relay_fee_fraction < 1.0:
+            raise ValueError(
+                "relay_fee_fraction must be in [0, 1): the relays' cut "
+                "cannot consume (or exceed) the donation itself")
+        if self.admission_headroom_horizon < 0:
+            raise ValueError("admission_headroom_horizon must be >= 0")
+        if not 0.0 < self.admission_ewma_alpha <= 1.0:
+            raise ValueError("admission_ewma_alpha must be in (0, 1]")
+        if self.gossip_interval_min is not None:
+            if self.gossip_interval_min <= 0:
+                raise ValueError("gossip_interval_min must be positive")
+            if self.gossip_interval_min > self.gossip_interval:
+                raise ValueError(
+                    "gossip_interval_min must not exceed gossip_interval")
+        if self.gossip_balance_drift <= 0:
+            raise ValueError("gossip_balance_drift must be positive")
         if self.control_rpc_timeout <= 0 or self.commit_rpc_timeout <= 0:
             raise ValueError("RPC timeouts must be positive")
         if self.offer_lease_timeout <= self.control_rpc_timeout:
@@ -130,12 +173,18 @@ class ForwardingPolicy:
         fabric: FlowNetwork,
         ledger: CreditLedger,
         now: float,
+        exclude: Collection[str] = (),
     ) -> Optional[str]:
-        """The best destination site, or ``None`` to keep the job local."""
+        """The best destination site, or ``None`` to keep the job local.
+
+        ``exclude`` removes sites from consideration — relaying passes
+        the job's relay path here, so a multi-hop forward never
+        revisits a site it already passed through (the loop guard).
+        """
         best_site: Optional[str] = None
         best_score = float("-inf")
         for site in sorted(digests):
-            if site == origin:
+            if site == origin or site in exclude:
                 continue
             digest = digests[site]
             if not self.eligible(digest, request, now):

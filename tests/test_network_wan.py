@@ -173,6 +173,45 @@ def test_sever_spares_flows_on_other_routes():
     assert safe.ok
 
 
+def test_pinned_flow_dies_on_sever_while_recomputed_routes_flow():
+    """The documented PR-2 nuance, pinned as a regression test.
+
+    A flow is *pinned* to the route computed at its start: severing
+    any link of that route kills it even though an alternate route
+    exists the whole time — in-flight transfers are never re-spread
+    onto recomputed paths.  Flows on unrelated links survive, and new
+    transfers between the same endpoints immediately use the
+    recomputed route.
+    """
+    env = Environment()
+    wan = triangle()
+    fabric = FlowNetwork(env, wan)
+    attach_partition_enforcement(fabric, wan)
+    # a->c routes via b (20 ms beats the 50 ms direct link), so this
+    # flow is pinned to the a->b, b->c links.
+    pinned = fabric.transfer("a", "c", 10 * GIB)
+    assert {l.name for l in wan.path("a", "c")} == {"a->b", "b->c"}
+    # An unrelated flow: a->b shares the pinned flow's first link but
+    # never touches the pair about to sever.
+    unrelated = fabric.transfer("a", "b", 1 * GIB)
+    env.run(until=1.0)
+    assert not pinned.triggered
+
+    wan.sever("b", "c")
+    # The recomputed a->c route exists (the direct 50 ms link) ...
+    assert [l.name for l in wan.path("a", "c")] == ["a->c"]
+    env.run(until=2.0)
+    # ... but the pinned flow died instead of migrating onto it.
+    assert pinned.processed and not pinned.ok
+    assert isinstance(pinned.value, WanPartitionError)
+    # A new transfer between the same endpoints takes the recomputed
+    # route and completes; the unrelated flow never noticed.
+    retried = fabric.transfer("a", "c", 1 * GIB)
+    env.run()
+    assert retried.ok
+    assert unrelated.ok
+
+
 def test_path_load_counts_flows_sharing_route_links():
     env = Environment()
     wan = triangle()

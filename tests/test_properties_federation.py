@@ -1,0 +1,169 @@
+"""Property-based tests on federation invariants (hypothesis).
+
+The credit ledger's load-bearing property is *conservation*: every
+entry is a transfer, so the balances across all sites sum to zero no
+matter how donations, relay fees, and partial-hour cancel settlements
+interleave.  The strategies below generate adversarial interleavings —
+including the exact shapes the gateway produces (full completion
+settlements with per-relay fees, and partial cancel settlements) —
+and check conservation after *every* operation, not just at the end.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.federation import CreditLedger
+from repro.federation.policy import FederationConfig
+
+SITES = ["alpha", "bravo", "charlie", "delta", "echo"]
+
+_hours = st.floats(min_value=0.0, max_value=500.0,
+                   allow_nan=False, allow_infinity=False)
+_site = st.integers(min_value=0, max_value=len(SITES) - 1)
+
+
+def _distinct_pair(draw):
+    donor = draw(_site)
+    beneficiary = draw(_site.filter(lambda s: s != donor))
+    return SITES[donor], SITES[beneficiary]
+
+
+@st.composite
+def _donation(draw):
+    donor, beneficiary = _distinct_pair(draw)
+    return ("donation", donor, beneficiary, draw(_hours))
+
+
+@st.composite
+def _relay_fee(draw):
+    relay, beneficiary = _distinct_pair(draw)
+    return ("relay-fee", relay, beneficiary, draw(_hours))
+
+
+@st.composite
+def _cancel_settlement(draw):
+    """A partial-hour cancel as the gateway settles it: the host bills
+    the executed fraction, and every relay on the path gets its cut of
+    exactly those hours."""
+    path_len = draw(st.integers(min_value=2, max_value=len(SITES)))
+    path = draw(st.permutations(SITES).map(lambda p: p[:path_len]))
+    executed = draw(_hours) * draw(
+        st.floats(min_value=0.0, max_value=1.0,
+                  allow_nan=False, allow_infinity=False))
+    fee_fraction = draw(st.floats(min_value=0.0, max_value=0.5,
+                                  allow_nan=False, allow_infinity=False))
+    return ("cancel", tuple(path), executed, fee_fraction)
+
+
+_ops = st.lists(
+    st.one_of(_donation(), _relay_fee(), _cancel_settlement()),
+    min_size=1, max_size=60,
+)
+
+
+def _apply(ledger, op, index):
+    kind = op[0]
+    if kind == "donation":
+        _, donor, beneficiary, hours = op
+        ledger.record_donation(donor, beneficiary, hours,
+                               job_id=f"job-{index}", at=float(index))
+    elif kind == "relay-fee":
+        _, relay, beneficiary, hours = op
+        ledger.record_relay_fee(relay, beneficiary, hours,
+                                job_id=f"job-{index}", at=float(index))
+    else:  # the gateway's cancel-settlement shape
+        _, path, executed, fee_fraction = op
+        origin, host = path[0], path[-1]
+        ledger.record_donation(host, origin, executed,
+                               job_id=f"job-{index}", at=float(index))
+        for relay in path[1:-1]:
+            ledger.record_relay_fee(relay, origin,
+                                    executed * fee_fraction,
+                                    job_id=f"job-{index}", at=float(index))
+
+
+@given(_ops)
+@settings(max_examples=120, deadline=None)
+def test_ledger_balances_sum_to_zero_under_any_interleaving(ops):
+    """Conservation holds after every op, not just at the horizon."""
+    ledger = CreditLedger()
+    for site in SITES:
+        ledger.register_site(site)
+    for index, op in enumerate(ops):
+        _apply(ledger, op, index)
+        assert ledger.total() == pytest.approx(0.0, abs=1e-6)
+    # Balances are pure folds over the entry log.
+    for site in SITES:
+        assert ledger.balance(site) == pytest.approx(
+            ledger.donated(site) - ledger.consumed(site))
+    # Relay fees are a subset of what each site earned.
+    for site in SITES:
+        assert 0.0 <= ledger.relay_fees_earned(site) <= (
+            ledger.donated(site) + 1e-9)
+    # Kinds partition the log.
+    assert (len(ledger.entries_of_kind("donation"))
+            + len(ledger.entries_of_kind("relay-fee"))
+            == len(ledger.entries))
+
+
+@given(_ops, st.integers(min_value=0, max_value=59))
+@settings(max_examples=60, deadline=None)
+def test_ledger_rejections_never_corrupt_state(ops, poison_at):
+    """A rejected entry (negative hours, self-donation) leaves the log
+    exactly as it was — conservation survives interleaved failures."""
+    ledger = CreditLedger()
+    for index, op in enumerate(ops):
+        if index == poison_at % max(len(ops), 1):
+            before = len(ledger.entries)
+            with pytest.raises(ValueError):
+                ledger.record_donation("alpha", "alpha", 1.0,
+                                       job_id="poison", at=0.0)
+            with pytest.raises(ValueError):
+                ledger.record_relay_fee("alpha", "bravo", -1.0,
+                                        job_id="poison", at=0.0)
+            assert len(ledger.entries) == before
+        _apply(ledger, op, index)
+    assert ledger.total() == pytest.approx(0.0, abs=1e-6)
+
+
+@given(st.floats(min_value=0.0, max_value=0.99,
+                 allow_nan=False, allow_infinity=False),
+       st.floats(min_value=0.0, max_value=100.0,
+                 allow_nan=False, allow_infinity=False),
+       st.integers(min_value=2, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_full_relay_chain_settlement_charges_origin_once_per_hour(
+        fee_fraction, hours, path_len):
+    """The gateway's completion shape: host donation + per-relay fees.
+    The origin pays hours·(1 + fee·relays); everyone else nets ≥ 0."""
+    path = SITES[:path_len]
+    origin, host = path[0], path[-1]
+    relays = path[1:-1]
+    ledger = CreditLedger()
+    ledger.record_donation(host, origin, hours, job_id="j", at=0.0)
+    for relay in relays:
+        ledger.record_relay_fee(relay, origin, hours * fee_fraction,
+                                job_id="j", at=0.0)
+    assert ledger.balance(origin) == pytest.approx(
+        -hours * (1 + fee_fraction * len(relays)))
+    assert ledger.balance(host) == pytest.approx(hours)
+    for relay in relays:
+        assert ledger.balance(relay) == pytest.approx(
+            hours * fee_fraction)
+        assert ledger.relay_fees_earned(relay) == pytest.approx(
+            hours * fee_fraction)
+    assert ledger.total() == pytest.approx(0.0, abs=1e-6)
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False,
+                 min_value=-10.0, max_value=1.5))
+@settings(max_examples=60, deadline=None)
+def test_config_relay_fee_validation_is_total(fraction):
+    """Every float either builds a config or raises ValueError — the
+    validation boundary is exactly [0, 1)."""
+    if 0.0 <= fraction < 1.0:
+        assert FederationConfig(
+            relay_fee_fraction=fraction).relay_fee_fraction == fraction
+    else:
+        with pytest.raises(ValueError):
+            FederationConfig(relay_fee_fraction=fraction)
