@@ -25,7 +25,7 @@ class RequestKind(Enum):
     INTERACTIVE = "interactive"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ResourceRequest:
     """One entry in the central pending-request priority queue (§3.5)."""
 
@@ -103,7 +103,7 @@ class ResourceRequest:
         return (self.priority, self.seq)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Placement:
     """A scheduling decision: which node and GPU take a request."""
 
@@ -112,7 +112,7 @@ class Placement:
     gpu_uuid: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DispatchResult:
     """Agent's answer to a dispatch RPC."""
 

@@ -87,6 +87,12 @@ class NodeRegistry:
         self.env = env
         self._records: Dict[str, NodeRecord] = {}
         self._by_hostname: Dict[str, str] = {}
+        #: Bumped on every change that can alter what a capacity scan
+        #: would see (registration, status moves, memory bookkeeping).
+        #: Consumers — the federation gateway's gossip digest — cache
+        #: their scan keyed on this version instead of rescanning the
+        #: whole inventory on every fast tick.
+        self.version = 0
 
     # -- registration -----------------------------------------------------
 
@@ -121,6 +127,7 @@ class NodeRegistry:
         )
         self._records[node_id] = record
         self._by_hostname[hostname] = node_id
+        self.version += 1
         return record
 
     def authenticate(self, node_id: str, token: str) -> NodeRecord:
@@ -160,6 +167,7 @@ class NodeRegistry:
     def set_status(self, node_id: str, status: NodeStatus) -> None:
         """Move a node to ``status``."""
         self.get(node_id).status = status
+        self.version += 1
 
     def touch_heartbeat(self, node_id: str) -> None:
         """Record a heartbeat receipt time."""
@@ -174,6 +182,7 @@ class NodeRegistry:
                 f"{gpu.memory_free:.0f} B"
             )
         gpu.memory_free -= nbytes
+        self.version += 1
 
     def release_gpu(self, node_id: str, gpu_uuid: str, nbytes: float) -> None:
         """Return memory to the free-memory view (clamped to total)."""
@@ -184,3 +193,4 @@ class NodeRegistry:
         if gpu is None:
             return
         gpu.memory_free = min(gpu.memory_total, gpu.memory_free + nbytes)
+        self.version += 1

@@ -144,6 +144,13 @@ class FederationGateway:
         self._last_digest: Optional[CapacityDigest] = None
         self._last_gossip_at = float("-inf")
         self._last_gossip_balance = 0.0
+        #: Memoized registry scan behind the digest: (free idle-GPU
+        #: count, sorted card classes), valid for one registry
+        #: version.  The fast gossip tick rebuilds the digest only to
+        #: check drift; without this it walked every node's inventory
+        #: each tick even when nothing had changed.
+        self._scan_version = -1
+        self._scan: Tuple[int, tuple] = (0, ())
 
         self.forwarded_out = 0
         self.forwarded_in = 0
@@ -200,23 +207,43 @@ class FederationGateway:
         policy turns into what peers (and the live offer check) see.
         """
         free_gpus = 0
-        card_classes = set()
+        free_cards: tuple = ()
         if self.config.host_foreign_jobs:
-            for record in self.platform.coordinator.registry.schedulable():
+            free_gpus, free_cards = self._registry_scan()
+            # The reservation is time-dependent (the arrival-rate
+            # forecast decays with silence), so it is applied fresh on
+            # every digest rather than folded into the cached scan.
+            free_gpus -= self.admission.reserved_headroom()
+        return CapacityDigest(
+            site=self.site,
+            free_gpus=free_gpus - self._inbound_pending,
+            free_cards=free_cards,
+            queue_pressure=(self.platform.coordinator.queue_pressure
+                            + self._inbound_pending),
+            advertised_at=self.env.now,
+        )
+
+    def _registry_scan(self) -> Tuple[int, tuple]:
+        """Idle-GPU count and card classes, cached per registry version.
+
+        Every mutation that can change the scan (registration, status
+        moves, memory reserve/release) bumps the registry's version
+        counter, so a clean version means the cached scan is exact —
+        the steady-state fast tick never re-walks the inventory.
+        """
+        registry = self.platform.coordinator.registry
+        if registry.version != self._scan_version:
+            free_gpus = 0
+            card_classes = set()
+            for record in registry.schedulable():
                 for gpu in record.gpus.values():
                     if gpu.memory_free >= gpu.memory_total:
                         free_gpus += 1
                         card_classes.add(
                             (gpu.memory_total, tuple(gpu.compute_capability)))
-            free_gpus -= self.admission.reserved_headroom()
-        return CapacityDigest(
-            site=self.site,
-            free_gpus=free_gpus - self._inbound_pending,
-            free_cards=tuple(sorted(card_classes)),
-            queue_pressure=(self.platform.coordinator.queue_pressure
-                            + self._inbound_pending),
-            advertised_at=self.env.now,
-        )
+            self._scan_version = registry.version
+            self._scan = (free_gpus, tuple(sorted(card_classes)))
+        return self._scan
 
     def _digest_drifted(self, digest: CapacityDigest) -> bool:
         """Whether the view peers hold of us has gone materially stale."""

@@ -38,7 +38,7 @@ from ..storage import CheckpointRecord
 from ..workloads.training import TrainingJobSpec
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CapacityDigest:
     """One site's gossiped summary of its spare capacity.
 
@@ -75,7 +75,7 @@ class CapacityDigest:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ForwardOffer:
     """Phase 1 of the forward handshake: metadata only, no bulk data.
 
@@ -108,7 +108,7 @@ class ForwardOffer:
         return self.relay_path[-1] if self.relay_path else self.origin_site
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ForwardEnvelope:
     """Phase 2 of the handshake: the claim-bearing commit message.
 
@@ -160,7 +160,7 @@ class DelegationState(Enum):
     CANCELLED = "cancelled"
 
 
-@dataclass
+@dataclass(slots=True)
 class ForwardRecord:
     """Sender-side record of one delegation to a peer site.
 

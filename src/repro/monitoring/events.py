@@ -13,7 +13,7 @@ from typing import Any, Dict, List, Optional
 from ..sim import Environment
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PlatformEvent:
     """One structured event."""
 

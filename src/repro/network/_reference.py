@@ -1,0 +1,225 @@
+"""Reference max-min flow engine (the pre-optimization implementation).
+
+This is the original O(rounds · links · flows) progressive-filling
+engine, preserved verbatim for two jobs:
+
+* **Golden oracle** — ``tests/test_golden_flows.py`` runs identical
+  scenarios through this engine and the optimized
+  :class:`~repro.network.flows.FlowNetwork` and requires bit-identical
+  traces (event times, observer deltas, completion order).
+* **Perf baseline** — ``benchmarks/bench_perf_core.py`` measures the
+  churn microbench against both engines; the speedup recorded in
+  ``BENCH_perf.json`` is defined against this implementation.
+
+Three deliberate deviations from the seed implementation, mirrored in
+the optimized engine so traces stay comparable:
+
+* flow ids come from a per-network counter (reproducible per network,
+  independent of test execution order);
+* a flow completed with a sub-byte residue (``remaining < 1.0``) has
+  the residue credited to ``transferred`` and to observers, so byte
+  conservation is exact (the seed silently dropped up to one byte per
+  flow, which the property suite catches);
+* the freezing loop skips already-frozen flows *during* iteration, so
+  a flow traversing the same link twice consumes capacity once per
+  traversal instead of twice per traversal (the seed's snapshot loop
+  double-charged such flows; unobservable for simple paths, which is
+  all the topologies produce).
+
+Do not optimize this module.  It must stay the simple restart
+implementation the fast engine is verified against.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Dict, List, Optional
+
+from ..errors import NetworkError
+from ..sim import Environment, Event
+from .flows import Flow
+from .lan import CampusLAN, Link
+
+
+def reference_max_min_rates(flows: List[Flow]) -> Dict[Flow, float]:
+    """Progressive-filling max-min fair allocation, by full restart.
+
+    Repeatedly finds the most constrained link, freezes its flows at
+    the equal share it can sustain, removes consumed capacity, and
+    iterates until every flow is frozen.
+    """
+    rates: Dict[Flow, float] = {}
+    active = [flow for flow in flows if flow.links]
+    for flow in flows:
+        if not flow.links:
+            rates[flow] = math.inf  # local copies are disk-bound, not ours
+    remaining_capacity: Dict[Link, float] = {}
+    link_flows: Dict[Link, List[Flow]] = {}
+    for flow in active:
+        for link in flow.links:
+            remaining_capacity.setdefault(link, link.capacity)
+            link_flows.setdefault(link, []).append(flow)
+    unfrozen = set(active)
+    while unfrozen:
+        # Fair share each link could give its unfrozen flows.
+        best_share = math.inf
+        best_link: Optional[Link] = None
+        for link, members in link_flows.items():
+            live = [flow for flow in members if flow in unfrozen]
+            if not live:
+                continue
+            share = max(0.0, remaining_capacity[link]) / len(live)
+            if share < best_share:
+                best_share = share
+                best_link = link
+        if best_link is None:
+            break
+        for flow in link_flows[best_link]:
+            if flow not in unfrozen:
+                continue
+            rates[flow] = best_share
+            unfrozen.discard(flow)
+            for link in flow.links:
+                remaining_capacity[link] -= best_share
+    return rates
+
+
+class ReferenceFlowNetwork:
+    """The original event-driven transfer engine (full restart on every
+    arrival/completion, global settle of all flows at every event)."""
+
+    def __init__(self, env: Environment, lan: CampusLAN):
+        self.env = env
+        self.lan = lan
+        self._flows: List[Flow] = []
+        self._flow_seq = itertools.count(1)
+        self._generation = 0
+        self._last_update = env.now
+        self._observers: List[Callable[[Flow, float], None]] = []
+        self.reallocations = 0
+        self.flows_started = 0
+        self.flows_completed = 0
+
+    @property
+    def active_flows(self) -> List[Flow]:
+        """Snapshot of in-flight flows."""
+        return list(self._flows)
+
+    def add_observer(self, callback: Callable[[Flow, float], None]) -> None:
+        """Register ``callback(flow, bytes_delta)`` for progress events."""
+        self._observers.append(callback)
+
+    # -- public API --------------------------------------------------------
+
+    def transfer(
+        self,
+        src: str,
+        dst: str,
+        size: float,
+        category: str = "data",
+    ) -> Event:
+        """Start a transfer; returns its completion event."""
+        if size < 0:
+            raise ValueError(f"negative transfer size: {size}")
+        links = self.lan.path(src, dst)  # raises NetworkError if unreachable
+        flow = Flow(self.env, src, dst, size, links, category,
+                    flow_id=next(self._flow_seq))
+        if not links:
+            flow.transferred = flow.size
+            self._notify(flow, flow.size)
+            flow.done.succeed(flow)
+            return flow.done
+        if size == 0:
+            flow.done.succeed(flow, delay=self.lan.latency(src, dst))
+            return flow.done
+        self._settle()
+        self.flows_started += 1
+        self._flows.append(flow)
+        self._reallocate()
+        return flow.done
+
+    def kill_host_flows(self, hostname: str, reason: str = "host departed") -> int:
+        """Fail every flow with ``hostname`` as an endpoint."""
+        self._settle()
+        doomed = [f for f in self._flows if hostname in (f.src, f.dst)]
+        for flow in doomed:
+            self._flows.remove(flow)
+            flow.done.fail(NetworkError(f"flow {flow.flow_id} killed: {reason}"))
+        if doomed:
+            self._reallocate()
+        return len(doomed)
+
+    def kill_flows_on(
+        self,
+        links,
+        reason: str = "link severed",
+        error_factory: Optional[Callable[[Flow], NetworkError]] = None,
+    ) -> int:
+        """Fail every flow whose route crosses any of ``links``."""
+        links = set(links)
+        self._settle()
+        doomed = [f for f in self._flows if links.intersection(f.links)]
+        for flow in doomed:
+            self._flows.remove(flow)
+            if error_factory is not None:
+                error = error_factory(flow)
+            else:
+                error = NetworkError(f"flow {flow.flow_id} killed: {reason}")
+            flow.done.fail(error)
+        if doomed:
+            self._reallocate()
+        return len(doomed)
+
+    # -- engine ------------------------------------------------------------
+
+    def _notify(self, flow: Flow, delta: float) -> None:
+        if delta <= 0:
+            return
+        for observer in self._observers:
+            observer(flow, delta)
+
+    def _settle(self) -> None:
+        """Credit every flow with progress since the last update."""
+        now = self.env.now
+        elapsed = now - self._last_update
+        if elapsed > 0:
+            for flow in self._flows:
+                delta = min(flow.rate * elapsed, flow.remaining)
+                flow.transferred += delta
+                self._notify(flow, delta)
+        self._last_update = now
+
+    def _reallocate(self) -> None:
+        """Recompute fair rates and schedule the next completion."""
+        rates = reference_max_min_rates(self._flows)
+        for flow in self._flows:
+            flow.rate = rates.get(flow, 0.0)
+        self.reallocations += 1
+        self._generation += 1
+        generation = self._generation
+        horizon = math.inf
+        for flow in self._flows:
+            if flow.rate > 0:
+                horizon = min(horizon, flow.remaining / flow.rate)
+        if math.isinf(horizon):
+            return
+        wake = self.env.timeout(max(horizon, 0.0))
+        wake.callbacks.append(lambda _ev: self._on_wake(generation))
+
+    def _on_wake(self, generation: int) -> None:
+        if generation != self._generation:
+            return  # superseded by a newer reallocation
+        self._settle()
+        # Bytes are discrete: a sub-byte float residue means done.
+        finished = [f for f in self._flows if f.remaining < 1.0]
+        for flow in finished:
+            self._flows.remove(flow)
+            self.flows_completed += 1
+            residue = flow.remaining
+            if residue > 0:
+                flow.transferred = flow.size
+                self._notify(flow, residue)
+            latency = self.lan.latency(flow.src, flow.dst)
+            flow.done.succeed(flow, delay=latency)
+        self._reallocate()

@@ -7,22 +7,58 @@ per-flow fair queuing plus TCP achieves in steady state — and replays
 flow progress exactly at every arrival/departure, so transfer completion
 times reflect real contention rather than a fixed per-transfer rate.
 
-The engine is the costly path of the whole simulation, so rate
+The engine is the costly path of the whole simulation.  Rate
 recomputation happens only on flow arrival/completion/topology change,
-and wake-ups use a generation counter instead of cancellable timers.
+and two structural optimizations keep each recomputation cheap:
+
+* **Heap-driven progressive filling** — :func:`max_min_rates` tracks
+  per-link residual capacity and unfrozen-flow counts and pops the
+  bottleneck link from a heap of fair shares, instead of rescanning
+  every link's membership each freezing round.  The arithmetic (share
+  divisions, residual subtractions, tie-breaks by link first-use
+  order) is performed in exactly the order the naive restart performs
+  it, so the allocation is bit-identical to the reference
+  implementation in :mod:`repro.network._reference`.
+* **Component-scoped reallocation** — a flow arrival or departure only
+  perturbs rates inside the connected component of links it touches.
+  Flows on disjoint links keep their rates without being recomputed
+  (max-min allocations of disjoint components are independent), which
+  is what makes sparse fabrics — a WAN with traffic on unrelated site
+  pairs — cheap under churn.
+
+The engine runs in one of two settle disciplines:
+
+* **Synchronous** (any observer registered — every platform attaches a
+  :class:`~repro.network.traffic.TrafficMeter`): every active flow is
+  credited with progress at every engine event, exactly like the
+  reference engine, so observers see byte deltas at identical times
+  with identical values and simulation traces are reproducible
+  bit-for-bit against the reference.
+* **Lazy** (no observers — bare engines, e.g. benchmarks): a flow is
+  only settled when its own rate changes or its component completes a
+  flow, so steady flows in quiet components are never touched.
+
+Wake-ups use a token guard instead of cancellable timers, scheduled
+through the kernel's lightweight :meth:`~repro.sim.Environment.call_at`
+fast path (no Event/Timeout allocation per reallocation).
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import math
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import NetworkError
 from ..sim import Environment, Event
 from .lan import CampusLAN, Link
 
-_flow_ids = itertools.count(1)
+#: Fallback id source for flows constructed outside an engine (unit
+#: tests build bare :class:`Flow` objects).  A :class:`FlowNetwork`
+#: stamps ids from its *own* counter, so flow ids are reproducible
+#: per network and independent of what other networks or tests did.
+_orphan_flow_ids = itertools.count(1)
 
 
 class Flow:
@@ -38,12 +74,13 @@ class Flow:
 
     __slots__ = (
         "flow_id", "src", "dst", "size", "links", "transferred",
-        "rate", "done", "category", "started_at",
+        "rate", "done", "category", "started_at", "settled_at", "eta",
     )
 
     def __init__(self, env: Environment, src: str, dst: str, size: float,
-                 links: List[Link], category: str):
-        self.flow_id = next(_flow_ids)
+                 links: List[Link], category: str,
+                 flow_id: Optional[int] = None):
+        self.flow_id = next(_orphan_flow_ids) if flow_id is None else flow_id
         self.src = src
         self.dst = dst
         self.size = float(size)
@@ -53,6 +90,12 @@ class Flow:
         self.done: Event = env.event()
         self.category = category
         self.started_at = env.now
+        #: Time up to which ``transferred`` reflects delivered bytes
+        #: (lazy settle bookkeeping).
+        self.settled_at = env.now
+        #: Estimated completion time under the current rate (lazy
+        #: wake bookkeeping; ``inf`` while the rate is zero).
+        self.eta = math.inf
 
     @property
     def remaining(self) -> float:
@@ -63,42 +106,104 @@ class Flow:
 def max_min_rates(flows: List[Flow]) -> Dict[Flow, float]:
     """Progressive-filling max-min fair allocation.
 
-    Repeatedly finds the most constrained link, freezes its flows at
-    the equal share it can sustain, removes consumed capacity, and
-    iterates until every flow is frozen.
+    Heap-driven: each link carries a residual capacity and a count of
+    unfrozen flow traversals; the most constrained link (smallest fair
+    share, ties broken by first-use order) is popped from a heap,
+    its flows freeze at that share, and the links they also traverse
+    get their shares re-pushed.  Stale heap entries are skipped by
+    re-validating the share on pop.
+
+    This computes the identical allocation — same divisions, same
+    residual-subtraction order, same tie-breaks — as restarting the
+    naive fill from scratch, in roughly O((links + flows·path) log
+    links) instead of O(rounds · links · flows).
+
+    A flow traversing the same link twice counts as two traversals of
+    that link (it really does consume double capacity there) but is
+    frozen exactly once, consuming ``share`` per traversal.
     """
     rates: Dict[Flow, float] = {}
     active = [flow for flow in flows if flow.links]
     for flow in flows:
         if not flow.links:
             rates[flow] = math.inf  # local copies are disk-bound, not ours
-    remaining_capacity: Dict[Link, float] = {}
-    link_flows: Dict[Link, List[Flow]] = {}
+    if not active:
+        return rates
+    residual: Dict[Link, float] = {}
+    members: Dict[Link, List[Flow]] = {}
+    counts: Dict[Link, int] = {}
+    order: Dict[Link, int] = {}
     for flow in active:
         for link in flow.links:
-            remaining_capacity.setdefault(link, link.capacity)
-            link_flows.setdefault(link, []).append(flow)
-    unfrozen = set(active)
-    while unfrozen:
-        # Fair share each link could give its unfrozen flows.
-        best_share = math.inf
-        best_link: Optional[Link] = None
-        for link, members in link_flows.items():
-            live = [flow for flow in members if flow in unfrozen]
-            if not live:
-                continue
-            share = max(0.0, remaining_capacity[link]) / len(live)
-            if share < best_share:
-                best_share = share
-                best_link = link
-        if best_link is None:
-            break
-        for flow in [f for f in link_flows[best_link] if f in unfrozen]:
-            rates[flow] = best_share
-            unfrozen.discard(flow)
-            for link in flow.links:
-                remaining_capacity[link] -= best_share
+            if link not in residual:
+                residual[link] = link.capacity
+                members[link] = []
+                counts[link] = 0
+                order[link] = len(order)
+            members[link].append(flow)
+            counts[link] += 1
+    _progressive_fill(rates, set(active), residual, members, counts, order)
     return rates
+
+
+def _progressive_fill(
+    rates: Dict[Flow, float],
+    unfrozen: set,
+    residual: Dict[Link, float],
+    members: Dict[Link, List[Flow]],
+    counts: Dict[Link, int],
+    order: Dict[Link, int],
+) -> None:
+    """Heap-driven freezing core shared by :func:`max_min_rates` and
+    the engine's index-backed fast path.  Mutates every argument.
+
+    Heap hygiene: only share *decreases* are pushed eagerly.  A link
+    whose share grew keeps its old (now too-small) entry; that entry
+    pops early, fails re-validation, and is refreshed lazily.  Valid
+    freezes therefore still happen in exact ascending (share,
+    first-touch) order — a link's true share is always represented by
+    an entry no larger than it — while the usual case (freezing a
+    bottleneck *raises* its neighbours' shares) costs no heap traffic
+    at all.  ``floor`` tracks the smallest live entry per link.
+    """
+    heap: List[Tuple[float, int, Link]] = [
+        (residual[link] / counts[link] if residual[link] > 0.0 else 0.0,
+         seq, link)
+        for link, seq in order.items()
+    ]
+    heapq.heapify(heap)
+    floor: Dict[Link, float] = {entry[2]: entry[0] for entry in heap}
+    pop = heapq.heappop
+    push = heapq.heappush
+    while heap and unfrozen:
+        share, seq, link = pop(heap)
+        count = counts[link]
+        if count <= 0:
+            continue  # all traversals frozen since this entry was pushed
+        room = residual[link]
+        current = room / count if room > 0.0 else 0.0
+        if current != share:
+            push(heap, (current, seq, link))
+            floor[link] = current
+            continue  # stale entry; revalidated share goes back in
+        touched = {}
+        for flow in members[link]:
+            if flow not in unfrozen:
+                continue
+            rates[flow] = share
+            unfrozen.discard(flow)
+            for hop in flow.links:
+                residual[hop] -= share
+                counts[hop] -= 1
+                touched[hop] = None
+        for hop in touched:
+            count = counts[hop]
+            if count > 0:
+                room = residual[hop]
+                current = room / count if room > 0.0 else 0.0
+                if current < floor[hop]:
+                    push(heap, (current, order[hop], hop))
+                    floor[hop] = current
 
 
 class FlowNetwork:
@@ -114,22 +219,49 @@ class FlowNetwork:
     def __init__(self, env: Environment, lan: CampusLAN):
         self.env = env
         self.lan = lan
-        self._flows: List[Flow] = []
-        self._generation = 0
-        self._last_update = env.now
+        #: Active flows, keyed by flow id.  Insertion order is id
+        #: order, which every deterministic iteration below relies on.
+        self._flows: Dict[int, Flow] = {}
+        #: Link → {flow_id: flow} over active flows: the adjacency the
+        #: connected-component walk runs on (O(1) insert/remove).
+        self._link_index: Dict[Link, Dict[int, Flow]] = {}
+        self._flow_seq = itertools.count(1)
+        self._last_update = env.now  # synchronous-settle clock
         self._observers: List[Callable[[Flow, float], None]] = []
+        #: Lazy-mode completion heap of (eta, flow_id, flow); entries
+        #: are stale once the flow departed or changed rate.
+        self._eta_heap: List[Tuple[float, int, Flow]] = []
+        self._wake_token = 0
+        self._armed_at = math.inf
+        #: Perf counters surfaced by the benchmark harness.
+        self.reallocations = 0
+        self.flows_started = 0
+        self.flows_completed = 0
 
     @property
     def active_flows(self) -> List[Flow]:
         """Snapshot of in-flight flows."""
-        return list(self._flows)
+        return list(self._flows.values())
 
     def add_observer(self, callback: Callable[[Flow, float], None]) -> None:
         """Register ``callback(flow, bytes_delta)`` for progress events.
 
         Observers see every byte exactly once (traffic metering hooks
-        in here).
+        in here).  Registering the first observer switches the engine
+        to synchronous settling: all flows are brought current now
+        (silently — bytes delivered before registration are not
+        replayed), and from here on every engine event credits every
+        flow, so observation times are deterministic.
         """
+        if not self._observers:
+            now = self.env.now
+            for flow in self._flows.values():
+                self._settle_flow(flow, now)
+            self._last_update = now
+            self._eta_heap.clear()
+            self._armed_at = math.inf
+            if self._flows:
+                self._arm_sync_wake()
         self._observers.append(callback)
 
     # -- public API --------------------------------------------------------
@@ -149,7 +281,8 @@ class FlowNetwork:
         if size < 0:
             raise ValueError(f"negative transfer size: {size}")
         links = self.lan.path(src, dst)  # raises NetworkError if unreachable
-        flow = Flow(self.env, src, dst, size, links, category)
+        flow = Flow(self.env, src, dst, size, links, category,
+                    flow_id=next(self._flow_seq))
         if not links:
             # Same-host: completes immediately (disk copy is modelled
             # by the storage layer, not the network).
@@ -160,9 +293,16 @@ class FlowNetwork:
         if size == 0:
             flow.done.succeed(flow, delay=self.lan.latency(src, dst))
             return flow.done
-        self._settle()
-        self._flows.append(flow)
-        self._reallocate()
+        if self._observers:
+            self._settle_all()
+        self.flows_started += 1
+        self._flows[flow.flow_id] = flow
+        for link in flow.links:
+            self._link_index.setdefault(link, {})[flow.flow_id] = flow
+        # Engine-routed paths are always simple (no repeated links), so
+        # bucket sizes equal traversal counts in the fill below.
+        component, buckets = self._component_of([flow])
+        self._reallocate(component, buckets)
         return flow.done
 
     def kill_host_flows(self, hostname: str, reason: str = "host departed") -> int:
@@ -171,14 +311,10 @@ class FlowNetwork:
         Called when a provider hits the kill-switch or drops off the
         LAN.  Returns the number of flows killed.
         """
-        self._settle()
-        doomed = [f for f in self._flows if hostname in (f.src, f.dst)]
-        for flow in doomed:
-            self._flows.remove(flow)
-            flow.done.fail(NetworkError(f"flow {flow.flow_id} killed: {reason}"))
-        if doomed:
-            self._reallocate()
-        return len(doomed)
+        return self._kill(
+            [f for f in self._flows.values() if hostname in (f.src, f.dst)],
+            lambda flow: NetworkError(f"flow {flow.flow_id} killed: {reason}"),
+        )
 
     def kill_flows_on(
         self,
@@ -194,17 +330,29 @@ class FlowNetwork:
         partition kills from other failures.  Returns the kill count.
         """
         links = set(links)
-        self._settle()
-        doomed = [f for f in self._flows if links.intersection(f.links)]
+        if error_factory is None:
+            error_factory = lambda flow: NetworkError(
+                f"flow {flow.flow_id} killed: {reason}")
+        return self._kill(
+            [f for f in self._flows.values() if links.intersection(f.links)],
+            error_factory,
+        )
+
+    def _kill(self, doomed: List[Flow],
+              error_factory: Callable[[Flow], NetworkError]) -> int:
+        if self._observers:
+            self._settle_all()
+        if not doomed:
+            return 0
+        component, buckets = self._component_of(doomed)
+        now = self.env.now
         for flow in doomed:
-            self._flows.remove(flow)
-            if error_factory is not None:
-                error = error_factory(flow)
-            else:
-                error = NetworkError(f"flow {flow.flow_id} killed: {reason}")
-            flow.done.fail(error)
-        if doomed:
-            self._reallocate()
+            if not self._observers:
+                self._settle_flow(flow, now)  # final byte accounting
+            del component[flow.flow_id]
+            self._unregister(flow)
+            flow.done.fail(error_factory(flow))
+        self._reallocate(component, buckets)
         return len(doomed)
 
     # -- engine ------------------------------------------------------------
@@ -215,41 +363,217 @@ class FlowNetwork:
         for observer in self._observers:
             observer(flow, delta)
 
-    def _settle(self) -> None:
-        """Credit every flow with progress since the last update."""
+    def _settle_all(self) -> None:
+        """Credit every flow with progress since the last engine event.
+
+        Synchronous mode only: one shared clock, every flow chopped at
+        every event — the settle discipline observers rely on for
+        deterministic delta timing.
+        """
         now = self.env.now
         elapsed = now - self._last_update
         if elapsed > 0:
-            for flow in self._flows:
+            for flow in self._flows.values():
                 delta = min(flow.rate * elapsed, flow.remaining)
                 flow.transferred += delta
+                flow.settled_at = now
                 self._notify(flow, delta)
         self._last_update = now
 
-    def _reallocate(self) -> None:
-        """Recompute fair rates and schedule the next completion."""
-        rates = max_min_rates(self._flows)
-        for flow in self._flows:
-            flow.rate = rates.get(flow, 0.0)
-        self._generation += 1
-        generation = self._generation
-        horizon = math.inf
-        for flow in self._flows:
+    def _settle_flow(self, flow: Flow, now: float) -> None:
+        """Credit one flow with progress since *its* last settle."""
+        elapsed = now - flow.settled_at
+        if elapsed > 0:
             if flow.rate > 0:
-                horizon = min(horizon, flow.remaining / flow.rate)
+                delta = min(flow.rate * elapsed, flow.remaining)
+                flow.transferred += delta
+                self._notify(flow, delta)
+            flow.settled_at = now
+
+    def _component_of(
+        self, seeds: List[Flow],
+    ) -> Tuple[Dict[int, Flow], Dict[Link, Dict[int, Flow]]]:
+        """Active flows link-connected to any of ``seeds``, plus the
+        per-link membership buckets of the component.
+
+        The reallocation scope: rates outside this component are
+        unaffected by a perturbation inside it.  The buckets are
+        *live* views into the link index — flows unregistered after
+        this walk disappear from them, which is exactly what the
+        subsequent reallocation wants.
+        """
+        component: Dict[int, Flow] = {}
+        buckets: Dict[Link, Dict[int, Flow]] = {}
+        pending = list(seeds)
+        index = self._link_index
+        while pending:
+            flow = pending.pop()
+            for link in flow.links:
+                if link in buckets:
+                    continue
+                bucket = index.get(link)
+                if bucket is None:
+                    continue
+                buckets[link] = bucket
+                for other in bucket.values():
+                    if other.flow_id not in component:
+                        component[other.flow_id] = other
+                        pending.append(other)
+        return component, buckets
+
+    def _unregister(self, flow: Flow) -> None:
+        del self._flows[flow.flow_id]
+        for link in flow.links:
+            bucket = self._link_index.get(link)
+            if bucket is not None:
+                bucket.pop(flow.flow_id, None)
+                if not bucket:
+                    del self._link_index[link]
+
+    def _reallocate(self, component: Dict[int, Flow],
+                    buckets: Dict[Link, Dict[int, Flow]]) -> None:
+        """Recompute fair rates inside ``component``; re-arm the wake.
+
+        Flows outside the component keep their rates untouched —
+        recomputing them would reproduce the same values at the same
+        cost the old full restart paid on every event.  Per-link
+        member lists come straight out of the live link index
+        (``buckets``), which holds flows in id order — the same order
+        a from-scratch rebuild over the flow list would produce.
+        """
+        self.reallocations += 1
+        # Iterate in flow-id order so member lists, tie-breaks, and
+        # residual subtractions are performed deterministically (and
+        # identically to a full-network recomputation).  Ids are
+        # assigned monotonically, so sorting the component reproduces
+        # the flow table's insertion order without scanning flows in
+        # other components.
+        flows = [component[fid] for fid in sorted(component)]
+        rates: Dict[Flow, float] = {}
+        if flows:
+            # Link tie-break order is first touch by a flow in id
+            # order, exactly as max_min_rates derives it.
+            order: Dict[Link, int] = {}
+            for flow in flows:
+                for link in flow.links:
+                    if link not in order:
+                        order[link] = len(order)
+            members = {link: list(buckets[link].values()) for link in order}
+            _progressive_fill(
+                rates,
+                set(flows),
+                {link: link.capacity for link in order},
+                members,
+                {link: len(bucket) for link, bucket in members.items()},
+                order,
+            )
+        if self._observers:
+            for flow in flows:
+                flow.rate = rates.get(flow, 0.0)
+            self._arm_sync_wake()
+            return
+        now = self.env.now
+        for flow in flows:
+            rate = rates.get(flow, 0.0)
+            if rate != flow.rate:
+                self._settle_flow(flow, now)
+                flow.rate = rate
+                if rate > 0:
+                    flow.eta = now + flow.remaining / rate
+                    heapq.heappush(self._eta_heap,
+                                   (flow.eta, flow.flow_id, flow))
+                else:
+                    flow.eta = math.inf
+        self._arm_lazy_wake()
+
+    # -- wake scheduling ---------------------------------------------------
+
+    def _arm_sync_wake(self) -> None:
+        """Schedule the next completion check from a full horizon scan.
+
+        Synchronous mode recomputes every flow's remaining/rate at the
+        current settle point, so the wake time is derived from exactly
+        the same floats the settle chopping produced.
+        """
+        self._wake_token += 1
+        horizon = math.inf
+        for flow in self._flows.values():
+            if flow.rate > 0:
+                candidate = flow.remaining / flow.rate
+                if candidate < horizon:
+                    horizon = candidate
         if math.isinf(horizon):
             return
-        wake = self.env.timeout(max(horizon, 0.0))
-        wake.callbacks.append(lambda _ev: self._on_wake(generation))
+        self.env.call_at(self.env.now + max(horizon, 0.0),
+                         self._on_wake, self._wake_token)
 
-    def _on_wake(self, generation: int) -> None:
-        if generation != self._generation:
+    def _arm_lazy_wake(self) -> None:
+        """Arm the wake at the earliest valid ETA (reusing a pending
+        wake already armed for that exact time)."""
+        heap = self._eta_heap
+        while heap:
+            eta, flow_id, flow = heap[0]
+            if flow_id in self._flows and flow.eta == eta:
+                break
+            heapq.heappop(heap)
+        if not heap:
+            if not math.isinf(self._armed_at):
+                self._wake_token += 1
+                self._armed_at = math.inf
+            return
+        eta = heap[0][0]
+        if eta == self._armed_at:
+            return  # a live wake is already scheduled for this instant
+        self._wake_token += 1
+        self._armed_at = eta
+        self.env.call_at(eta, self._on_wake, self._wake_token)
+
+    def _on_wake(self, token: int) -> None:
+        if token != self._wake_token:
             return  # superseded by a newer reallocation
-        self._settle()
-        # Bytes are discrete: a sub-byte float residue means done.
-        finished = [f for f in self._flows if f.remaining < 1.0]
+        self._armed_at = math.inf
+        if self._observers:
+            self._settle_all()
+            finished = [f for f in self._flows.values() if f.remaining < 1.0]
+            if not finished:
+                self._reallocate({}, {})
+                return
+            survivors, buckets = self._component_of(finished)
+        else:
+            now = self.env.now
+            heap = self._eta_heap
+            due: List[Flow] = []
+            while heap and heap[0][0] <= now:
+                eta, flow_id, flow = heapq.heappop(heap)
+                if flow_id in self._flows and flow.eta == eta:
+                    due.append(flow)
+            if not due:
+                self._arm_lazy_wake()
+                return
+            survivors, buckets = self._component_of(due)
+            for flow in survivors.values():
+                self._settle_flow(flow, now)
+            # Bytes are discrete: a sub-byte float residue means done.
+            # (Sorted ids = flow-table insertion order, as above.)
+            finished = [survivors[fid] for fid in sorted(survivors)
+                        if survivors[fid].remaining < 1.0]
         for flow in finished:
-            self._flows.remove(flow)
-            latency = self.lan.latency(flow.src, flow.dst)
-            flow.done.succeed(flow, delay=latency)
-        self._reallocate()
+            survivors.pop(flow.flow_id, None)
+            self._unregister(flow)
+            self._complete(flow)
+        self._reallocate(survivors, buckets)
+
+    def _complete(self, flow: Flow) -> None:
+        """Deliver the final sub-byte residue and fire ``done``.
+
+        The residue credit keeps byte conservation exact: a flow that
+        finishes piggybacked on another flow's completion wake may be
+        up to one byte short of ``size`` at settle time, and observers
+        are owed that delta.
+        """
+        self.flows_completed += 1
+        residue = flow.remaining
+        if residue > 0:
+            flow.transferred = flow.size
+            self._notify(flow, residue)
+        flow.done.succeed(flow, delay=self.lan.latency(flow.src, flow.dst))

@@ -14,25 +14,33 @@ defines the graph the flows run over.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import NetworkError
 from ..units import gbps
 
 
-@dataclass
+@dataclass(eq=False)
 class Link:
-    """A directional network link with fixed capacity (bytes/s)."""
+    """A directional network link with fixed capacity (bytes/s).
+
+    A zero-capacity link is legal — it models an administratively-down
+    port: flows routed over it are allocated a zero rate and simply
+    never progress.  Negative capacity is a configuration error.
+
+    Links compare and hash by identity (``eq=False``): two links with
+    the same name are still two distinct cables, and the flow engine
+    keys per-link state off the object itself millions of times per
+    run — identity hashing stays in C instead of calling back into a
+    ``__hash__`` defined in Python.
+    """
 
     name: str
     capacity: float
 
     def __post_init__(self):
-        if self.capacity <= 0:
-            raise ValueError(f"link {self.name}: capacity must be positive")
-
-    def __hash__(self) -> int:
-        return id(self)
+        if self.capacity < 0:
+            raise ValueError(f"link {self.name}: capacity must be >= 0")
 
 
 @dataclass
@@ -66,6 +74,14 @@ class CampusLAN:
         self.backbone = Link("backbone", backbone_capacity)
         self.default_latency = default_latency
         self._ports: Dict[str, HostPort] = {}
+        #: Bumped on every topology transition (attach / detach /
+        #: port up-down); memoized routes are valid for one epoch.
+        self.topology_epoch = 0
+        self._path_cache: Dict[Tuple[str, str], List[Link]] = {}
+
+    def _bump_epoch(self) -> None:
+        self.topology_epoch += 1
+        self._path_cache.clear()
 
     @property
     def hostnames(self) -> List[str]:
@@ -85,6 +101,7 @@ class CampusLAN:
             downlink=Link(f"{hostname}:down", access_capacity),
         )
         self._ports[hostname] = port
+        self._bump_epoch()
         return port
 
     def detach(self, hostname: str) -> None:
@@ -92,6 +109,7 @@ class CampusLAN:
         if hostname not in self._ports:
             raise NetworkError(f"host {hostname!r} not attached")
         del self._ports[hostname]
+        self._bump_epoch()
 
     def port(self, hostname: str) -> HostPort:
         """The attachment port for ``hostname``."""
@@ -102,7 +120,10 @@ class CampusLAN:
 
     def set_connected(self, hostname: str, connected: bool) -> None:
         """Mark a host's port up or down (provider pulls the cable)."""
-        self.port(hostname).connected = connected
+        port = self.port(hostname)
+        if port.connected != connected:
+            port.connected = connected
+            self._bump_epoch()
 
     def is_connected(self, hostname: str) -> bool:
         """Whether ``hostname`` is attached and its port is up."""
@@ -115,13 +136,24 @@ class CampusLAN:
         Same-host transfers take no network links (local disk copy).
         Raises :class:`NetworkError` if either endpoint is missing or
         disconnected.
+
+        Routes are memoized until the next topology transition
+        (attach/detach/port flap bumps :attr:`topology_epoch`), so
+        steady-state transfers between a warm pair never re-walk the
+        graph.  Callers must treat the returned list as immutable.
         """
         if src == dst:
             return []
+        cached = self._path_cache.get((src, dst))
+        if cached is not None:
+            return cached
         for hostname in (src, dst):
             if not self.is_connected(hostname):
                 raise NetworkError(f"host {hostname!r} is not reachable")
-        return [self._ports[src].uplink, self.backbone, self._ports[dst].downlink]
+        route = [self._ports[src].uplink, self.backbone,
+                 self._ports[dst].downlink]
+        self._path_cache[(src, dst)] = route
+        return route
 
     def latency(self, src: str, dst: str) -> float:
         """One-way latency between two hosts (0 for same host)."""

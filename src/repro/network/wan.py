@@ -41,13 +41,14 @@ from .flows import Flow, FlowNetwork
 from .lan import Link
 
 
-@dataclass
+@dataclass(eq=False)
 class WanLink(Link):
     """A directional long-haul link between two sites.
 
     On top of the plain :class:`Link` capacity it carries propagation
     latency and a byte meter, so experiments can report per-link load
-    and locate WAN hotspots.
+    and locate WAN hotspots.  Like every :class:`Link`, compares and
+    hashes by identity.
     """
 
     latency: float = 0.010
@@ -61,9 +62,6 @@ class WanLink(Link):
         super().__post_init__()
         if self.latency < 0:
             raise ValueError(f"link {self.name}: latency must be >= 0")
-
-    def __hash__(self) -> int:
-        return id(self)
 
     def record(self, nbytes: float) -> None:
         """Meter ``nbytes`` carried over this link."""
@@ -99,6 +97,13 @@ class WanTopology:
         #: (connect / sever / heal) so both failure and recovery
         #: recompute paths instead of serving stale ones.
         self._route_cache: Dict[Tuple[str, str], List[WanLink]] = {}
+        #: Derived-lookup caches, invalidated with the route cache:
+        #: routed one-way latencies and per-site neighbour lists (the
+        #: gossip fan-out and every Dijkstra expansion read the
+        #: latter, so recomputing the sorted list per call is pure
+        #: steady-state waste).
+        self._latency_cache: Dict[Tuple[str, str], float] = {}
+        self._neighbour_cache: Dict[Tuple[str, bool], List[str]] = {}
         self.route_epoch = 0
         self._listeners: List[Callable[[str, str, str], None]] = []
 
@@ -208,6 +213,8 @@ class WanTopology:
 
     def _invalidate_routes(self) -> None:
         self._route_cache.clear()
+        self._latency_cache.clear()
+        self._neighbour_cache.clear()
         self.route_epoch += 1
 
     def link(self, src: str, dst: str) -> WanLink:
@@ -222,11 +229,17 @@ class WanTopology:
 
         ``include_down=True`` also lists neighbours behind severed
         links — the physical adjacency rather than the routable one.
+        Memoized until the next topology transition.
         """
-        return sorted(
+        cached = self._neighbour_cache.get((site, include_down))
+        if cached is not None:
+            return cached
+        result = sorted(
             dst for (src, dst), link in self._links.items()
             if src == site and (include_down or link.up)
         )
+        self._neighbour_cache[(site, include_down)] = result
+        return result
 
     def reachable(self, src: str, dst: str) -> bool:
         """Whether a live route currently exists (same site counts)."""
@@ -297,8 +310,18 @@ class WanTopology:
         return links
 
     def latency(self, src: str, dst: str) -> float:
-        """One-way latency along the routed path (0 for same site)."""
-        return sum(link.latency for link in self.path(src, dst))
+        """One-way latency along the routed path (0 for same site).
+
+        Memoized per route epoch: flow completions look latency up on
+        every delivery, and the routed sum only changes when the
+        topology does.
+        """
+        cached = self._latency_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        value = sum(link.latency for link in self.path(src, dst))
+        self._latency_cache[(src, dst)] = value
+        return value
 
     def path_load(self, src: str, dst: str, fabric: FlowNetwork) -> int:
         """Active flows sharing any link of the ``src``→``dst`` route.

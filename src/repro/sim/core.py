@@ -332,6 +332,26 @@ class AnyOf(Condition):
             self.fail(event.value)
 
 
+class _ScheduledCallback:
+    """A bare callback on the event queue (no :class:`Event` machinery).
+
+    The fast path behind :meth:`Environment.call_at`: engines that
+    re-arm a wake timer on every reallocation (the flow engine) would
+    otherwise allocate a :class:`Timeout`, a callbacks list, and a
+    closure per event, none of which anything ever waits on.  This is
+    not an :class:`Event` — it cannot be yielded on.
+    """
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self, fn: Callable[[Any], None], arg: Any):
+        self.fn = fn
+        self.arg = arg
+
+    def _fire(self) -> None:
+        self.fn(self.arg)
+
+
 class Environment:
     """The simulation world: a virtual clock plus an ordered event queue.
 
@@ -343,7 +363,8 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, Event]] = []
+        # Queue entries are (time, tie-break counter, Event-or-callback).
+        self._queue: List[Tuple[float, int, Any]] = []
         self._counter = 0
 
     @property
@@ -368,6 +389,30 @@ class Environment:
     ) -> Process:
         """Start a new process from ``generator`` at the current time."""
         return Process(self, generator, name=name)
+
+    def call_at(self, when: float, fn: Callable[[Any], None],
+                arg: Any = None) -> None:
+        """Schedule ``fn(arg)`` at absolute time ``when`` (cheaply).
+
+        Unlike :meth:`timeout`, nothing can wait on the result — this
+        is the fire-and-forget fast path for internal timers that are
+        re-armed constantly (the flow engine's completion wakes).  The
+        absolute timestamp is used verbatim, so a caller that computed
+        ``when`` once fires at exactly that float, with no
+        ``now + (when - now)`` rounding wobble.
+        """
+        if when < self._now:
+            raise ValueError(f"call_at({when}) is in the past (now={self._now})")
+        heapq.heappush(self._queue,
+                       (when, self._counter, _ScheduledCallback(fn, arg)))
+        self._counter += 1
+
+    def call_later(self, delay: float, fn: Callable[[Any], None],
+                   arg: Any = None) -> None:
+        """Schedule ``fn(arg)`` after ``delay`` seconds (see :meth:`call_at`)."""
+        if delay < 0:
+            raise ValueError(f"negative call_later delay: {delay!r}")
+        self.call_at(self._now + delay, fn, arg)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Composite event that fires when all ``events`` have fired."""

@@ -395,3 +395,62 @@ def test_config_accepts_v2_tunables():
     )
     assert config.max_forward_hops == 3
     assert not config.host_foreign_jobs
+
+
+# -- digest caching (perf PR) ----------------------------------------------
+
+def test_registry_version_tracks_capacity_mutations():
+    fed, alpha, bravo, charlie = _line_federation(
+        [RTX_3090], [RTX_3090], [RTX_4090])
+    registry = alpha.coordinator.registry
+    before = registry.version
+    fed.run(until=65.0)  # registrations land
+    assert registry.version > before
+    settled = registry.version
+    fed.run(until=66.0)  # idle tick: no capacity change, no version bump
+    assert registry.version == settled
+
+
+def test_digest_registry_scan_is_cached_per_version():
+    """The expensive inventory walk behind the gossip digest reruns
+    only when the registry actually changed."""
+    fed, alpha, bravo, charlie = _line_federation(
+        [RTX_3090], [RTX_3090], [RTX_4090])
+    fed.run(until=65.0)
+    gateway = alpha.gateway
+    first = gateway.local_digest()
+    assert gateway._scan_version == alpha.coordinator.registry.version
+    scan_before = gateway._scan
+    # A fast-tick rebuild with a clean registry reuses the cached scan
+    # (same tuple object) and produces the same advertisement.
+    again = gateway.local_digest()
+    assert gateway._scan is scan_before
+    assert again.free_gpus == first.free_gpus
+    assert again.free_cards == first.free_cards
+    # Dirty the registry: the next digest rescans.
+    record = alpha.coordinator.registry.schedulable()[0]
+    gpu = next(iter(record.gpus.values()))
+    alpha.coordinator.registry.reserve_gpu(record.node_id, gpu.uuid,
+                                           gpu.memory_total)
+    dirtied = gateway.local_digest()
+    assert gateway._scan is not scan_before
+    assert dirtied.free_gpus == first.free_gpus - 1
+
+
+def test_digest_reflects_admission_reservation_freshly():
+    """The time-decaying admission reservation is applied on every
+    digest build, not frozen into the cached registry scan."""
+    fed, alpha, bravo, charlie = _line_federation(
+        [RTX_3090] * 2, [RTX_3090], [RTX_4090],
+        admission_headroom_horizon=10 * MINUTE)
+    fed.run(until=65.0)
+    gateway = alpha.gateway
+    baseline = gateway.local_digest().free_gpus
+    # A burst of submissions raises the forecast without touching the
+    # registry scan (jobs park in the queue: no GPUs are reserved yet
+    # at digest time in this window).
+    gateway.admission.observe(None)
+    fed.run(until=70.0)
+    gateway.admission.observe(None)
+    assert gateway.admission.reserved_headroom() >= 1
+    assert gateway.local_digest().free_gpus < baseline

@@ -1,0 +1,301 @@
+"""Golden-trace equivalence: optimized flow engine vs the reference.
+
+The optimized :class:`~repro.network.flows.FlowNetwork` (heap-driven
+allocation, component-scoped reallocation, lazy settling) must be
+*indistinguishable* from the preserved restart implementation in
+:mod:`repro.network._reference`:
+
+* with any observer registered (every platform attaches a traffic
+  meter), traces are required to be **bit-identical** — same event
+  times, same observer deltas, same completion order, same final byte
+  counts — across randomized churn scenarios and a full federated
+  chaos run;
+* with no observers (lazy settling), flows in quiet components are
+  deliberately not chopped at foreign events, so completion
+  *timestamps* may differ from the reference in the last float ulp;
+  everything else (event structure, completion order, delivered
+  bytes) must still match exactly.
+"""
+
+import math
+import random
+import re
+
+import pytest
+
+import repro.core.platform as platform_module
+import repro.federation.deployment as deployment_module
+from repro.agent import BehaviorProfile
+from repro.core.partition import LinkOutage, PartitionSchedule
+from repro.federation import FederatedDeployment, FederationConfig
+from repro.gpu import RTX_3090, RTX_4090
+from repro.network import CampusLAN, FlowNetwork, WanTopology, max_min_rates
+from repro.network.flows import Flow
+from repro.network._reference import (
+    ReferenceFlowNetwork,
+    reference_max_min_rates,
+)
+from repro.sim import Environment
+from repro.units import HOUR, MIB, MINUTE, gbps, mbps
+from repro.workloads import RESNET50, UNET_SEG, next_job_id
+from repro.workloads.training import TrainingJobSpec
+
+ENGINES = (ReferenceFlowNetwork, FlowNetwork)
+
+
+# -- allocator equivalence -------------------------------------------------
+
+def random_flow_population(seed, hosts=14, flows=60):
+    env = Environment()
+    lan = CampusLAN(backbone_capacity=gbps(8))
+    rng = random.Random(seed)
+    names = [f"h{i}" for i in range(hosts)]
+    for name in names:
+        lan.attach(name, access_capacity=gbps(rng.choice((1, 2, 10))))
+    population = []
+    for i in range(flows):
+        src, dst = rng.sample(names, 2)
+        population.append(
+            Flow(env, src, dst, rng.uniform(1, 500) * MIB,
+                 lan.path(src, dst), "data"))
+    return population
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_max_min_rates_matches_reference_bitwise(seed):
+    """The heap-driven allocator reproduces the naive restart exactly:
+    same divisions, same tie-breaks, same floats."""
+    population = random_flow_population(seed)
+    fast = max_min_rates(population)
+    slow = reference_max_min_rates(population)
+    assert fast == slow  # exact float equality, every flow
+
+
+def test_max_min_rates_empty_and_linkless():
+    env = Environment()
+    local = Flow(env, "a", "a", 100.0, [], "data")
+    assert max_min_rates([]) == {}
+    assert max_min_rates([local]) == {local: math.inf}
+
+
+# -- engine trace equivalence ----------------------------------------------
+
+def run_lan_churn(engine_cls, seed, observers):
+    """Randomized LAN churn: arrivals, contention, and host kills."""
+    env = Environment()
+    lan = CampusLAN(backbone_capacity=gbps(6))
+    hosts = [f"h{i}" for i in range(12)]
+    for i, name in enumerate(hosts):
+        lan.attach(name, access_capacity=gbps(1 + (i % 3)))
+    net = engine_cls(env, lan)
+    trace = []
+    if observers:
+        net.add_observer(
+            lambda flow, delta: trace.append(("obs", env.now,
+                                              flow.flow_id, delta)))
+    rng = random.Random(seed)
+
+    def record(event):
+        if event.ok:
+            flow = event.value
+            trace.append(("done", env.now, flow.flow_id, flow.transferred))
+        else:
+            trace.append(("fail", env.now, str(event.value)))
+
+    def driver(env):
+        for _ in range(120):
+            src, dst = rng.sample(hosts, 2)
+            done = net.transfer(src, dst, rng.uniform(1, 400) * MIB)
+            done.callbacks.append(record)
+            yield env.timeout(rng.uniform(0.01, 3.0))
+            if rng.random() < 0.1:
+                killed = net.kill_host_flows(rng.choice(hosts),
+                                             reason="chaos")
+                trace.append(("kill", env.now, killed))
+
+    env.process(driver(env))
+    env.run()
+    trace.append(("end", env.now, net.flows_completed))
+    return trace
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_lan_churn_trace_bit_identical_with_observers(seed):
+    reference = run_lan_churn(ReferenceFlowNetwork, seed, observers=True)
+    optimized = run_lan_churn(FlowNetwork, seed, observers=True)
+    assert optimized == reference  # bit-for-bit, including float times
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_lan_churn_trace_equivalent_without_observers(seed):
+    reference = run_lan_churn(ReferenceFlowNetwork, seed, observers=False)
+    optimized = run_lan_churn(FlowNetwork, seed, observers=False)
+    assert len(optimized) == len(reference)
+    for got, expected in zip(optimized, reference):
+        # Same record structure, ids, and kill counts exactly; times
+        # and byte totals equal to within float rounding (lazy
+        # settling chops flow progress at fewer points, so the last
+        # ulp of a completion time or byte count may differ).
+        assert len(got) == len(expected)
+        for left, right in zip(got, expected):
+            if isinstance(left, float):
+                assert left == pytest.approx(right, rel=1e-12, abs=1e-12)
+            else:
+                assert left == right
+
+
+def run_wan_churn(engine_cls, seed):
+    """Multi-component WAN traffic: disjoint site pairs plus a
+    triangle, with sever/heal transitions killing in-flight flows."""
+    env = Environment()
+    wan = WanTopology(default_capacity=mbps(400))
+    wan.connect("a", "b")
+    wan.connect("c", "d")
+    wan.connect("e", "f")
+    wan.connect("f", "g")
+    wan.connect("e", "g", latency=0.030)
+    routes = [("a", "b"), ("c", "d"), ("e", "f"), ("e", "g"), ("f", "g")]
+    net = engine_cls(env, wan)
+    trace = []
+    net.add_observer(
+        lambda flow, delta: trace.append(("obs", env.now,
+                                          flow.flow_id, delta)))
+    rng = random.Random(seed)
+
+    def record(event):
+        if event.ok:
+            flow = event.value
+            trace.append(("done", env.now, flow.flow_id, flow.transferred))
+        else:
+            trace.append(("fail", env.now, type(event.value).__name__))
+
+    def driver(env):
+        for _ in range(80):
+            src, dst = rng.choice(routes)
+            if rng.random() < 0.5:
+                src, dst = dst, src
+            done = net.transfer(src, dst, rng.uniform(1, 80) * MIB)
+            done.callbacks.append(record)
+            yield env.timeout(rng.uniform(0.05, 2.0))
+            if rng.random() < 0.08:
+                pair = rng.choice([("e", "f"), ("f", "g")])
+                if wan.is_severed(*pair):
+                    wan.heal(*pair)
+                    trace.append(("heal", env.now, pair))
+                else:
+                    wan.sever(*pair)
+                    trace.append(("sever", env.now, pair))
+                    net.kill_flows_on(
+                        {wan.link(*pair), wan.link(*reversed(pair))})
+
+    env.process(driver(env))
+    env.run()
+    trace.append(("end", env.now, net.flows_completed))
+    return trace
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_wan_churn_trace_bit_identical(seed):
+    """Disjoint WAN components under sever/heal churn: metered, so the
+    engines must chop progress at identical instants."""
+    reference = run_wan_churn(ReferenceFlowNetwork, seed)
+    optimized = run_wan_churn(FlowNetwork, seed)
+    assert optimized == reference
+
+
+# -- full-stack golden run -------------------------------------------------
+
+def run_federated_chaos(engine_cls, seed=7):
+    """A federated chaos scenario (relaying, partitions, provider
+    churn) with the flow engine swapped underneath everything."""
+    saved = platform_module.FlowNetwork, deployment_module.FlowNetwork
+    platform_module.FlowNetwork = engine_cls
+    deployment_module.FlowNetwork = engine_cls
+    try:
+        fed = FederatedDeployment(
+            seed=seed,
+            federation_config=FederationConfig(
+                max_forward_hops=2,
+                gossip_interval_min=15.0,
+                admission_headroom_horizon=30 * MINUTE,
+            ))
+        alpha = fed.add_campus("alpha")
+        bravo = fed.add_campus("bravo")
+        charlie = fed.add_campus("charlie")
+        fed.connect("alpha", "bravo")
+        fed.connect("bravo", "charlie")
+        alpha.platform.add_provider("a-ws", [RTX_3090], lab="vision")
+        bravo.platform.add_provider("b-ws1", [RTX_3090], lab="nlp")
+        bravo.platform.add_provider("b-ws2", [RTX_3090], lab="nlp")
+        charlie.platform.add_provider("c-farm", [RTX_4090] * 3, lab="infra")
+        churn = BehaviorProfile(
+            events_per_day=6.0,
+            p_scheduled=0.3, p_emergency=0.3, p_temporary=0.4,
+            mean_temporary_downtime=40 * MINUTE,
+            mean_rejoin_delay=30 * MINUTE,
+        )
+        bravo.platform.add_behavior("b-ws1", churn)
+        bravo.platform.add_behavior("b-ws2", churn)
+        fed.inject_partitions(PartitionSchedule(outages=(
+            LinkOutage("alpha", "bravo", 20 * MINUTE, 15 * MINUTE),
+            LinkOutage("bravo", "charlie", 45 * MINUTE, 10 * MINUTE),
+        )))
+        rng = random.Random(seed)
+        models = (RESNET50, UNET_SEG)
+        job_ids = []
+        for i in range(14):
+            site = (alpha, alpha, alpha, bravo, charlie)[i % 5]
+            spec = TrainingJobSpec(
+                job_id=next_job_id(), model=rng.choice(models),
+                total_compute=rng.uniform(0.3, 1.2) * HOUR, lab="vision")
+            job_ids.append(spec.job_id)
+            site.platform.submit_job(spec)
+        fed.run(until=4 * HOUR)
+        # Canonicalize generated identifiers (job-NNNN, node-NNNN,
+        # ...): their module-global counters carry across the two
+        # runs, but everything else must be identical.  Aliases are
+        # assigned in first-seen order over the deterministic log, so
+        # both runs map matching entities to matching aliases.
+        alias = {job_id: f"J{i}" for i, job_id in enumerate(job_ids)}
+        counter_id = re.compile(r"^[a-z]+-\d{4,}$")
+
+        def canon(value):
+            if isinstance(value, str) and value not in alias \
+                    and counter_id.match(value):
+                alias[value] = f"id#{len(alias)}"
+            return alias.get(value, value)
+
+        log = []
+        for name, handle in fed.sites.items():
+            for event in handle.platform.events.all():
+                payload = tuple(sorted(
+                    (key, canon(value))
+                    for key, value in event.payload.items()))
+                log.append((name, event.timestamp, event.kind, payload))
+        summary = (
+            fed.aggregate_utilization(),
+            fed.wan_bytes(),
+            fed.total_forwarded(),
+            fed.total_relayed(),
+            tuple(sorted(fed.credit_balances().items())),
+            fed.unresolved_count(),
+            tuple(sorted(
+                handle.platform.traffic.total_bytes(category)
+                for handle in fed.sites.values()
+                for category in handle.platform.traffic.categories)),
+        )
+        return log, summary
+    finally:
+        platform_module.FlowNetwork, deployment_module.FlowNetwork = saved
+
+
+def test_federated_chaos_golden():
+    """The flagship invariant: swapping the optimized engine under a
+    full federated chaos run (gossip, relays, partitions, checkpoint
+    replication, traffic metering) changes nothing — event logs,
+    ledger balances, traffic totals, and utilization are identical to
+    the last bit."""
+    ref_log, ref_summary = run_federated_chaos(ReferenceFlowNetwork)
+    opt_log, opt_summary = run_federated_chaos(FlowNetwork)
+    assert opt_log == ref_log
+    assert opt_summary == ref_summary

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import NetworkError
-from repro.network import CampusLAN, FlowNetwork, max_min_rates
+from repro.network import CampusLAN, FlowNetwork, Link, max_min_rates
 from repro.network.flows import Flow
 from repro.sim import Environment
 from repro.units import GIB, MIB, gbps
@@ -166,6 +166,103 @@ def test_max_min_rates_direct():
     # f1 capped at 1 Gbps by a's uplink; f2 takes remaining backbone 2 Gbps.
     assert rates[f1] == pytest.approx(gbps(1))
     assert rates[f2] == pytest.approx(gbps(2))
+
+
+def test_max_min_equal_share_ties_freeze_deterministically():
+    """Two equally-constrained links: the one first touched by the
+    earliest flow freezes first, every time."""
+    env = Environment()
+    lan = CampusLAN(backbone_capacity=gbps(100))
+    for host in ("a", "b", "c", "d"):
+        lan.attach(host, access_capacity=gbps(1))
+    # a->b and c->d: both access pairs offer the identical share.
+    f1 = Flow(env, "a", "b", 1e9, lan.path("a", "b"), "data")
+    f2 = Flow(env, "c", "d", 1e9, lan.path("c", "d"), "data")
+    runs = [max_min_rates([f1, f2]) for _ in range(3)]
+    for rates in runs:
+        assert rates == runs[0]
+        assert rates[f1] == pytest.approx(gbps(1))
+        assert rates[f2] == pytest.approx(gbps(1))
+
+
+def test_max_min_zero_capacity_link_yields_zero_rates():
+    """A zero-capacity (administratively down) link pins its flows at
+    rate zero without disturbing other flows."""
+    env = Environment()
+    down = Link("down", 0.0)
+    live = Link("live", gbps(1))
+    stuck = Flow(env, "a", "b", 1e9, [down, live], "data")
+    fine = Flow(env, "c", "d", 1e9, [live], "data")
+    rates = max_min_rates([stuck, fine])
+    assert rates[stuck] == 0.0
+    # The stuck flow consumes nothing, so the live link is all fine's.
+    assert rates[fine] == pytest.approx(gbps(1))
+
+
+def test_max_min_disjoint_components_allocate_independently():
+    """Allocations in one link component are unaffected by churn in
+    another: computing them together or apart gives identical rates."""
+    env = Environment()
+    left_a, left_b = Link("la", gbps(1)), Link("lb", gbps(2))
+    right = Link("r", gbps(3))
+    f1 = Flow(env, "a", "b", 1e9, [left_a, left_b], "data")
+    f2 = Flow(env, "c", "b", 1e9, [left_b], "data")
+    f3 = Flow(env, "x", "y", 1e9, [right], "data")
+    f4 = Flow(env, "x", "z", 1e9, [right], "data")
+    combined = max_min_rates([f1, f2, f3, f4])
+    left_only = max_min_rates([f1, f2])
+    right_only = max_min_rates([f3, f4])
+    assert combined == {**left_only, **right_only}
+    assert combined[f3] == combined[f4] == pytest.approx(gbps(1.5))
+
+
+def test_max_min_same_link_twice_not_double_counted():
+    """A flow routed over the same link twice is one flow consuming
+    two traversals: it gets capacity/2, and capacity accounting stays
+    conserved for everyone else sharing the link."""
+    env = Environment()
+    loop = Link("loop", gbps(2))
+    doubled = Flow(env, "a", "a2", 1e9, [loop, loop], "data")
+    rates = max_min_rates([doubled])
+    assert list(rates) == [doubled]
+    assert rates[doubled] == pytest.approx(gbps(1))
+    # Shared with a plain flow: three traversals split the capacity,
+    # and the doubled flow is charged per traversal exactly once.
+    other = Flow(env, "b", "c", 1e9, [loop], "data")
+    rates = max_min_rates([doubled, other])
+    assert rates[doubled] == pytest.approx(gbps(2) / 3)
+    assert rates[other] == pytest.approx(gbps(2) / 3)
+    consumed = 2 * rates[doubled] + rates[other]
+    assert consumed == pytest.approx(gbps(2))
+
+
+def test_flow_ids_are_per_network():
+    """Flow ids restart at 1 for every engine instance, regardless of
+    what other networks (or earlier tests) allocated."""
+    env, lan, net_a = make_net()
+    net_b = FlowNetwork(env, lan)
+    a1 = net_a.transfer("a", "b", size=MIB)
+    b1 = net_b.transfer("a", "c", size=MIB)
+    a2 = net_a.transfer("b", "c", size=MIB)
+    env.run()
+    assert a1.value.flow_id == 1
+    assert b1.value.flow_id == 1
+    assert a2.value.flow_id == 2
+
+
+def test_completion_residue_is_delivered_exactly_once():
+    """Two flows finishing at the same wake: the piggybacked flow's
+    sub-byte residue is credited, so observers see every byte."""
+    env, lan, net = make_net()
+    seen = []
+    net.add_observer(lambda flow, delta: seen.append(delta))
+    d1 = net.transfer("a", "c", size=1.0)
+    d2 = net.transfer("b", "c", size=1.5)
+    env.run()
+    assert d1.ok and d2.ok
+    assert d1.value.transferred == 1.0
+    assert d2.value.transferred == 1.5
+    assert sum(seen) == pytest.approx(2.5)
 
 
 def test_flow_conservation_under_churn():

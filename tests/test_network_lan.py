@@ -77,7 +77,10 @@ def test_latency_zero_same_host():
 
 def test_link_capacity_validation():
     with pytest.raises(ValueError):
-        Link("bad", 0)
+        Link("bad", -1)
+    # Zero capacity is legal: an administratively-down port whose
+    # flows are allocated a zero rate (see the flow-engine tests).
+    assert Link("down", 0).capacity == 0
 
 
 def test_access_capacity_respected():
@@ -85,3 +88,43 @@ def test_access_capacity_respected():
     port = lan.attach("srv", access_capacity=gbps(10))
     assert port.uplink.capacity == gbps(10)
     assert port.downlink.capacity == gbps(10)
+
+
+def test_path_is_memoized_until_topology_changes():
+    lan = CampusLAN()
+    lan.attach("a")
+    lan.attach("b")
+    first = lan.path("a", "b")
+    assert lan.path("a", "b") is first  # cached object, no re-walk
+    epoch = lan.topology_epoch
+    lan.attach("c")
+    assert lan.topology_epoch > epoch
+    rebuilt = lan.path("a", "b")
+    assert rebuilt is not first
+    assert rebuilt == first  # same links, freshly validated
+
+
+def test_port_flap_invalidates_cached_routes():
+    lan = CampusLAN()
+    lan.attach("a")
+    lan.attach("b")
+    assert lan.path("a", "b")
+    lan.set_connected("b", False)
+    with pytest.raises(NetworkError):
+        lan.path("a", "b")
+    # Flapping to the same state is a no-op (no epoch churn).
+    epoch = lan.topology_epoch
+    lan.set_connected("b", False)
+    assert lan.topology_epoch == epoch
+    lan.set_connected("b", True)
+    assert lan.path("a", "b")
+
+
+def test_detach_invalidates_cached_routes():
+    lan = CampusLAN()
+    lan.attach("a")
+    lan.attach("b")
+    assert lan.path("a", "b")
+    lan.detach("b")
+    with pytest.raises(NetworkError):
+        lan.path("a", "b")

@@ -24,9 +24,11 @@ def triangle():
 
 def test_wan_link_validation():
     with pytest.raises(ValueError):
-        WanLink("bad", 0.0)
+        WanLink("bad", -1.0)
     with pytest.raises(ValueError):
         WanLink("bad", mbps(100), latency=-1.0)
+    # Zero capacity is legal: an administratively-down link.
+    assert WanLink("down", 0.0).capacity == 0.0
 
 
 def test_connect_creates_directional_pair():
@@ -224,3 +226,20 @@ def test_path_load_counts_flows_sharing_route_links():
     assert wan.path_load("c", "a", fabric) == 0
     env.run()
     assert wan.path_load("a", "c", fabric) == 0
+
+
+def test_latency_and_neighbours_memoized_per_epoch():
+    wan = triangle()
+    epoch = wan.route_epoch
+    first = wan.latency("a", "b")
+    assert wan.latency("a", "b") == first
+    neighbours = wan.neighbours("a")
+    assert wan.neighbours("a") is neighbours  # cached list
+    wan.sever("a", "b")
+    assert wan.route_epoch > epoch
+    assert wan.neighbours("a") == ["c"]
+    # a->b now routes around the cut; latency reflects the new path.
+    assert wan.latency("a", "b") == pytest.approx(0.050 + 0.010)
+    wan.heal("a", "b")
+    assert wan.latency("a", "b") == pytest.approx(first)
+    assert wan.neighbours("a") == neighbours

@@ -383,3 +383,41 @@ def test_deterministic_replay():
         return trace
 
     assert build_and_run() == build_and_run()
+
+
+def test_call_at_runs_callback_at_absolute_time():
+    env = Environment()
+    fired = []
+    env.call_at(5.0, fired.append)
+    env.call_at(2.0, fired.append, "early")
+    env.run()
+    assert fired == ["early", None]
+    assert env.now == 5.0
+
+
+def test_call_at_rejects_past_times():
+    env = Environment()
+    env.run(until=10.0)
+    with pytest.raises(ValueError):
+        env.call_at(5.0, lambda _arg: None)
+    with pytest.raises(ValueError):
+        env.call_later(-1.0, lambda _arg: None)
+
+
+def test_call_later_orders_with_events_by_schedule_time():
+    """Callbacks share the queue's (time, insertion) ordering with
+    ordinary events."""
+    env = Environment()
+    log = []
+
+    def proc(env):
+        yield env.timeout(1.0)
+        log.append("process")
+
+    env.process(proc(env))
+    env.call_later(1.0, lambda _arg: log.append("callback"))
+    env.run()
+    # The process's timeout was enqueued first (at process creation
+    # time the bootstrap runs first); insertion order breaks the tie.
+    assert set(log) == {"process", "callback"}
+    assert env.now == 1.0

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Run the core perf suite and emit ``BENCH_perf.json``.
+
+The trajectory file every perf-focused PR is measured against:
+
+* **micro** — the flow-churn microbench (``benchmarks/bench_perf_core``)
+  run against both the optimized engine and the preserved reference
+  implementation, with the churn-phase speedup as the headline;
+* **macro** — the relay-chaos federation scenario on the optimized
+  engine (the reference is too slow to be worth timing end-to-end).
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_report.py            # full scale
+    PYTHONPATH=src python tools/perf_report.py --quick    # CI scale
+    PYTHONPATH=src python tools/perf_report.py --quick \
+        --out BENCH_perf.ci.json --check BENCH_perf.json  # regression gate
+
+``--check BASELINE`` exits non-zero when the within-run churn speedup
+(optimized vs reference, measured on the *same* machine in the same
+run) collapses below half of the committed baseline's speedup — the
+CI perf-smoke gate.  Gating on the ratio rather than absolute
+wall-clock keeps the gate meaningful across machines of different
+speeds: raw seconds in the baseline are informational only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as host_platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+#: A run is a regression when the within-run churn speedup (optimized
+#: vs reference on the same machine) drops below the committed
+#: baseline's speedup divided by this factor.
+REGRESSION_FACTOR = 2.0
+
+
+def run_suite(quick: bool) -> dict:
+    from bench_perf_core import (
+        MICRO_FULL,
+        MICRO_QUICK,
+        run_flow_churn,
+        run_relay_chaos,
+    )
+    from repro.network import FlowNetwork
+    from repro.network._reference import ReferenceFlowNetwork
+
+    micro_params = MICRO_QUICK if quick else MICRO_FULL
+    macro_params = (dict(campuses=4, sim_hours=1.0, jobs=12) if quick
+                    else dict(campuses=8, sim_hours=3.0, jobs=40))
+    print(f"[perf] flow churn ({'quick' if quick else 'full'}): "
+          f"{micro_params}", flush=True)
+    optimized = run_flow_churn(FlowNetwork, **micro_params)
+    print(f"[perf]   optimized: {optimized['churn_wall_seconds']}s churn, "
+          f"{optimized['events_per_sec']} events/s", flush=True)
+    reference = run_flow_churn(ReferenceFlowNetwork, **micro_params)
+    print(f"[perf]   reference: {reference['churn_wall_seconds']}s churn, "
+          f"{reference['events_per_sec']} events/s", flush=True)
+    speedup = round(reference["churn_wall_seconds"]
+                    / optimized["churn_wall_seconds"], 2)
+    total_speedup = round(reference["total_wall_seconds"]
+                          / optimized["total_wall_seconds"], 2)
+    print(f"[perf]   churn speedup: {speedup}x (total {total_speedup}x)",
+          flush=True)
+    print(f"[perf] relay chaos macro: {macro_params}", flush=True)
+    macro = run_relay_chaos(**macro_params)
+    print(f"[perf]   {macro['wall_seconds']}s wall, "
+          f"{macro['events_per_sec']} events/s, "
+          f"{macro['reallocations_per_sec']} reallocations/s", flush=True)
+    return {
+        "micro_flow_churn": {
+            "optimized": optimized,
+            "reference": reference,
+            "churn_speedup": speedup,
+            "total_speedup": total_speedup,
+        },
+        "macro_relay_chaos": macro,
+    }
+
+
+def check_regression(results: dict, baseline_path: Path, mode: str) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    recorded = baseline.get("modes", {}).get(mode)
+    if recorded is None:
+        print(f"[perf] baseline {baseline_path} has no {mode!r} mode; "
+              "nothing to gate against")
+        return 0
+    before = recorded["micro_flow_churn"]["churn_speedup"]
+    after = results["micro_flow_churn"]["churn_speedup"]
+    gate = before / REGRESSION_FACTOR
+    print(f"[perf] churn speedup vs baseline: {after}x now, {before}x "
+          f"recorded (gate: >= {gate:.2f}x)")
+    if after < gate:
+        print("[perf] REGRESSION: the optimized engine's speedup over "
+              f"the reference collapsed from {before}x to {after}x")
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="run the scaled-down CI scenario")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_perf.json"),
+                        help="where to write the report")
+    parser.add_argument("--check", type=Path, default=None, metavar="BASELINE",
+                        help="compare against a committed BENCH_perf.json "
+                             "and fail on a >2x churn regression")
+    args = parser.parse_args(argv)
+    mode = "quick" if args.quick else "full"
+    results = run_suite(quick=args.quick)
+    # Host metadata lives per mode: a merged file can carry modes
+    # recorded on different machines, and each must say whose numbers
+    # it holds.
+    results["host"] = {
+        "python": host_platform.python_version(),
+        "machine": host_platform.machine(),
+    }
+    report = {
+        "bench": "perf_core",
+        "schema": 1,
+        "modes": {mode: results},
+    }
+    # Preserve the other mode's numbers when updating a combined file.
+    if args.out.exists():
+        try:
+            previous = json.loads(args.out.read_text())
+            for name, recorded in previous.get("modes", {}).items():
+                report["modes"].setdefault(name, recorded)
+        except (ValueError, KeyError):
+            pass
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[perf] wrote {args.out}")
+    if args.check is not None:
+        return check_regression(results, args.check, mode)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
