@@ -49,15 +49,17 @@ MICRO_QUICK = dict(hosts=120, hot_hosts=10, concurrent=800, churn_events=150)
 
 
 def run_flow_churn(engine_cls, hosts=500, hot_hosts=30, concurrent=5000,
-                   churn_events=400, seed=11):
+                   churn_events=400, seed=11, hooks=None):
     """Flow-churn microbench: build up ``concurrent`` flows, then
     replace every completion until ``churn_events`` have completed.
 
     Returns a dict of wall-clock and throughput numbers for the
     *churn phase* (the steady-state regime the engine lives in) plus
-    the total wall-clock including buildup.
+    the total wall-clock including buildup.  ``hooks`` attaches a
+    kernel-hooks object to the environment — how the hooks-overhead
+    number in BENCH_perf.json is measured.
     """
-    env = Environment()
+    env = Environment(hooks=hooks)
     lan = CampusLAN(backbone_capacity=gbps(200))
     workstations = [f"ws{i}" for i in range(hosts - hot_hosts)]
     servers = [f"srv{i}" for i in range(hot_hosts)]
@@ -122,13 +124,16 @@ def run_flow_churn(engine_cls, hosts=500, hot_hosts=30, concurrent=5000,
     }
 
 
-def run_relay_chaos(campuses=8, sim_hours=3.0, jobs=40, seed=5):
+def run_relay_chaos(campuses=8, sim_hours=3.0, jobs=40, seed=5,
+                    trace=False, hooks=None):
     """Relay-chaos macrobench: an ``campuses``-site line federation
     under provider churn and randomized WAN flapping.
 
     The first campus drowns in demand, the last hosts the farm, and
     every site in between churns — so placement only works through
-    multi-hop relaying across links that keep failing.
+    multi-hop relaying across links that keep failing.  With
+    ``trace=True`` the run records causal spans and reports span-tree
+    health (orphan count) — the federation tracing acceptance check.
     """
     names = [f"site{i}" for i in range(campuses)]
     fed = FederatedDeployment(
@@ -137,7 +142,10 @@ def run_relay_chaos(campuses=8, sim_hours=3.0, jobs=40, seed=5):
             max_forward_hops=min(4, campuses - 1),
             gossip_interval_min=15.0,
             admission_headroom_horizon=30 * MINUTE,
-        ))
+        ),
+        hooks=hooks,
+        trace=trace,
+    )
     handles = [fed.add_campus(name) for name in names]
     for a, b in zip(names, names[1:]):
         fed.connect(a, b)
@@ -181,7 +189,7 @@ def run_relay_chaos(campuses=8, sim_hours=3.0, jobs=40, seed=5):
     wall = time.perf_counter() - started
     reallocations = fed.fabric.reallocations + sum(
         h.platform.network.reallocations for h in handles)
-    return {
+    result = {
         "campuses": campuses,
         "sim_hours": sim_hours,
         "jobs": jobs,
@@ -194,6 +202,15 @@ def run_relay_chaos(campuses=8, sim_hours=3.0, jobs=40, seed=5):
         "relayed": fed.total_relayed(),
         "duplicate_executions": len(fed.duplicate_executions()),
     }
+    if trace:
+        tracer = fed.tracer
+        result.update(
+            traces=len(tracer.trace_ids()),
+            spans=len(tracer),
+            orphan_spans=len(tracer.orphans()),
+        )
+        result["deployment"] = fed  # for span-tree assertions in tests
+    return result
 
 
 # -- pytest smoke (CI runs these via the benchmarks job) -------------------

@@ -24,7 +24,8 @@ The coordinator's moving parts:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, List, Optional, Set
+from typing import (TYPE_CHECKING, Callable, Dict, Generator, List, Optional,
+                    Set)
 
 from ..config import PlatformConfig
 from ..errors import NetworkError
@@ -45,6 +46,9 @@ from .registry import GpuInventory, NodeRecord, NodeRegistry, NodeStatus
 from .reliability import ReliabilityPredictor
 from .scheduler import SchedulingContext, make_scheduler
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..observability.trace import TraceContext, Tracer
+
 StoreResolver = Callable[[TrainingJobSpec], CheckpointStore]
 
 
@@ -61,6 +65,9 @@ class RunningWorkload:
     request: ResourceRequest
     job: Optional[TrainingJobState] = None
     session: Optional[InteractiveSessionSpec] = None
+    #: The open ``placement`` span covering this workload's stay on
+    #: its GPU (``None`` when tracing is off).
+    trace: Optional["TraceContext"] = None
 
 
 class Coordinator:
@@ -108,6 +115,12 @@ class Coordinator:
         #: cancellation across the WAN with at-most-once semantics;
         #: returning ``True`` means it took responsibility for that.
         self.on_cancel_delegated: Optional[Callable[[str], bool]] = None
+        #: Causal tracer (shared across the federation when attached by
+        #: a :class:`~repro.federation.deployment.FederatedDeployment`).
+        #: ``None`` — the default — records nothing.
+        self.tracer: Optional["Tracer"] = None
+        #: Site label stamped on spans this coordinator records.
+        self.trace_site: str = hostname
 
         self.jobs: Dict[str, TrainingJobState] = {}
         self.sessions: List[SessionRecord] = []
@@ -121,6 +134,10 @@ class Coordinator:
         #: attached across local requeues/migrations.
         self._origin_sites: Dict[str, tuple] = {}
         self._session_requested_at: Dict[str, float] = {}
+        #: workload id → the span local processing parents under: the
+        #: root ``job``/``session`` span at the origin, the ``host``
+        #: span at a site running forwarded work.
+        self._trace_ctx: Dict[str, "TraceContext"] = {}
 
         self._bind_endpoint()
         if config.heartbeat_mode == "rpc":
@@ -154,11 +171,18 @@ class Coordinator:
         """Accept a training job; returns its live state object."""
         state = TrainingJobState(spec, submitted_at=self.env.now)
         self.jobs[spec.job_id] = state
+        trace = None
+        if self.tracer is not None:
+            trace = self.tracer.start("job", trace_id=spec.job_id,
+                                      site=self.trace_site, lab=spec.lab,
+                                      priority=spec.priority)
+            self._trace_ctx[spec.job_id] = trace
         request = ResourceRequest(
             kind=RequestKind.TRAINING,
             training=spec,
             priority=spec.priority,
             enqueued_at=self.env.now,
+            trace=trace,
         )
         self.queue.push(request)
         self.events.emit("job-submitted", job_id=spec.job_id, lab=spec.lab)
@@ -167,11 +191,17 @@ class Coordinator:
     def submit_session(self, spec: InteractiveSessionSpec) -> None:
         """Accept an interactive session request."""
         self._session_requested_at[spec.session_id] = self.env.now
+        trace = None
+        if self.tracer is not None:
+            trace = self.tracer.start("session", trace_id=spec.session_id,
+                                      site=self.trace_site)
+            self._trace_ctx[spec.session_id] = trace
         request = ResourceRequest(
             kind=RequestKind.INTERACTIVE,
             session=spec,
             priority=2,  # sessions are latency-sensitive
             enqueued_at=self.env.now,
+            trace=trace,
         )
         self.queue.push(request)
 
@@ -183,6 +213,7 @@ class Coordinator:
         progress: float = 0.0,
         forward_hops: int = 1,
         relay_path: tuple = (),
+        trace: Optional["TraceContext"] = None,
     ) -> TrainingJobState:
         """Accept a training job forwarded from a peer campus.
 
@@ -200,6 +231,14 @@ class Coordinator:
         self.jobs[spec.job_id] = state
         self._origin_sites[spec.job_id] = (origin_site, forward_hops,
                                            tuple(relay_path))
+        if self.tracer is not None and trace is not None:
+            # The host-side span: everything this campus does with the
+            # forwarded job parents under the hop that delivered it.
+            trace = self.tracer.start("host", parent=trace,
+                                      site=self.trace_site,
+                                      origin=origin_site, restore=restore,
+                                      hops=forward_hops)
+            self._trace_ctx[spec.job_id] = trace
         request = ResourceRequest(
             kind=RequestKind.TRAINING,
             training=spec,
@@ -210,6 +249,7 @@ class Coordinator:
             origin_site=origin_site,
             forward_hops=forward_hops,
             relay_path=tuple(relay_path),
+            trace=trace,
         )
         self.queue.push(request)
         self.events.emit("job-forwarded-in", job_id=spec.job_id,
@@ -224,11 +264,13 @@ class Coordinator:
         """
         if self.queue.withdraw(job_id) is not None:
             self.jobs[job_id].status = JobStatus.CANCELLED
+            self.finish_trace(job_id, "cancelled")
             return None
         for index, request in enumerate(self._parked):
             if request.request_id == job_id:
                 del self._parked[index]
                 self.jobs[job_id].status = JobStatus.CANCELLED
+                self.finish_trace(job_id, "cancelled")
                 return None
         running = self._running.get(job_id)
         if running is None:
@@ -248,6 +290,10 @@ class Coordinator:
                 # across the WAN to the hosting site.
                 job.status = JobStatus.CANCELLED
                 self.events.emit("job-cancelled", job_id=job_id)
+                if self.tracer is not None:
+                    self.tracer.event("cancel-requested",
+                                      self._trace_ctx.get(job_id),
+                                      site=self.trace_site)
                 if self.on_cancel_delegated is not None:
                     self.on_cancel_delegated(job_id)
             return None
@@ -343,6 +389,8 @@ class Coordinator:
                                       running.reserved_bytes)
             self.db.close_allocation(running.allocation_id, self.env.now,
                                      f"node-lost:{kind}")
+            if self.tracer is not None:
+                self.tracer.finish(running.trace, status=f"node-lost:{kind}")
             if running.kind is RequestKind.TRAINING:
                 job = running.job
                 # Silent departures happened one detection delay before
@@ -372,10 +420,13 @@ class Coordinator:
         self.registry.release_gpu(running.node_id, running.gpu_uuid,
                                   running.reserved_bytes)
         self.db.close_allocation(running.allocation_id, self.env.now, result)
+        if self.tracer is not None:
+            self.tracer.finish(running.trace, status=result)
         job = running.job
         if result == "completed":
             self.events.emit("job-completed", job_id=job_id,
                              node=running.hostname)
+            self.finish_trace(job_id, "completed")
         elif result == "migrated":
             kind = ("migrate-back" if job_id in self._migrating_back
                     else "scheduled")
@@ -397,6 +448,7 @@ class Coordinator:
             self._requeue_job(job, reason="migration")
         elif result == "cancelled":
             self.events.emit("job-cancelled", job_id=job_id)
+            self.finish_trace(job_id, "cancelled")
         elif result == "failed-to-start":
             self.events.emit("job-start-failed", job_id=job_id,
                              node=running.hostname)
@@ -432,10 +484,15 @@ class Coordinator:
             origin_site=origin_site,
             forward_hops=forward_hops,
             relay_path=relay_path,
+            trace=self._trace_ctx.get(job.job_id),
         )
         self.queue.push(request)
         self.events.emit("job-migration-queued", job_id=job.job_id,
                          reason=reason, restore=restore)
+        if self.tracer is not None:
+            self.tracer.event("requeue", self._trace_ctx.get(job.job_id),
+                              site=self.trace_site, reason=reason,
+                              restore=restore)
 
     def _handle_session_update(self, payload: dict):
         session_id = payload["session_id"]
@@ -446,6 +503,8 @@ class Coordinator:
         self.registry.release_gpu(running.node_id, running.gpu_uuid,
                                   running.reserved_bytes)
         self.db.close_allocation(running.allocation_id, self.env.now, result)
+        if self.tracer is not None:
+            self.tracer.finish(running.trace, status=result)
         outcome = (SessionOutcome.SERVED if result == "completed"
                    else SessionOutcome.INTERRUPTED)
         self._close_session(running, outcome)
@@ -465,6 +524,7 @@ class Coordinator:
                 else:
                     self.events.emit("session-finished",
                                      session_id=record.spec.session_id)
+                self.finish_trace(record.spec.session_id, outcome.value)
                 return
 
     # -- dispatching --------------------------------------------------------------------
@@ -567,6 +627,12 @@ class Coordinator:
             request.request_id, placement.node_id, placement.gpu_uuid,
             self.env.now,
         )
+        trace = None
+        if self.tracer is not None and request.trace is not None:
+            trace = self.tracer.start(
+                "placement", parent=request.trace, site=self.trace_site,
+                node=placement.node_id, hostname=placement.hostname,
+                gpu=placement.gpu_uuid, restore=request.restore)
         running = RunningWorkload(
             kind=request.kind,
             node_id=placement.node_id,
@@ -578,6 +644,7 @@ class Coordinator:
             request=request,
             job=self.jobs.get(request.request_id),
             session=request.session,
+            trace=trace,
         )
         self._running[request.request_id] = running
         if request.kind is RequestKind.TRAINING:
@@ -616,6 +683,7 @@ class Coordinator:
         self.sessions.append(record)
         self.events.emit("session-denied",
                          session_id=request.session.session_id)
+        self.finish_trace(request.session.session_id, "denied")
 
     # -- migrate-back ----------------------------------------------------------------------
 
@@ -650,6 +718,26 @@ class Coordinator:
                                     "migrate-away", {"job_id": job_id})
             except NetworkError:
                 self._migrating_back.discard(job_id)
+
+    # -- tracing -----------------------------------------------------------------------------
+
+    def trace_context(self, workload_id: str) -> Optional["TraceContext"]:
+        """The span this workload's local processing parents under.
+
+        The root ``job``/``session`` span when the workload was
+        submitted here, the ``host`` span when it arrived over the
+        WAN; ``None`` when tracing is off or the workload is unknown.
+        """
+        return self._trace_ctx.get(workload_id)
+
+    def finish_trace(self, workload_id: str, status: str = "ok") -> None:
+        """Close the workload's root/host span (idempotent, no-op when
+        tracing is off).  Federation gateways call this at the origin
+        when a completion notice or probe closes a delegation."""
+        if self.tracer is None:
+            return
+        self.tracer.finish(self._trace_ctx.pop(workload_id, None),
+                           status=status)
 
     # -- introspection -----------------------------------------------------------------------
 

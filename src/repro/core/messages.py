@@ -10,10 +10,13 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import FrozenSet, Optional, Tuple
+from typing import TYPE_CHECKING, FrozenSet, Optional, Tuple
 
 from ..workloads.interactive import InteractiveSessionSpec
 from ..workloads.training import TrainingJobSpec
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..observability.trace import TraceContext
 
 _request_seq = itertools.count(1)
 
@@ -53,6 +56,10 @@ class ResourceRequest:
     #: Relay forwarding excludes these sites, so a multi-hop forward
     #: never loops.
     relay_path: Tuple[str, ...] = ()
+    #: Causal-trace propagation: the span context this request's
+    #: handling should parent under.  ``None`` when tracing is off —
+    #: the golden-trace configuration.
+    trace: Optional["TraceContext"] = None
 
     def __post_init__(self):
         if self.kind is RequestKind.TRAINING and self.training is None:

@@ -17,7 +17,7 @@ results.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..checkpoint import (
     CheckpointEngine,
@@ -37,6 +37,9 @@ from ..workloads.interactive import InteractiveSessionSpec
 from ..workloads.training import TrainingJobSpec, TrainingJobState
 from ..agent import BehaviorProfile, ProviderAgent, ProviderBehavior
 from .coordinator import Coordinator
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..observability.trace import Tracer
 
 #: Images every provider keeps warm (providers on a campus pull the
 #: standard frameworks once and keep them cached).
@@ -59,6 +62,8 @@ class GPUnionPlatform:
         registry_hostname: str = "registry",
         traffic_window: float = 60.0,
         env: Optional[Environment] = None,
+        tracer: Optional["Tracer"] = None,
+        trace_site: Optional[str] = None,
     ):
         # Federated deployments run several campuses on one shared
         # clock; a standalone campus owns its environment.
@@ -97,6 +102,10 @@ class GPUnionPlatform:
             database=self.db,
             event_log=self.events,
         )
+        if tracer is not None:
+            self.coordinator.tracer = tracer
+            if trace_site is not None:
+                self.coordinator.trace_site = trace_site
         self.agents: Dict[str, ProviderAgent] = {}
         self.behaviors: Dict[str, ProviderBehavior] = {}
 
@@ -176,6 +185,11 @@ class GPUnionPlatform:
         return behavior
 
     # -- user API ---------------------------------------------------------------
+
+    @property
+    def tracer(self) -> Optional["Tracer"]:
+        """The causal tracer attached to this campus (``None`` = off)."""
+        return self.coordinator.tracer
 
     def store_for(self, spec: TrainingJobSpec) -> CheckpointStore:
         """The checkpoint store a job's artifacts go to (§3.5:

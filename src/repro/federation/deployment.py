@@ -32,6 +32,8 @@ from ..network import (
     attach_partition_enforcement,
     attach_wan_meter,
 )
+from ..observability.hooks import KernelHooks
+from ..observability.trace import Tracer
 from ..sim import Environment
 from ..sim.rng import derive_seed
 from .gateway import FederationGateway
@@ -61,9 +63,15 @@ class FederatedDeployment:
         seed: int = 0,
         wan: Optional[WanTopology] = None,
         federation_config: Optional[FederationConfig] = None,
+        hooks: Optional[KernelHooks] = None,
+        trace: bool = False,
     ):
         self.seed = seed
-        self.env = Environment()
+        self.env = Environment(hooks=hooks)
+        #: One tracer for the whole federation: spans from every campus
+        #: land in the same store, stamped with their site.  ``None``
+        #: (the default) records nothing — the golden-trace config.
+        self.tracer: Optional[Tracer] = Tracer(self.env) if trace else None
         self.wan = wan or WanTopology()
         self.fabric = FlowNetwork(self.env, self.wan)
         attach_wan_meter(self.fabric)
@@ -97,6 +105,8 @@ class FederatedDeployment:
             seed=derive_seed(self.seed, f"site:{name}"),
             config=config,
             env=self.env,
+            tracer=self.tracer,
+            trace_site=name,
             **platform_kwargs,
         )
         gateway = FederationGateway(

@@ -55,7 +55,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import replace
-from typing import Dict, Generator, List, Optional, Set, Tuple
+from typing import (TYPE_CHECKING, Dict, Generator, List, Optional, Set,
+                    Tuple)
 
 from ..core.messages import ResourceRequest
 from ..core.platform import GPUnionPlatform
@@ -75,6 +76,9 @@ from .messages import (
     ForwardRecord,
 )
 from .policy import FederationConfig, ForwardingPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..observability.trace import Tracer
 
 
 class FederationGateway:
@@ -177,6 +181,18 @@ class FederationGateway:
         platform.events.subscribe(self._on_event)
         self.env.process(self._gossip_loop(), name=f"gossip:{site}")
         self.env.process(self._reconcile_loop(), name=f"reconcile:{site}")
+
+    # -- tracing ----------------------------------------------------------
+
+    @property
+    def tracer(self) -> Optional["Tracer"]:
+        """The shared federation tracer (``None`` when tracing is off).
+
+        Lives on the coordinator so both control planes stamp spans
+        into the same store; read dynamically so attaching a tracer
+        after construction works.
+        """
+        return self.platform.coordinator.tracer
 
     # -- gossip -----------------------------------------------------------
 
@@ -385,6 +401,18 @@ class FederationGateway:
             restore=restore, nbytes=payload_bytes,
             hops=request.forward_hops + 1,
         )
+        # The per-hop forward span: covers the whole handshake
+        # (offer → claim → commit, including the payload pull the
+        # commit blocks on), parented under the request's current span
+        # — the root at the origin, the local host span at a relay.
+        tracer = self.tracer
+        fwd = None
+        if tracer is not None and request.trace is not None:
+            fwd = tracer.start(
+                "forward", parent=request.trace, site=self.site,
+                dest=dest, restore=restore, hop=request.forward_hops + 1,
+                payload_bytes=payload_bytes,
+            )
         # Phase 1: metadata-only offer.  A failure here is *safe* —
         # nothing durable happened at the host beyond an expiring
         # lease — so any error reads as a decline.
@@ -396,6 +424,7 @@ class FederationGateway:
             progress=shipped_progress,
             forward_hops=request.forward_hops + 1,
             relay_path=relay_path,
+            trace=fwd,
         )
         try:
             reply = yield self.wan_rpc.call(
@@ -407,6 +436,9 @@ class FederationGateway:
         except NetworkError:
             reply = {}
         if not reply.get("accepted"):
+            if tracer is not None:
+                tracer.finish(fwd, status="declined",
+                              reason=reply.get("reason", "unreachable"))
             self._decline(request, dest)
             return
         token = reply["claim_token"]
@@ -416,6 +448,8 @@ class FederationGateway:
             # committed — release the lease (best-effort; it expires
             # on its own if this leg is lost too) and walk away.
             self._pending_cancels.discard(spec.job_id)
+            if tracer is not None:
+                tracer.finish(fwd, status="cancelled")
             yield from self._release_lease(dest, token)
             return
         # Phase 2: claim-bearing commit.  A failure here is AMBIGUOUS
@@ -431,6 +465,7 @@ class FederationGateway:
             forward_hops=request.forward_hops + 1,
             claim_token=token,
             relay_path=relay_path,
+            trace=fwd,
         )
         try:
             commit = yield self.wan_rpc.call(
@@ -447,6 +482,9 @@ class FederationGateway:
                 origin_site=request.origin_site, upstream=upstream,
                 shipped_progress=shipped_progress,
             )
+            # The forward span stays open: the handshake's outcome is
+            # ambiguous until a reconciliation probe resolves it.
+            record.trace = fwd
             self.delegations[spec.job_id] = record
             self._pending_requests[spec.job_id] = request
             self.platform.events.emit("job-forward-unknown",
@@ -454,6 +492,9 @@ class FederationGateway:
             self._kick_reconcile()
             return
         if not commit.get("committed"):
+            if tracer is not None:
+                tracer.finish(fwd, status="declined",
+                              reason=commit.get("reason", "not-committed"))
             self._decline(request, dest)
             return
         elapsed = self.env.now - started
@@ -470,7 +511,11 @@ class FederationGateway:
             origin_site=request.origin_site,
             upstream=upstream,
             shipped_progress=shipped_progress,
+            trace=fwd,
         )
+        if tracer is not None:
+            tracer.finish(fwd, status="committed",
+                          transfer_seconds=elapsed)
         self.delegations[spec.job_id] = record
         self._settle_relay_departure(record)
         state = self.platform.coordinator.jobs.get(spec.job_id)
@@ -534,6 +579,9 @@ class FederationGateway:
             return  # we are the true origin, not a relay
         entry = self._foreign_jobs.pop(record.job_id, None)
         self.relayed_out += 1
+        # This site's hosting role ends here; its host span closes and
+        # the delegation lives on in the outgoing forward span.
+        self.platform.coordinator.finish_trace(record.job_id, "relayed")
         self.platform.events.emit(
             "job-relayed", job_id=record.job_id, dest=record.dest_site,
             origin=record.origin_site,
@@ -598,28 +646,42 @@ class FederationGateway:
             self.local_digest(), model.gpu_memory,
             model.min_compute_capability)
 
+    def _trace_admission(self, offer: ForwardOffer, accepted: bool,
+                         reason: str = "") -> None:
+        """Record the host-side admission decision as an instant span."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.event("admission", offer.trace, site=self.site,
+                         status="accepted" if accepted else "declined",
+                         reason=reason)
+
     def _handle_forward_offer(self, offer: ForwardOffer) -> dict:
         job_id = offer.spec.job_id
         if not self.config.host_foreign_jobs:
             # Opted out of hosting: our digest already advertises no
             # capacity, but a peer acting on a pre-opt-out digest (or
             # probing blindly) still gets a clean decline.
+            self._trace_admission(offer, False, "opted-out")
             return {"accepted": False, "reason": "opted-out"}
         if self.site in offer.relay_path:
             # The job already passed through here; the sender's policy
             # should have excluded us — decline defensively rather
             # than let a relay loop form.
+            self._trace_admission(offer, False, "relay-loop")
             return {"accepted": False, "reason": "relay-loop"}
         if job_id in self.platform.coordinator.jobs or job_id in self._committing:
             # We already host (or are mid-commit of) this job; the
             # origin should resolve its handshake via forward-status,
             # never re-offer — decline defensively.
+            self._trace_admission(offer, False, "already-hosted")
             return {"accepted": False, "reason": "already-hosted"}
         if not self.accepts(offer.spec):
             self.platform.events.emit("job-forward-rejected",
                                       job_id=job_id,
                                       origin=offer.origin_site)
+            self._trace_admission(offer, False, "no-headroom")
             return {"accepted": False}
+        self._trace_admission(offer, True)
         token = f"{self.site}#{next(self._token_seq)}"
         self._offers[token] = offer
         # Reserve the accepted card until the claim arrives, so
@@ -658,6 +720,14 @@ class FederationGateway:
         self._committing.add(job_id)
         category = ("federation-checkpoint" if envelope.restore
                     else "federation-dataset")
+        tracer = self.tracer
+        pull = None
+        if tracer is not None and envelope.trace is not None:
+            pull = tracer.start("payload-pull", parent=envelope.trace,
+                                site=self.site,
+                                src=envelope.sender_site,
+                                nbytes=envelope.payload_bytes,
+                                category=category)
         try:
             yield self.fabric.transfer(envelope.sender_site, self.site,
                                        envelope.payload_bytes,
@@ -668,11 +738,15 @@ class FederationGateway:
             # reports "absent" and the origin requeues safely.
             self._committing.discard(job_id)
             self._inbound_pending -= 1
+            if tracer is not None:
+                tracer.finish(pull, status="pull-failed")
             self.platform.events.emit("forward-commit-aborted",
                                       job_id=job_id,
                                       origin=envelope.origin_site)
             return {"committed": False, "reason": "pull-failed"}
         self._inbound_pending -= 1
+        if tracer is not None:
+            tracer.finish(pull)
         if envelope.snapshot is not None:
             store = self.platform.store_for(envelope.spec)
             store.import_snapshot(envelope.snapshot)
@@ -692,6 +766,7 @@ class FederationGateway:
             progress=envelope.progress,
             forward_hops=envelope.forward_hops,
             relay_path=envelope.relay_path,
+            trace=envelope.trace,
         )
         self._committing.discard(job_id)
         return {"committed": True}
@@ -821,6 +896,13 @@ class FederationGateway:
         # balance — settled here, at the one site that knows the final
         # donated hours.
         self._settle_relay_fees(job_id, origin, relay_path, donated)
+        tracer = self.tracer
+        if tracer is not None:
+            # Runs inside the coordinator's job-completed emit, before
+            # it closes the host span — so the settlement records as a
+            # child of the hosting it pays for.
+            tracer.event("settle", self.platform.coordinator.trace_context(
+                job_id), site=self.site, donated_gpu_hours=donated / HOUR)
         self.platform.events.emit("foreign-job-completed", job_id=job_id,
                                   origin=origin,
                                   donated_gpu_hours=donated / HOUR)
@@ -902,6 +984,9 @@ class FederationGateway:
             record.completed_at = completed_at
             record.host_site = host_site or record.dest_site
             record.state = DelegationState.COMPLETED
+        # At the true origin this closes the root job span; at a relay
+        # the host span already closed as "relayed" and this is a no-op.
+        self.platform.coordinator.finish_trace(job_id, "completed")
         self._pending_requests.pop(job_id, None)
         state = self.platform.coordinator.jobs.get(job_id)
         if state is not None:
@@ -934,6 +1019,11 @@ class FederationGateway:
         """An unknown-outcome handshake turned out to have committed."""
         record.state = DelegationState.COMMITTED
         self.forwarded_out += 1
+        tracer = self.tracer
+        if tracer is not None:
+            # The forward span was left open when the commit-ack was
+            # lost; the probe/notice proves the handshake landed.
+            tracer.finish(record.trace, status="committed")
         self._settle_relay_departure(record)
         self._pending_requests.pop(record.job_id, None)
         state = self.platform.coordinator.jobs.get(record.job_id)
@@ -1027,11 +1117,17 @@ class FederationGateway:
         except NetworkError:
             return  # still unreachable; retried next pass
         outcome = reply.get("state")
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.event("probe", record.trace, site=self.site,
+                         dest=record.dest_site, outcome=outcome or "lost")
         if outcome == "pending":
             return  # host mid-commit; stay unknown and re-probe later
         if outcome == "absent":
             # Guaranteed not (and never to be) committed at the host:
             # requeuing locally cannot duplicate the job.
+            if tracer is not None:
+                tracer.finish(record.trace, status="absent")
             del self.delegations[job_id]
             request = self._pending_requests.pop(job_id, None)
             self._pending_cancels.discard(job_id)
@@ -1070,12 +1166,20 @@ class FederationGateway:
         if reply.get("pending"):
             return  # host mid-commit/dispatch; retry shortly
         self._pending_cancels.discard(job_id)
+        tracer = self.tracer
         if reply.get("completed"):
+            if tracer is not None:
+                tracer.event("cancel-delivered", record.trace,
+                             site=self.site, outcome="lost-race")
             self._apply_remote_completion(
                 job_id, reply.get("completed_at", self.env.now),
                 reply.get("host_site", record.dest_site))
         else:
             record.state = DelegationState.CANCELLED
+            if tracer is not None:
+                tracer.event("cancel-delivered", record.trace,
+                             site=self.site, outcome="cancelled")
+                self.platform.coordinator.finish_trace(job_id, "cancelled")
             self.platform.events.emit("job-cancel-delivered",
                                       job_id=job_id, dest=record.dest_site)
 

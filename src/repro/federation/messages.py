@@ -32,10 +32,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from ..storage import CheckpointRecord
 from ..workloads.training import TrainingJobSpec
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..observability.trace import TraceContext
 
 
 @dataclass(frozen=True, slots=True)
@@ -101,6 +104,10 @@ class ForwardOffer:
     #: job onward.  The last element is the *physical sender* the
     #: commit-phase payload pull draws from.
     relay_path: Tuple[str, ...] = ()
+    #: Causal-trace propagation: the sender's ``forward`` span, so the
+    #: receiver's admission/host spans parent under the hop that
+    #: carried them.  ``None`` when tracing is off.
+    trace: Optional["TraceContext"] = None
 
     @property
     def sender_site(self) -> str:
@@ -128,6 +135,8 @@ class ForwardEnvelope:
     claim_token: str = ""
     #: Same chain as :attr:`ForwardOffer.relay_path`.
     relay_path: Tuple[str, ...] = ()
+    #: Same propagation handle as :attr:`ForwardOffer.trace`.
+    trace: Optional["TraceContext"] = None
 
     @property
     def sender_site(self) -> str:
@@ -192,3 +201,7 @@ class ForwardRecord:
     #: the completion notice/probe — ``dest_site`` unless the job was
     #: relayed onward from there.
     host_site: Optional[str] = None
+    #: The sender-side ``forward`` span covering this delegation
+    #: (``None`` when tracing is off).  Probe, cancel, and completion
+    #: spans for the delegation parent under it.
+    trace: Optional["TraceContext"] = None

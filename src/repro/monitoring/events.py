@@ -7,8 +7,9 @@ experiments a queryable audit trail independent of metrics.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..sim import Environment
 
@@ -23,12 +24,25 @@ class PlatformEvent:
 
 
 class EventLog:
-    """Append-only, queryable event history."""
+    """Append-only, queryable event history.
 
-    def __init__(self, env: Environment):
+    ``max_events`` bounds retention: with it set, the log keeps only
+    the newest ``max_events`` entries (older ones are dropped
+    silently), so million-event chaos runs can keep an audit trail
+    without growing without bound.  Subscribers always see every emit
+    regardless of retention.
+    """
+
+    def __init__(self, env: Environment, max_events: Optional[int] = None):
         self.env = env
-        self._events: List[PlatformEvent] = []
-        self._subscribers: List[Any] = []
+        self.max_events = max_events
+        self._events: Any = (deque(maxlen=max_events)
+                             if max_events is not None else [])
+        #: Emitted-count independent of retention (monotonic).
+        self.emitted = 0
+        # Kept as a tuple so the emit hot path iterates it directly:
+        # subscription (rare) rebuilds; emit (per event) never copies.
+        self._subscribers: Tuple[Any, ...] = ()
 
     def subscribe(self, callback) -> None:
         """Call ``callback(event)`` synchronously on every emit.
@@ -37,21 +51,31 @@ class EventLog:
         component's simulation time (federation gateways use this to
         watch for completions of forwarded jobs).
         """
-        self._subscribers.append(callback)
+        self._subscribers = self._subscribers + (callback,)
 
     def emit(self, kind: str, **payload: Any) -> PlatformEvent:
-        """Record an event at the current simulation time."""
-        event = PlatformEvent(self.env.now, kind, dict(payload))
+        """Record an event at the current simulation time.
+
+        Hot path: ``payload`` is already a fresh dict built by the
+        ``**`` call convention, so it is stored as-is — no copy — and
+        with zero subscribers nothing else is allocated.
+        """
+        event = PlatformEvent(self.env.now, kind, payload)
         self._events.append(event)
-        for callback in list(self._subscribers):
+        self.emitted += 1
+        for callback in self._subscribers:
             callback(event)
         return event
+
+    def clear(self) -> None:
+        """Drop all retained events (``emitted`` keeps counting)."""
+        self._events.clear()
 
     def __len__(self) -> int:
         return len(self._events)
 
     def all(self) -> List[PlatformEvent]:
-        """Every recorded event, in order."""
+        """Every retained event, in order."""
         return list(self._events)
 
     def of_kind(self, kind: str) -> List[PlatformEvent]:

@@ -48,6 +48,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import NetworkError
@@ -442,6 +443,11 @@ class FlowNetwork:
         a from-scratch rebuild over the flow list would produce.
         """
         self.reallocations += 1
+        # Kernel hooks (repro.observability): time the recomputation
+        # only when someone is listening — the disabled path is one
+        # attribute read and an `is None` test.
+        hooks = self.env.hooks
+        started = perf_counter() if hooks is not None else 0.0
         # Iterate in flow-id order so member lists, tie-breaks, and
         # residual subtractions are performed deterministically (and
         # identically to a full-network recomputation).  Ids are
@@ -471,6 +477,9 @@ class FlowNetwork:
             for flow in flows:
                 flow.rate = rates.get(flow, 0.0)
             self._arm_sync_wake()
+            if hooks is not None:
+                hooks.on_reallocate(len(flows), len(buckets),
+                                    perf_counter() - started)
             return
         now = self.env.now
         for flow in flows:
@@ -485,6 +494,9 @@ class FlowNetwork:
                 else:
                     flow.eta = math.inf
         self._arm_lazy_wake()
+        if hooks is not None:
+            hooks.on_reallocate(len(flows), len(buckets),
+                                perf_counter() - started)
 
     # -- wake scheduling ---------------------------------------------------
 

@@ -1,0 +1,34 @@
+"""Cross-cutting observability: kernel hooks, causal traces, fleet
+telemetry, and the live status endpoint.
+
+Four pieces, one principle — observe everything, perturb nothing:
+
+* :mod:`~repro.observability.hooks` — duck-typed kernel/flow-engine
+  profiling callbacks (``None`` by default; ~zero cost attached);
+* :mod:`~repro.observability.trace` — trace contexts carried on
+  requests and federation wire types, span trees per job, Chrome
+  trace-event export;
+* :mod:`~repro.observability.collector` — the fleet-level metric
+  aggregation over per-node exporters, gateways, ledger, and WAN;
+* :mod:`~repro.observability.endpoint` — ``/metrics`` + ``/status`` +
+  ``/traces`` over stdlib ``http.server``.
+
+See ``docs/observability.md`` for the full tour.
+"""
+
+from .collector import FleetCollector
+from .endpoint import PROMETHEUS_CONTENT_TYPE, StatusEndpoint
+from .hooks import KernelHooks, KernelProfile, NoopHooks
+from .trace import Span, TraceContext, Tracer
+
+__all__ = [
+    "FleetCollector",
+    "KernelHooks",
+    "KernelProfile",
+    "NoopHooks",
+    "PROMETHEUS_CONTENT_TYPE",
+    "Span",
+    "StatusEndpoint",
+    "TraceContext",
+    "Tracer",
+]

@@ -1,0 +1,163 @@
+"""Live status endpoint: the fleet's scrape target.
+
+A tiny stdlib ``http.server`` wrapper that serves a
+:class:`~repro.observability.collector.FleetCollector` over HTTP, so a
+running (or finished) federation can be inspected with nothing but
+``curl`` — or scraped by a real Prometheus:
+
+* ``GET /metrics`` — the full fleet scrape, Prometheus text format;
+* ``GET /status`` — a JSON overview (per-site counters, WAN link
+  state, reconciliation backlog, trace/kernel summaries);
+* ``GET /traces`` — every known trace id with span counts;
+* ``GET /traces/<id>`` — one job's span tree as nested JSON;
+* ``GET /traces/<id>/chrome`` — the same trace as Chrome trace-event
+  JSON (load in Perfetto / ``chrome://tracing``).
+
+The server runs on a daemon thread and every request reads simulation
+state directly — safe because handlers never mutate it, and because
+the typical use drives the simulation stepwise from the same process
+(scrape between ``run()`` calls, or after the run finishes).
+
+>>> from repro.federation import FederatedDeployment
+>>> from repro.observability import FleetCollector, StatusEndpoint
+>>> fed = FederatedDeployment(seed=1, trace=True)
+>>> endpoint = StatusEndpoint(FleetCollector(fed))   # port=0: ephemeral
+>>> url = endpoint.start()
+>>> # ... curl f"{url}/metrics" ...
+>>> endpoint.stop()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from .collector import FleetCollector
+
+#: The content type real Prometheus exporters answer with.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request against the attached collector."""
+
+    #: Injected by :class:`StatusEndpoint` via a subclass attribute.
+    collector: FleetCollector = None  # type: ignore[assignment]
+
+    def do_GET(self):  # noqa: N802 - http.server's naming
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/metrics":
+                self._reply(200, PROMETHEUS_CONTENT_TYPE,
+                            self.collector.expose() + "\n")
+            elif path == "/status":
+                self._json(200, self.collector.status())
+            elif path == "/traces":
+                self._traces_index()
+            elif path.startswith("/traces/"):
+                self._trace(path[len("/traces/"):])
+            else:
+                self._json(404, {"error": "not found", "routes": [
+                    "/metrics", "/status", "/traces", "/traces/<id>",
+                    "/traces/<id>/chrome"]})
+        except Exception as error:  # surface, don't kill the thread
+            self._json(500, {"error": repr(error)})
+
+    def _traces_index(self) -> None:
+        tracer = self.collector.deployment.tracer
+        if tracer is None:
+            self._json(200, {"tracing": False, "traces": []})
+            return
+        self._json(200, {"tracing": True, "traces": [
+            {
+                "trace_id": trace_id,
+                "spans": len(tracer.spans(trace_id)),
+                "open": len(tracer.open_spans(trace_id)),
+                "orphans": len(tracer.orphans(trace_id)),
+            }
+            for trace_id in tracer.trace_ids()
+        ]})
+
+    def _trace(self, rest: str) -> None:
+        tracer = self.collector.deployment.tracer
+        if tracer is None:
+            self._json(404, {"error": "tracing is not enabled"})
+            return
+        chrome = rest.endswith("/chrome")
+        trace_id = rest[:-len("/chrome")] if chrome else rest
+        if trace_id not in tracer.trace_ids():
+            self._json(404, {"error": f"unknown trace {trace_id!r}"})
+            return
+        if chrome:
+            self._json(200, tracer.to_chrome_trace(trace_id))
+        else:
+            self._json(200, {"trace_id": trace_id,
+                             "orphans": len(tracer.orphans(trace_id)),
+                             "tree": tracer.tree(trace_id)})
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _json(self, code: int, document) -> None:
+        self._reply(code, "application/json",
+                    json.dumps(document, indent=2) + "\n")
+
+    def _reply(self, code: int, content_type: str, body: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, *args) -> None:
+        """Silence per-request stderr chatter."""
+
+
+class StatusEndpoint:
+    """Serves a fleet collector over HTTP on a daemon thread."""
+
+    def __init__(self, collector: FleetCollector,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.collector = collector
+        self.host = host
+        self.port = port  # 0 = pick an ephemeral port on start()
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> str:
+        """Bind and serve; returns the base URL (resolved port)."""
+        if self._server is not None:
+            return self.url
+        handler = type("BoundHandler", (_Handler,),
+                       {"collector": self.collector})
+        self._server = ThreadingHTTPServer((self.host, self.port), handler)
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"status-endpoint:{self.port}", daemon=True)
+        self._thread.start()
+        return self.url
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    @property
+    def url(self) -> str:
+        """Base URL (valid after :meth:`start`)."""
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "StatusEndpoint":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

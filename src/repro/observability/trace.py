@@ -1,0 +1,269 @@
+"""Causal trace spans across the federation.
+
+Every cross-site job becomes a *span tree*: the origin's root span,
+one ``forward`` span per WAN hop, the host side's ``admission`` /
+``payload-pull`` / ``host`` spans, each placement, and the terminal
+completion — parented to each other through a :class:`TraceContext`
+carried on :class:`~repro.core.messages.ResourceRequest` and the
+federation wire types (:class:`~repro.federation.messages.ForwardOffer`
+/ :class:`~repro.federation.messages.ForwardEnvelope`).  The result
+answers the operator question monitoring counters cannot: *why* did
+this job end up where it did — forwarded, relayed twice, declined,
+cancelled mid-flight?
+
+The tracer is pure bookkeeping on the shared simulation clock: it
+never schedules events, never touches RNG streams, and costs nothing
+when absent (every instrumentation site guards with ``if tracer is
+not None``), so traced and untraced runs produce bit-identical
+simulation traces.
+
+Span ids are assigned from a per-tracer counter and trace ids default
+to the workload id, so traces are deterministic and queryable by job
+(``/traces/<job_id>`` on the status endpoint).  Export to Chrome
+trace-event JSON (``chrome://tracing`` / Perfetto) comes built in.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..sim import Environment
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """The propagation handle: enough to parent a child span.
+
+    Carried on requests and federation wire payloads; the RPC layer
+    already charges their serialized size, and two strings + an int is
+    honest baggage for a trace header.
+    """
+
+    trace_id: str
+    span_id: int
+
+
+@dataclass(slots=True)
+class Span:
+    """One operation in a trace: a named interval on the sim clock."""
+
+    trace_id: str
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    site: str
+    start: float
+    end: Optional[float] = None
+    status: str = "running"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the span has not finished yet."""
+        return self.end is None
+
+    @property
+    def context(self) -> TraceContext:
+        """This span's propagation handle."""
+        return TraceContext(self.trace_id, self.span_id)
+
+    def duration(self, now: Optional[float] = None) -> float:
+        """Span length in sim seconds (open spans run to ``now``)."""
+        end = self.end if self.end is not None else (now if now is not None
+                                                    else self.start)
+        return max(0.0, end - self.start)
+
+
+class Tracer:
+    """Span store + factory shared by every site of a deployment.
+
+    One tracer per federation: spans from all campuses land in one
+    store (each stamped with its ``site``), so a job's tree is
+    assembled without any cross-site collection step — exactly what a
+    centralized trace backend would hold after ingest.
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._span_seq = itertools.count(1)
+        self._spans: Dict[int, Span] = {}
+        self._by_trace: Dict[str, List[Span]] = {}
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    # -- recording --------------------------------------------------------
+
+    def start(
+        self,
+        name: str,
+        parent: Optional[TraceContext] = None,
+        trace_id: Optional[str] = None,
+        site: str = "",
+        **attrs: Any,
+    ) -> TraceContext:
+        """Open a span; returns its context (pass to children/wire).
+
+        ``parent`` wins for trace membership; a root span supplies
+        ``trace_id`` instead (defaulting to its own span id).
+        """
+        span_id = next(self._span_seq)
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        else:
+            trace_id = trace_id if trace_id is not None else f"trace-{span_id}"
+            parent_id = None
+        span = Span(
+            trace_id=trace_id, span_id=span_id, parent_id=parent_id,
+            name=name, site=site, start=self.env.now,
+            attrs=dict(attrs) if attrs else {},
+        )
+        self._spans[span_id] = span
+        self._by_trace.setdefault(trace_id, []).append(span)
+        return span.context
+
+    def finish(self, context: Optional[TraceContext], status: str = "ok",
+               **attrs: Any) -> None:
+        """Close a span (idempotent: the first finish wins)."""
+        if context is None:
+            return
+        span = self._spans.get(context.span_id)
+        if span is None or span.end is not None:
+            return
+        span.end = self.env.now
+        span.status = status
+        if attrs:
+            span.attrs.update(attrs)
+
+    def event(self, name: str, parent: Optional[TraceContext],
+              site: str = "", status: str = "ok",
+              **attrs: Any) -> Optional[TraceContext]:
+        """Record an instantaneous (zero-duration) span."""
+        if parent is None:
+            return None
+        context = self.start(name, parent=parent, site=site, **attrs)
+        self.finish(context, status=status)
+        return context
+
+    def clear(self) -> None:
+        """Drop every recorded span (long-running endpoint hygiene)."""
+        self._spans.clear()
+        self._by_trace.clear()
+
+    # -- queries ----------------------------------------------------------
+
+    def trace_ids(self) -> List[str]:
+        """Every known trace id, in first-span order."""
+        return list(self._by_trace)
+
+    def get(self, span_id: int) -> Optional[Span]:
+        """One span by id (``None`` if unknown)."""
+        return self._spans.get(span_id)
+
+    def spans(self, trace_id: str) -> List[Span]:
+        """All spans of one trace, in creation order."""
+        return list(self._by_trace.get(trace_id, ()))
+
+    def root(self, trace_id: str) -> Optional[Span]:
+        """The trace's root span (parent-less), if recorded."""
+        for span in self._by_trace.get(trace_id, ()):
+            if span.parent_id is None:
+                return span
+        return None
+
+    def orphans(self, trace_id: Optional[str] = None) -> List[Span]:
+        """Spans whose parent was never recorded — a broken tree.
+
+        The federation acceptance check: a complete forward → relay →
+        place → complete chain has zero orphans.  Roots are not
+        orphans.
+        """
+        if trace_id is not None:
+            candidates = self._by_trace.get(trace_id, ())
+        else:
+            candidates = self._spans.values()
+        return [span for span in candidates
+                if span.parent_id is not None
+                and span.parent_id not in self._spans]
+
+    def open_spans(self, trace_id: Optional[str] = None) -> List[Span]:
+        """Spans still running (unfinished work, or a lost finish)."""
+        if trace_id is not None:
+            candidates = self._by_trace.get(trace_id, ())
+        else:
+            candidates = self._spans.values()
+        return [span for span in candidates if span.is_open]
+
+    def tree(self, trace_id: str) -> List[dict]:
+        """The trace as nested dicts (roots first), for JSON display."""
+        spans = self._by_trace.get(trace_id, ())
+        nodes = {
+            span.span_id: {
+                "span_id": span.span_id,
+                "name": span.name,
+                "site": span.site,
+                "start": span.start,
+                "end": span.end,
+                "status": span.status,
+                "attrs": dict(span.attrs),
+                "children": [],
+            }
+            for span in spans
+        }
+        roots: List[dict] = []
+        for span in spans:
+            node = nodes[span.span_id]
+            parent = (nodes.get(span.parent_id)
+                      if span.parent_id is not None else None)
+            if parent is None:
+                roots.append(node)
+            else:
+                parent["children"].append(node)
+        return roots
+
+    # -- export -----------------------------------------------------------
+
+    def to_chrome_trace(self, trace_id: Optional[str] = None) -> dict:
+        """Chrome trace-event JSON (load in Perfetto / chrome://tracing).
+
+        Complete (``"ph": "X"``) events with microsecond timestamps on
+        the simulation clock; the site becomes the process name so a
+        multi-hop forward reads as a cross-process flow.  Open spans
+        are exported running to ``env.now``.
+        """
+        if trace_id is not None:
+            spans = list(self._by_trace.get(trace_id, ()))
+        else:
+            spans = [span for group in self._by_trace.values()
+                     for span in group]
+        sites = sorted({span.site or "unknown" for span in spans})
+        pids = {site: index + 1 for index, site in enumerate(sites)}
+        events: List[dict] = [
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": site}}
+            for site, pid in pids.items()
+        ]
+        now = self.env.now
+        for span in spans:
+            args = {"trace_id": span.trace_id, "span_id": span.span_id,
+                    "status": span.status}
+            args.update(span.attrs)
+            events.append({
+                "name": span.name,
+                "cat": span.trace_id,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration(now) * 1e6,
+                "pid": pids[span.site or "unknown"],
+                "tid": span.parent_id or span.span_id,
+                "args": args,
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export_chrome_json(self, trace_id: Optional[str] = None) -> str:
+        """:meth:`to_chrome_trace`, serialized."""
+        return json.dumps(self.to_chrome_trace(trace_id), indent=2)

@@ -27,6 +27,7 @@ Example
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 
@@ -359,13 +360,31 @@ class Environment:
     ----------
     initial_time:
         Starting value of :attr:`now` (seconds).
+    hooks:
+        Optional kernel dispatch hooks (see
+        :mod:`repro.observability.hooks`).  ``None`` — the default and
+        the golden-trace configuration — costs one ``is None`` test
+        per event; any object with ``on_schedule`` / ``on_dispatch``
+        callbacks is invoked at every queue push and fire.  Hooks
+        observe the run; they must never schedule events or otherwise
+        mutate simulation state.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, hooks: Any = None):
         self._now = float(initial_time)
         # Queue entries are (time, tie-break counter, Event-or-callback).
         self._queue: List[Tuple[float, int, Any]] = []
         self._counter = 0
+        self.hooks = hooks
+
+    @property
+    def hooks(self) -> Any:
+        """The attached kernel hooks object (``None`` when disabled)."""
+        return self._hooks
+
+    @hooks.setter
+    def hooks(self, hooks: Any) -> None:
+        self._hooks = hooks
 
     @property
     def now(self) -> float:
@@ -406,6 +425,8 @@ class Environment:
         heapq.heappush(self._queue,
                        (when, self._counter, _ScheduledCallback(fn, arg)))
         self._counter += 1
+        if self._hooks is not None:
+            self._hooks.on_schedule(when, self._now, len(self._queue))
 
     def call_later(self, delay: float, fn: Callable[[Any], None],
                    arg: Any = None) -> None:
@@ -427,6 +448,9 @@ class Environment:
     def _enqueue(self, event: Event, delay: float = 0.0) -> None:
         heapq.heappush(self._queue, (self._now + delay, self._counter, event))
         self._counter += 1
+        if self._hooks is not None:
+            self._hooks.on_schedule(self._now + delay, self._now,
+                                    len(self._queue))
 
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` if queue is empty)."""
@@ -440,7 +464,14 @@ class Environment:
             raise SimulationError("step() on empty event queue")
         when, _, event = heapq.heappop(self._queue)
         self._now = when
+        hooks = self._hooks
+        if hooks is None:
+            event._fire()
+            return
+        started = perf_counter()
         event._fire()
+        hooks.on_dispatch(event, when, perf_counter() - started,
+                          len(self._queue))
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or the clock reaches ``until``.

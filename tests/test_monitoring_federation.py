@@ -1,0 +1,159 @@
+"""Monitoring primitives under federation pressure: exposition edge
+cases, node departure, and a golden Prometheus text fixture.
+"""
+
+import math
+
+import pytest
+
+from repro.federation import FederatedDeployment
+from repro.gpu import RTX_3090, RTX_4090
+from repro.monitoring import Histogram, MetricRegistry
+from repro.monitoring.exporter import NodeExporter
+from repro.observability import FleetCollector
+from repro.units import HOUR
+from repro.workloads import RESNET50, next_job_id
+from repro.workloads.training import TrainingJobSpec
+
+
+# -- histogram exposition edge cases ---------------------------------------
+
+def test_histogram_inf_bucket_catches_everything():
+    histogram = Histogram("latency_seconds", buckets=(0.1, 1.0))
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+    histogram.observe(50.0)       # beyond every finite bucket
+    histogram.observe(math.inf)   # pathological but must not corrupt
+    rows = {(name, labels): value
+            for name, labels, value in histogram.samples()}
+    assert rows[("latency_seconds_bucket", (("le", "0.1"),))] == 1
+    assert rows[("latency_seconds_bucket", (("le", "1.0"),))] == 2
+    # +Inf is the count, always: the catch-all bucket is cumulative.
+    assert rows[("latency_seconds_bucket", (("le", "+Inf"),))] == 4
+    assert rows[("latency_seconds_count", ())] == 4
+    assert rows[("latency_seconds_sum", ())] == math.inf
+    text = histogram.expose()
+    assert 'latency_seconds_bucket{le="+Inf"} 4' in text
+
+
+def test_histogram_empty_family_exposes_header_only():
+    histogram = Histogram("empty_seconds", "never observed")
+    assert histogram.samples() == []
+    text = histogram.expose()
+    assert text == ("# HELP empty_seconds never observed\n"
+                    "# TYPE empty_seconds histogram")
+    # An empty family in a registry must not derail full exposition.
+    reg = MetricRegistry()
+    reg.histogram("empty_seconds", "never observed")
+    reg.counter("ok_total", "fine").inc()
+    exposed = reg.expose()
+    assert "# TYPE empty_seconds histogram" in exposed
+    assert "ok_total 1.0" in exposed
+
+
+def test_histogram_quantile_beyond_buckets_is_inf():
+    histogram = Histogram("d", buckets=(1.0,))
+    histogram.observe(100.0)
+    assert histogram.quantile(0.99) == math.inf
+
+
+# -- exporters under federation --------------------------------------------
+
+def build_fleet():
+    fed = FederatedDeployment(seed=17)
+    north = fed.add_campus("north")
+    south = fed.add_campus("south")
+    fed.connect("north", "south")
+    north.platform.add_provider("ws1", [RTX_3090], lab="vision")
+    south.platform.add_provider("farm", [RTX_4090] * 2, lab="infra")
+    for _ in range(2):
+        north.platform.submit_job(TrainingJobSpec(
+            job_id=next_job_id(), model=RESNET50,
+            total_compute=0.5 * HOUR, lab="vision"))
+    fed.run(until=3 * HOUR)
+    return fed
+
+
+def test_node_exporter_scrape_after_departure():
+    """A scrape taken after the node departed must still render the
+    last-known hardware series and keep lifecycle counters monotonic."""
+    fed = build_fleet()
+    north = fed.site("north")
+    agent = north.platform.agents["ws1"]
+    exporter = NodeExporter(fed.env, agent.node, runtime=agent.runtime)
+    exporter.collect()
+    before = exporter.registry.get(
+        "container_lifecycle_events_total").samples()
+    agent.emergency_departure()
+    fed.run(until=fed.env.now + 120.0)
+    text = exporter.scrape_text()
+    assert "gpu_utilization{" in text
+    assert 'hostname="ws1"' in text
+    after = exporter.registry.get(
+        "container_lifecycle_events_total").samples()
+    # Departure kills containers: the counter may only move forward.
+    totals_before = sum(v for _n, _l, v in before)
+    totals_after = sum(v for _n, _l, v in after)
+    assert totals_after >= totals_before
+
+
+def test_fleet_scrape_is_valid_prometheus_text():
+    """Every line of a full fleet scrape parses as exposition format."""
+    fed = build_fleet()
+    text = FleetCollector(fed).expose()
+    families = {}
+    current = None
+    for line in text.split("\n"):
+        assert line, "blank line inside exposition output"
+        if line.startswith("# HELP "):
+            current = line.split()[2]
+        elif line.startswith("# TYPE "):
+            parts = line.split()
+            assert parts[2] == current, "TYPE not adjacent to its HELP"
+            assert parts[3] in {"counter", "gauge", "histogram"}
+            families[current] = parts[3]
+        else:
+            name = line.split("{")[0].split(" ")[0]
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name[:-len(suffix)] in families:
+                    base = name[:-len(suffix)]
+            assert base in families, f"sample {name} outside any family"
+            value = line.rsplit(" ", 1)[1]
+            float(value)  # must parse
+    # Both campuses appear as labels somewhere.
+    assert 'site="north"' in text and 'site="south"' in text
+
+
+GOLDEN_SCRAPE = """\
+# HELP demo_jobs_total Jobs processed
+# TYPE demo_jobs_total counter
+demo_jobs_total{site="north"} 3.0
+demo_jobs_total{site="south"} 1.0
+# HELP demo_queue_depth Requests waiting
+# TYPE demo_queue_depth gauge
+demo_queue_depth 2.0
+# HELP demo_wait_seconds Queue wait time
+# TYPE demo_wait_seconds histogram
+demo_wait_seconds_bucket{lab="vision",le="1.0"} 1
+demo_wait_seconds_bucket{lab="vision",le="10.0"} 2
+demo_wait_seconds_bucket{lab="vision",le="+Inf"} 3
+demo_wait_seconds_sum{lab="vision"} 105.5
+demo_wait_seconds_count{lab="vision"} 3"""
+
+
+def test_golden_prometheus_text_fixture():
+    """The exposition format itself, pinned byte-for-byte: family
+    ordering (sorted), label rendering (sorted, quoted), float
+    formatting, histogram suffix rows."""
+    reg = MetricRegistry()
+    jobs = reg.counter("demo_jobs_total", "Jobs processed")
+    jobs.inc(3, site="north")
+    jobs.inc(1, site="south")
+    reg.gauge("demo_queue_depth", "Requests waiting").set(2)
+    wait = reg.histogram("demo_wait_seconds", "Queue wait time",
+                         buckets=(1.0, 10.0))
+    wait.observe(0.5, lab="vision")
+    wait.observe(5.0, lab="vision")
+    wait.observe(100.0, lab="vision")
+    assert reg.expose() == GOLDEN_SCRAPE

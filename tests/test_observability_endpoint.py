@@ -1,0 +1,205 @@
+"""Fleet collector and the live status endpoint, over real HTTP."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.federation import FederatedDeployment
+from repro.gpu import RTX_3090, RTX_4090
+from repro.observability import (
+    PROMETHEUS_CONTENT_TYPE,
+    FleetCollector,
+    KernelProfile,
+    StatusEndpoint,
+)
+from repro.units import HOUR
+from repro.workloads import RESNET50, next_job_id
+from repro.workloads.training import TrainingJobSpec
+
+
+def build_fleet(trace=True, hooks=None):
+    """Two campuses, jobs crossing the WAN, run for a few sim-hours."""
+    fed = FederatedDeployment(seed=9, trace=trace, hooks=hooks)
+    north = fed.add_campus("north")
+    south = fed.add_campus("south")
+    fed.connect("north", "south")
+    north.platform.add_provider("ws1", [RTX_3090], lab="vision")
+    south.platform.add_provider("farm", [RTX_4090] * 2, lab="infra")
+    for _ in range(3):
+        north.platform.submit_job(TrainingJobSpec(
+            job_id=next_job_id(), model=RESNET50,
+            total_compute=0.5 * HOUR, lab="vision"))
+    fed.run(until=4 * HOUR)
+    return fed
+
+
+def get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+# -- collector -------------------------------------------------------------
+
+def test_collect_has_campus_federation_and_wan_families():
+    fed = build_fleet()
+    collector = FleetCollector(fed)
+    reg = collector.collect()
+    for family in (
+        "fleet_sim_time_seconds", "fleet_sites", "fleet_gpu_utilization",
+        "campus_jobs_running", "campus_gpu_utilization",
+        "campus_nodes_registered",
+        "federation_forwarded_out_total", "federation_forwarded_in_total",
+        "ledger_credit_balance_gpu_hours",
+        "wan_link_bytes_total", "wan_link_up",
+        "gpu_utilization",  # node-exporter family, folded in
+        "trace_spans", "trace_orphan_spans",
+    ):
+        assert family in reg.names, family
+
+
+def test_per_campus_labels_and_fleet_rollup():
+    fed = build_fleet()
+    reg = FleetCollector(fed).collect()
+    fwd = reg.get("federation_forwarded_out_total")
+    assert fwd.value(site="north") > 0
+    assert fwd.value(site="south") == 0
+    assert reg.get("fleet_sites").value() == 2
+    # Node families carry both the node labels and the campus label.
+    util = reg.get("gpu_utilization")
+    samples = list(util.samples())
+    assert samples
+    for _name, labels, _value in samples:
+        assert dict(labels)["site"] in {"north", "south"}
+
+
+def test_node_exporters_cached_and_survive_departure():
+    fed = build_fleet()
+    collector = FleetCollector(fed)
+    collector.collect()
+    first = dict(collector._exporters)
+    north = fed.site("north")
+    north.platform.agents["ws1"].emergency_departure()
+    fed.run(until=fed.env.now + 60.0)
+    # Scraping a fleet with a departed node must not raise, and the
+    # cached exporter objects persist (counter cursors stay monotonic).
+    reg = collector.collect()
+    assert collector._exporters == first
+    # The departed workstation still exposes its last-known hardware
+    # series; its workload was reclaimed by the coordinator.
+    assert reg.get("gpu_utilization").samples()
+    assert reg.get("campus_jobs_running").value(site="north") == 0
+
+
+def test_collect_is_a_pure_read():
+    fed = build_fleet()
+    collector = FleetCollector(fed)
+    before_now = fed.env.now
+    before_events = sum(handle.platform.events.emitted
+                       for handle in fed.sites.values())
+    for _ in range(3):
+        collector.collect()
+        collector.status()
+        collector.expose()
+    assert fed.env.now == before_now
+    after_events = sum(handle.platform.events.emitted
+                      for handle in fed.sites.values())
+    assert after_events == before_events
+    # expose() is itself a scrape; status() is not.
+    assert collector.scrapes == 6
+
+
+def test_status_document_shape():
+    fed = build_fleet(hooks=KernelProfile())
+    status = FleetCollector(fed).status()
+    assert set(status["sites"]) == {"north", "south"}
+    north = status["sites"]["north"]
+    assert north["forwarded_out"] > 0
+    assert status["wan"]["links"]
+    assert status["unresolved"] == 0
+    assert status["traces"]["orphan_spans"] == 0
+    assert status["kernel"]["events_dispatched"] > 0
+    json.dumps(status)  # must be JSON-serializable as-is
+
+
+def test_kernel_profile_families_reach_fleet_scrape():
+    fed = build_fleet(hooks=KernelProfile())
+    text = FleetCollector(fed).expose()
+    assert "sim_events_dispatched_total" in text
+    assert "flow_reallocations_total" in text
+
+
+# -- endpoint --------------------------------------------------------------
+
+@pytest.fixture()
+def served():
+    fed = build_fleet()
+    endpoint = StatusEndpoint(FleetCollector(fed))
+    url = endpoint.start()
+    yield fed, url
+    endpoint.stop()
+
+
+def test_metrics_route(served):
+    fed, url = served
+    code, headers, body = get(url + "/metrics")
+    assert code == 200
+    assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+    assert "# TYPE campus_jobs_running gauge" in body
+    assert "# TYPE federation_forwarded_out_total counter" in body
+    assert 'site="north"' in body and 'site="south"' in body
+    assert body.endswith("\n")
+
+
+def test_status_route(served):
+    fed, url = served
+    code, headers, body = get(url + "/status")
+    assert code == 200
+    document = json.loads(body)
+    assert document["sim_time"] == fed.env.now
+    assert set(document["sites"]) == {"north", "south"}
+
+
+def test_traces_routes(served):
+    fed, url = served
+    _code, _headers, body = get(url + "/traces")
+    index = json.loads(body)
+    assert index["tracing"] is True
+    assert index["traces"]
+    assert all(row["orphans"] == 0 for row in index["traces"])
+    trace_id = index["traces"][0]["trace_id"]
+    _code, _headers, body = get(f"{url}/traces/{trace_id}")
+    document = json.loads(body)
+    assert document["trace_id"] == trace_id
+    assert document["tree"][0]["name"] in {"job", "session"}
+    _code, _headers, body = get(f"{url}/traces/{trace_id}/chrome")
+    chrome = json.loads(body)
+    assert chrome["traceEvents"]
+
+
+def test_unknown_routes_are_404(served):
+    fed, url = served
+    for path in ("/nope", "/traces/job-does-not-exist"):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(url + path)
+        assert err.value.code == 404
+
+
+def test_tracing_disabled_trace_routes(served=None):
+    fed = build_fleet(trace=False)
+    with StatusEndpoint(FleetCollector(fed)) as endpoint:
+        _code, _headers, body = get(endpoint.url + "/traces")
+        assert json.loads(body) == {"tracing": False, "traces": []}
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(endpoint.url + "/traces/anything")
+        assert err.value.code == 404
+
+
+def test_endpoint_restart_and_ephemeral_ports():
+    fed = build_fleet(trace=False)
+    endpoint = StatusEndpoint(FleetCollector(fed))
+    first = endpoint.start()
+    assert endpoint.start() == first  # idempotent while running
+    endpoint.stop()
+    endpoint.stop()  # idempotent when already stopped

@@ -22,6 +22,11 @@ run) collapses below half of the committed baseline's speedup — the
 CI perf-smoke gate.  Gating on the ratio rather than absolute
 wall-clock keeps the gate meaningful across machines of different
 speeds: raw seconds in the baseline are informational only.
+
+The same check also gates the observability layer's "near-zero when
+disabled" promise: attaching inert :class:`NoopHooks` to the kernel
+must cost under :data:`HOOKS_OVERHEAD_MAX` (3 %) on the churn
+microbench, measured as a best-of-N interleaved A/B within the run.
 """
 
 from __future__ import annotations
@@ -40,6 +45,48 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 #: vs reference on the same machine) drops below the committed
 #: baseline's speedup divided by this factor.
 REGRESSION_FACTOR = 2.0
+
+#: Attaching :class:`~repro.observability.hooks.NoopHooks` must not
+#: slow the churn microbench by more than this fraction — the
+#: observability layer's "zero cost when disabled" promise, gated in
+#: the CI perf-smoke job.
+HOOKS_OVERHEAD_MAX = 0.03
+
+#: Repetitions for the hooks-overhead A/B; the minimum churn wall of
+#: each arm is compared, which strips scheduler noise far better than
+#: means at these sub-second scales.
+HOOKS_OVERHEAD_REPS = 3
+
+
+def measure_hooks_overhead(micro_params: dict) -> dict:
+    """A/B the churn microbench: ``hooks=None`` vs ``NoopHooks``.
+
+    Returns both arms' best-of-N churn wall-clock and the relative
+    overhead of having inert hooks attached.
+    """
+    from bench_perf_core import run_flow_churn
+    from repro.network import FlowNetwork
+    from repro.observability import NoopHooks
+
+    base_walls, hooked_walls = [], []
+    for _ in range(HOOKS_OVERHEAD_REPS):
+        # Interleave the arms so drift (thermal, noisy neighbours)
+        # hits both equally.
+        base_walls.append(run_flow_churn(
+            FlowNetwork, **micro_params)["churn_wall_seconds"])
+        hooked_walls.append(run_flow_churn(
+            FlowNetwork, hooks=NoopHooks(), **micro_params)
+            ["churn_wall_seconds"])
+    base = min(base_walls)
+    hooked = min(hooked_walls)
+    overhead = (hooked - base) / base if base else 0.0
+    return {
+        "reps": HOOKS_OVERHEAD_REPS,
+        "disabled_churn_wall_seconds": base,
+        "noop_hooks_churn_wall_seconds": hooked,
+        "overhead_fraction": round(overhead, 4),
+        "gate_fraction": HOOKS_OVERHEAD_MAX,
+    }
 
 
 def run_suite(quick: bool) -> dict:
@@ -69,6 +116,14 @@ def run_suite(quick: bool) -> dict:
                           / optimized["total_wall_seconds"], 2)
     print(f"[perf]   churn speedup: {speedup}x (total {total_speedup}x)",
           flush=True)
+    print(f"[perf] hooks overhead A/B ({HOOKS_OVERHEAD_REPS} reps): "
+          f"NoopHooks vs hooks=None", flush=True)
+    hooks_overhead = measure_hooks_overhead(micro_params)
+    print(f"[perf]   disabled "
+          f"{hooks_overhead['disabled_churn_wall_seconds']}s, NoopHooks "
+          f"{hooks_overhead['noop_hooks_churn_wall_seconds']}s -> "
+          f"{hooks_overhead['overhead_fraction'] * 100:.2f}% overhead "
+          f"(gate < {HOOKS_OVERHEAD_MAX * 100:.0f}%)", flush=True)
     print(f"[perf] relay chaos macro: {macro_params}", flush=True)
     macro = run_relay_chaos(**macro_params)
     print(f"[perf]   {macro['wall_seconds']}s wall, "
@@ -81,6 +136,7 @@ def run_suite(quick: bool) -> dict:
             "churn_speedup": speedup,
             "total_speedup": total_speedup,
         },
+        "hooks_overhead": hooks_overhead,
         "macro_relay_chaos": macro,
     }
 
@@ -100,6 +156,14 @@ def check_regression(results: dict, baseline_path: Path, mode: str) -> int:
     if after < gate:
         print("[perf] REGRESSION: the optimized engine's speedup over "
               f"the reference collapsed from {before}x to {after}x")
+        return 1
+    overhead = results["hooks_overhead"]["overhead_fraction"]
+    print(f"[perf] NoopHooks overhead: {overhead * 100:.2f}% "
+          f"(gate: < {HOOKS_OVERHEAD_MAX * 100:.0f}%)")
+    if overhead >= HOOKS_OVERHEAD_MAX:
+        print("[perf] REGRESSION: attaching inert kernel hooks costs "
+              f"{overhead * 100:.2f}% on the churn microbench — the "
+              "hooks fast path is no longer near-free")
         return 1
     return 0
 
