@@ -73,6 +73,7 @@ class ProviderAgent:
         self.auth_token: str = ""
         self._executions: Dict[str, object] = {}  # job/session id → executor
         self._heartbeat_running = False
+        self._register_retrying = False
         #: Accounting-only hint read by the coordinator after detection
         #: (the wire carries nothing during a silent departure).
         self.last_departure_kind: str = "emergency"
@@ -125,9 +126,33 @@ class ProviderAgent:
                 self.kill_switch.rejoin()
                 if self.config.heartbeat_mode == "rpc":
                     self._start_heartbeats()
+            else:
+                # Coordinator unreachable (e.g. crashed mid-failover):
+                # an unregistered node is permanent capacity loss, so
+                # keep trying until an endpoint answers.
+                self.auth_token = ""  # any old token is void now
+                self._schedule_register_retry()
 
         call.callbacks.append(on_registered)
         return call
+
+    def _schedule_register_retry(self) -> None:
+        if self._register_retrying:
+            return
+        self._register_retrying = True
+        self.env.process(self._register_retry(),
+                         name=f"register-retry:{self.hostname}")
+
+    def _register_retry(self) -> Generator:
+        yield self.env.timeout(self.config.heartbeat_interval)
+        self._register_retrying = False
+        if self.kill_switch.is_departed:
+            return  # departed meanwhile; reconnect() re-registers
+        if not self.lan.is_connected(self.hostname):
+            return
+        if self.auth_token:
+            return  # a concurrent register already succeeded
+        self.register()
 
     def _start_heartbeats(self) -> None:
         if self._heartbeat_running:
@@ -301,11 +326,26 @@ class ProviderAgent:
         return {"accepted": True}
 
     def _handle_status(self, payload: dict) -> dict:
-        """Resource advertisement + availability snapshot."""
+        """Resource advertisement + availability snapshot.
+
+        ``executions`` lists each live workload with its GPU — what a
+        backup coordinator resyncing after a takeover needs to tell an
+        adopted placement from a lost one.
+        """
         return {
             "availability": self.kill_switch.state.value,
             "workloads": self.active_workloads,
             "node": self.node.describe(),
+            "executions": [
+                {
+                    "workload_id": workload_id,
+                    "kind": ("training"
+                             if isinstance(executor, TrainingExecutor)
+                             else "session"),
+                    "gpu_uuid": executor.gpu.uuid,
+                }
+                for workload_id, executor in self._executions.items()
+            ],
         }
 
     def _notify(self, method: str, payload: dict) -> Generator:

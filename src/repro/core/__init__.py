@@ -1,17 +1,21 @@
 """GPUnion core: coordinator, schedulers, registry, platform facade."""
 
 from .autosubmit import ResourceEstimate, auto_submit, estimate_resources
+from .failover import CoordinatorHA, FailoverConfig
 from .partition import (
+    ControlPlaneCrash,
+    ControlPlaneSchedule,
     LinkOutage,
     ModelLayer,
     PartitionSchedule,
     PipelinePlan,
     StageAssignment,
+    inject_control_plane_failures,
     inject_partitions,
     make_transformer_layers,
     partition_pipeline,
 )
-from .coordinator import Coordinator, RunningWorkload
+from .coordinator import Coordinator, DispatchLease, RunningWorkload
 from .heartbeat import HeartbeatMonitor
 from .messages import DispatchResult, Placement, RequestKind, ResourceRequest
 from .migration import (
@@ -40,15 +44,21 @@ __all__ = [
     "auto_submit",
     "estimate_resources",
     "ResourceEstimate",
+    "ControlPlaneCrash",
+    "ControlPlaneSchedule",
     "LinkOutage",
     "ModelLayer",
     "PartitionSchedule",
     "PipelinePlan",
     "StageAssignment",
+    "inject_control_plane_failures",
     "inject_partitions",
     "make_transformer_layers",
     "partition_pipeline",
     "Coordinator",
+    "CoordinatorHA",
+    "DispatchLease",
+    "FailoverConfig",
     "RunningWorkload",
     "GPUnionPlatform",
     "COMMON_IMAGES",

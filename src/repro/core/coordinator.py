@@ -31,7 +31,7 @@ from ..config import PlatformConfig
 from ..errors import NetworkError
 from ..monitoring import EventLog, SystemDatabase
 from ..network import CampusLAN, FlowNetwork, RpcLayer
-from ..sim import Environment
+from ..sim import Environment, Interrupt, Process
 from ..storage import CheckpointStore
 from ..workloads.interactive import (
     InteractiveSessionSpec,
@@ -68,6 +68,25 @@ class RunningWorkload:
     #: The open ``placement`` span covering this workload's stay on
     #: its GPU (``None`` when tracing is off).
     trace: Optional["TraceContext"] = None
+
+
+@dataclass
+class DispatchLease:
+    """Durable record of one in-flight dispatch attempt.
+
+    Written to the shared database's books the moment the dispatch
+    loop picks a request up and updated synchronously around every
+    reservation, so a backup coordinator taking over mid-dispatch can
+    tell exactly which GPU memory is spoken for and whether the
+    placement RPC may have landed.  Cleared only when the dispatch
+    attempt finishes normally — a crash leaves the lease behind for
+    :meth:`Coordinator.resync` to resolve.
+    """
+
+    request: ResourceRequest
+    node_id: Optional[str] = None
+    gpu_uuid: Optional[str] = None
+    reserved_bytes: float = 0.0
 
 
 class Coordinator:
@@ -128,6 +147,19 @@ class Coordinator:
         self._parked: List[ResourceRequest] = []
         self._migrating_back: Set[str] = set()
         self._dispatching: Set[str] = set()
+        #: request_id → :class:`DispatchLease` for every dispatch
+        #: attempt between queue pop and bookkeeping completion.  Lives
+        #: in the shared database like the queue itself (§3.5), so it
+        #: survives a coordinator process crash.
+        self._dispatch_leases: Dict[str, DispatchLease] = {}
+        #: Control-plane liveness: ``True`` between :meth:`crash` and
+        #: :meth:`restore`.  Always ``False`` on the default path.
+        self._crashed = False
+        #: Failover epoch — bumped by a :class:`~repro.core.failover.
+        #: CoordinatorHA` on every takeover; 1 means "original primary".
+        self.epoch = 1
+        self._dispatch_proc: Optional[Process] = None
+        self._retry_proc: Optional[Process] = None
         self._departure_hints: Dict[str, str] = {}
         #: job_id → (origin campus, forward hops, relay path) for work
         #: forwarded here by a federation gateway; keeps provenance
@@ -142,10 +174,15 @@ class Coordinator:
         self._bind_endpoint()
         if config.heartbeat_mode == "rpc":
             self.monitor.start_checker()
-        self.env.process(self._dispatch_loop(), name="dispatch-loop")
-        self.env.process(self._retry_loop(), name="dispatch-retry")
+        self._start_loops()
 
     # -- wiring ------------------------------------------------------------
+
+    def _start_loops(self) -> None:
+        self._dispatch_proc = self.env.process(self._dispatch_loop(),
+                                               name="dispatch-loop")
+        self._retry_proc = self.env.process(self._retry_loop(),
+                                            name="dispatch-retry")
 
     def _bind_endpoint(self) -> None:
         endpoint = self.rpc.bind(self.hostname)
@@ -372,12 +409,15 @@ class Coordinator:
 
     def _on_node_failure(self, record: NodeRecord) -> None:
         kind = self._departure_hints.pop(record.node_id, "emergency")
-        self.predictor.observe_interruption(record.node_id)
+        detected = self.monitor.detection_time(record.node_id)
+        self.predictor.observe_interruption(record.node_id, at=detected)
         self.db.set_node_status(record.node_id, "unavailable")
         self.events.emit("node-failed", node=record.node_id, cause=kind)
-        self._reclaim_node_workloads(record.node_id, kind=kind)
+        self._reclaim_node_workloads(record.node_id, kind=kind,
+                                     detected_at=detected)
 
-    def _reclaim_node_workloads(self, node_id: str, kind: str) -> None:
+    def _reclaim_node_workloads(self, node_id: str, kind: str,
+                                detected_at: Optional[float] = None) -> None:
         doomed = [
             (workload_id, running)
             for workload_id, running in self._running.items()
@@ -395,8 +435,10 @@ class Coordinator:
                 job = running.job
                 # Silent departures happened one detection delay before
                 # the coordinator learns of them; downtime accounting
-                # starts at the true interruption instant.
-                when = self.env.now
+                # starts at the true interruption instant.  Detections
+                # replayed after a coordinator outage backdate further,
+                # to when the detection actually fired.
+                when = self.env.now if detected_at is None else detected_at
                 if kind in ("emergency", "temporary"):
                     when -= self.config.failure_detection_delay
                 job.record_interruption(at=when, kind=kind,
@@ -531,12 +573,25 @@ class Coordinator:
 
     def _dispatch_loop(self) -> Generator:
         while True:
-            request = yield self.queue.pop()
-            yield from self._dispatch(request)
+            pop = self.queue.pop()
+            try:
+                request = yield pop
+            except Interrupt:
+                # Crash while blocked on the queue: withdraw the pop so
+                # a later push cannot deliver into this dead process.
+                self.queue.cancel_pop(pop)
+                return
+            try:
+                yield from self._dispatch(request)
+            except Interrupt:
+                return  # crash mid-dispatch; the lease survives for resync
 
     def _retry_loop(self) -> Generator:
         while True:
-            yield self.env.timeout(self.config.dispatch_retry_interval)
+            try:
+                yield self.env.timeout(self.config.dispatch_retry_interval)
+            except Interrupt:
+                return
             self._release_parked()
 
     def _release_parked(self) -> None:
@@ -554,12 +609,19 @@ class Coordinator:
 
     def _dispatch(self, request: ResourceRequest) -> Generator:
         self._dispatching.add(request.request_id)
+        lease = DispatchLease(request=request)
+        self._dispatch_leases[request.request_id] = lease
         try:
-            yield from self._dispatch_inner(request)
+            yield from self._dispatch_inner(request, lease)
         finally:
+            # Volatile RPC-in-flight marker always clears; the durable
+            # lease is dropped *after* the finally so an Interrupt
+            # (coordinator crash) leaves it behind for resync.
             self._dispatching.discard(request.request_id)
+        del self._dispatch_leases[request.request_id]
 
-    def _dispatch_inner(self, request: ResourceRequest) -> Generator:
+    def _dispatch_inner(self, request: ResourceRequest,
+                        lease: DispatchLease) -> Generator:
         tried: Set[str] = set(request.exclude_nodes)
         while True:
             candidates = [
@@ -588,12 +650,18 @@ class Coordinator:
                 reserve = gpu_view.memory_free
             self.registry.reserve_gpu(placement.node_id, placement.gpu_uuid,
                                       reserve)
+            lease.node_id = placement.node_id
+            lease.gpu_uuid = placement.gpu_uuid
+            lease.reserved_bytes = reserve
             accepted = yield from self._send_dispatch(request, placement,
                                                       reserve)
             if accepted:
                 return
             self.registry.release_gpu(placement.node_id, placement.gpu_uuid,
                                       reserve)
+            lease.node_id = None
+            lease.gpu_uuid = None
+            lease.reserved_bytes = 0.0
             tried.add(placement.node_id)
 
     def _send_dispatch(self, request: ResourceRequest, placement: Placement,
@@ -684,6 +752,220 @@ class Coordinator:
         self.events.emit("session-denied",
                          session_id=request.session.session_id)
         self.finish_trace(request.session.session_id, "denied")
+
+    # -- control-plane failover ------------------------------------------------------------
+
+    @property
+    def is_crashed(self) -> bool:
+        """Whether the coordinator process is currently down."""
+        return self._crashed
+
+    def crash(self) -> None:
+        """Kill the coordinator process (control-plane chaos hook).
+
+        The shared database survives — registry, queue, job states,
+        placements, and dispatch leases are durable per §3.5 ("a
+        priority queue stored in the central database").  What dies is
+        the *process*: the API endpoint unbinds (agents see RPC
+        errors), the dispatch/retry loops stop, in-flight dispatch
+        RPCs are orphaned (their leases stay behind), and failure
+        detection stops acting until a replica takes over.
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        self.rpc.unbind(self.hostname)
+        self.monitor.suspend()
+        for proc in (self._dispatch_proc, self._retry_proc):
+            if proc is not None and proc.is_alive:
+                proc.interrupt("coordinator-crash")
+        self._dispatch_proc = None
+        self._retry_proc = None
+        self._dispatching.clear()  # volatile: RPC futures died with us
+        self.events.emit("coordinator-crashed", host=self.hostname)
+
+    def restore(self) -> None:
+        """Bring a coordinator process back up over the shared state.
+
+        Used both for a backup replica taking over and for the primary
+        restarting headless.  Rebinds the endpoint, resumes failure
+        detection (replaying detections that fired while down), and
+        restarts the dispatch loops.  Callers should then drive
+        :meth:`resync` to reconcile the books against the fleet.
+        """
+        if not self._crashed:
+            return
+        self._crashed = False
+        self._bind_endpoint()
+        self.monitor.resume()
+        self._start_loops()
+        self.events.emit("coordinator-restored", host=self.hostname,
+                         epoch=self.epoch)
+
+    def resync(self) -> Generator:
+        """Reconcile the books against the live fleet after a takeover.
+
+        Probes every reachable node's ``status`` API and resolves the
+        three kinds of state a crash can orphan:
+
+        * ``_running`` entries whose executor finished while we were
+          down (the agent's update RPC died against the dead
+          endpoint) — finalized from the shared job state, so
+          completions are never lost;
+        * dispatch leases whose placement RPC landed but whose
+          acceptance reply died — the workload is *adopted* (it keeps
+          running; no second dispatch, preserving exactly-once);
+        * leases and placements that never landed or whose node died —
+          reservations released and the work requeued.
+        """
+        active: Dict[str, tuple] = {}
+        for record in list(self.registry.all_records()):
+            if record.status in (NodeStatus.UNAVAILABLE, NodeStatus.DEPARTED):
+                continue
+            try:
+                reply = yield self.rpc.call(
+                    self.hostname, record.hostname, "status", {},
+                    timeout=self.config.heartbeat_interval,
+                )
+            except NetworkError:
+                self.monitor.declare_failed(record.node_id)
+                continue
+            for entry in reply.get("executions", []):
+                active[entry["workload_id"]] = (record.node_id,
+                                                entry.get("gpu_uuid"))
+        touched = self._resync_running(active)
+        touched += self._resync_leases(active)
+        if self.tracer is not None:
+            # Every workload alive across the leader change carries the
+            # new epoch in its tree: the ones resync had to adopt,
+            # finalize, or requeue (touched) *and* the ones that kept
+            # running undisturbed — a trace reader must be able to tell
+            # which term each later span ran under.
+            for workload_id in sorted(set(touched) | set(self._running)):
+                self.tracer.event("failover-epoch",
+                                  self._trace_ctx.get(workload_id),
+                                  site=self.trace_site, epoch=self.epoch,
+                                  workload=workload_id)
+        self._release_parked()
+        self.events.emit("coordinator-resynced", host=self.hostname,
+                         epoch=self.epoch, reconciled=len(touched))
+
+    def _resync_running(self, active: Dict[str, tuple]) -> List[str]:
+        """Resolve placements whose executor is gone (or finished)."""
+        touched: List[str] = []
+        for workload_id, running in list(self._running.items()):
+            where = active.get(workload_id)
+            if where is not None and where[0] == running.node_id:
+                continue  # still running where the books say
+            del self._running[workload_id]
+            self.registry.release_gpu(running.node_id, running.gpu_uuid,
+                                      running.reserved_bytes)
+            self.db.close_allocation(running.allocation_id, self.env.now,
+                                     "failover-resync")
+            if self.tracer is not None:
+                self.tracer.finish(running.trace, status="failover-resync")
+            if running.kind is RequestKind.TRAINING:
+                job = running.job
+                if job.is_done or job.status is JobStatus.COMPLETED:
+                    # Completed while we were down; the executor wrote
+                    # the shared job state even though its update RPC
+                    # never reached the dead endpoint.
+                    self.events.emit("job-completed", job_id=workload_id,
+                                     node=running.hostname)
+                    self.finish_trace(workload_id, "completed")
+                elif job.status is JobStatus.CANCELLED:
+                    self.events.emit("job-cancelled", job_id=workload_id)
+                    self.finish_trace(workload_id, "cancelled")
+                else:
+                    job.record_interruption(at=self.env.now,
+                                            kind="emergency",
+                                            node=running.hostname)
+                    job.status = JobStatus.MIGRATING
+                    self.events.emit("job-displaced", job_id=workload_id,
+                                     node=running.node_id, cause="failover")
+                    self._requeue_job(job, reason="failover")
+            else:
+                self._close_session(running, SessionOutcome.INTERRUPTED)
+            touched.append(workload_id)
+        return touched
+
+    def _resync_leases(self, active: Dict[str, tuple]) -> List[str]:
+        """Resolve dispatch attempts orphaned mid-RPC by the crash."""
+        touched: List[str] = []
+        for workload_id, lease in list(self._dispatch_leases.items()):
+            del self._dispatch_leases[workload_id]
+            touched.append(workload_id)
+            request = lease.request
+            where = active.get(workload_id)
+            if (lease.node_id is not None and where is not None
+                    and where[0] == lease.node_id):
+                self._adopt_lease(workload_id, lease)
+                continue
+            if lease.node_id is not None:
+                self.registry.release_gpu(lease.node_id, lease.gpu_uuid,
+                                          lease.reserved_bytes)
+            job = (self.jobs.get(workload_id)
+                   if request.kind is RequestKind.TRAINING else None)
+            if job is not None and (job.is_done
+                                    or job.status is JobStatus.COMPLETED):
+                # Dispatched, ran to completion, and the executor exited
+                # — all inside the outage window.
+                self.events.emit("job-completed", job_id=workload_id)
+                self.finish_trace(workload_id, "completed")
+            elif job is not None and job.status is JobStatus.CANCELLED:
+                self.finish_trace(workload_id, "cancelled")
+            elif job is not None and job.status is JobStatus.RUNNING:
+                # It started somewhere and died with its node during the
+                # outage; migrate like any other displaced job.
+                job.record_interruption(at=self.env.now, kind="emergency",
+                                        node=job.current_node or "unknown")
+                job.status = JobStatus.MIGRATING
+                self._requeue_job(job, reason="failover")
+            else:
+                # Never started: plain dispatch retry, no migration
+                # accounting.
+                self.queue.push(request)
+        return touched
+
+    def _adopt_lease(self, workload_id: str, lease: DispatchLease) -> None:
+        """Adopt a workload whose acceptance reply died with the old
+        primary: it is running exactly where the lease says."""
+        request = lease.request
+        record = self.registry.get(lease.node_id)
+        allocation_id = self.db.record_allocation(
+            workload_id, lease.node_id, lease.gpu_uuid, self.env.now)
+        trace = None
+        if self.tracer is not None and request.trace is not None:
+            trace = self.tracer.start(
+                "placement", parent=request.trace, site=self.trace_site,
+                node=lease.node_id, hostname=record.hostname,
+                gpu=lease.gpu_uuid, restore=request.restore, adopted=True)
+        self._running[workload_id] = RunningWorkload(
+            kind=request.kind,
+            node_id=lease.node_id,
+            hostname=record.hostname,
+            gpu_uuid=lease.gpu_uuid,
+            reserved_bytes=lease.reserved_bytes,
+            allocation_id=allocation_id,
+            request=request,
+            job=self.jobs.get(workload_id),
+            session=request.session,
+            trace=trace,
+        )
+        if request.kind is RequestKind.TRAINING:
+            self.events.emit("job-adopted", job_id=workload_id,
+                             node=lease.node_id, epoch=self.epoch)
+        else:
+            self.sessions.append(SessionRecord(
+                spec=request.session,
+                requested_at=self._session_requested_at.get(
+                    request.session.session_id, self.env.now),
+                outcome=SessionOutcome.SERVED,
+                served_on=record.hostname,
+                started_at=self.env.now,
+            ))
+            self.events.emit("session-adopted",
+                             session_id=workload_id, node=lease.node_id)
 
     # -- migrate-back ----------------------------------------------------------------------
 

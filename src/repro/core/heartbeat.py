@@ -45,6 +45,13 @@ class HeartbeatMonitor:
         self.on_failure = on_failure
         self._generations: Dict[str, int] = {}
         self._checker_running = False
+        self._suspended = False
+        #: node_id → instant its detection fired while suspended.
+        self._missed: Dict[str, float] = {}
+        #: node_id → instant the detection that declared it actually
+        #: fired (equals the declaration instant except for detections
+        #: replayed after a coordinator outage).
+        self._detected_at: Dict[str, float] = {}
 
     # -- common --------------------------------------------------------------
 
@@ -58,15 +65,68 @@ class HeartbeatMonitor:
         """Cancel pending detection: the node is talking to us again."""
         self._generations[node_id] = self._generations.get(node_id, 0) + 1
 
-    def _declare_failed(self, node_id: str) -> None:
+    def _declare_failed(self, node_id: str,
+                        at: Optional[float] = None) -> None:
+        if self._suspended:
+            # The coordinator process is down: it cannot act on the
+            # failure now.  Remember when it fired so the takeover can
+            # replay it with honest timing.
+            self._missed.setdefault(node_id, self.env.now)
+            return
         try:
             record = self.registry.get(node_id)
         except KeyError:
             return
         if record.status in (NodeStatus.UNAVAILABLE, NodeStatus.DEPARTED):
             return
+        self._detected_at[node_id] = self.env.now if at is None else at
         self.registry.set_status(node_id, NodeStatus.UNAVAILABLE)
         self.on_failure(record)
+
+    def declare_failed(self, node_id: str) -> None:
+        """Mark ``node_id`` failed now (idempotent; used by resync when
+        a status probe finds a node unreachable)."""
+        self._declare_failed(node_id)
+
+    def detection_time(self, node_id: str) -> float:
+        """When the detection that declared ``node_id`` failed fired.
+
+        Normally the declaration instant itself; earlier than "now"
+        only for detections replayed after a coordinator outage —
+        downtime and MTBF accounting use this instead of the replay
+        instant.
+        """
+        return self._detected_at.get(node_id, self.env.now)
+
+    # -- control-plane failover ----------------------------------------------
+
+    def suspend(self) -> None:
+        """Stop acting on detections: the owning coordinator crashed.
+
+        Detections that fire while suspended are queued in ``_missed``
+        instead of dispatched, so a backup taking over later still
+        learns about nodes that died during the outage window.
+        """
+        self._suspended = True
+
+    def resume(self) -> None:
+        """Re-arm detection after a takeover/restart.
+
+        Replays detections that fired during the outage and, in rpc
+        mode, refreshes every live node's staleness clock so the first
+        post-takeover scan doesn't mass-declare nodes that were simply
+        unable to reach a dead endpoint.
+        """
+        self._suspended = False
+        if self.config.heartbeat_mode == "rpc":
+            for record in self.registry.all_records():
+                if record.status in (NodeStatus.UNAVAILABLE,
+                                     NodeStatus.DEPARTED):
+                    continue
+                self.registry.touch_heartbeat(record.node_id)
+        missed, self._missed = self._missed, {}
+        for node_id in sorted(missed):
+            self._declare_failed(node_id, at=missed[node_id])
 
     # -- virtual mode -----------------------------------------------------------
 
@@ -104,6 +164,11 @@ class HeartbeatMonitor:
         timeout = self.config.failure_detection_delay
         while True:
             yield self.env.timeout(self.config.heartbeat_interval)
+            if self._suspended:
+                # Staleness while the coordinator is down is an artifact
+                # of the dead endpoint, not of dead nodes; ``resume``
+                # refreshes the clocks before scanning again.
+                continue
             for record in self.registry.all_records():
                 if record.status in (NodeStatus.UNAVAILABLE, NodeStatus.DEPARTED):
                     continue

@@ -343,3 +343,109 @@ def _drive_outage(env, wan, outage):
     wan.sever(outage.site_a, outage.site_b)
     yield env.timeout(outage.duration)
     wan.heal(outage.site_a, outage.site_b)
+
+
+# -- control-plane crashes: process failures as first-class events --------
+
+
+@dataclass(frozen=True)
+class ControlPlaneCrash:
+    """One crash/restart window for a site's control-plane process.
+
+    ``component`` picks the victim: ``"coordinator"`` kills the
+    campus's leading coordinator replica (its HA pair takes over after
+    failure detection, or the campus runs headless until restart);
+    ``"gateway"`` kills the federation gateway (the campus drops off
+    the WAN and recovers its books from the persisted snapshot).
+    """
+
+    site: str
+    component: str  # "coordinator" | "gateway"
+    start: float
+    downtime: float
+
+    def __post_init__(self):
+        if self.component not in ("coordinator", "gateway"):
+            raise ValueError(
+                "component must be 'coordinator' or 'gateway'")
+        if self.start < 0:
+            raise ValueError("crash start must be >= 0")
+        if self.downtime <= 0:
+            raise ValueError("crash downtime must be positive")
+
+    @property
+    def end(self) -> float:
+        """Simulation time the process restarts."""
+        return self.start + self.downtime
+
+
+@dataclass(frozen=True)
+class ControlPlaneSchedule:
+    """A deterministic set of :class:`ControlPlaneCrash` windows.
+
+    The control-plane sibling of :class:`PartitionSchedule`: declare
+    the failure trace up front, inject it with
+    :func:`inject_control_plane_failures`, and compose it freely with
+    link outages — chaos experiments mix both.
+    """
+
+    crashes: Tuple[ControlPlaneCrash, ...] = ()
+
+    def __post_init__(self):
+        ordered = tuple(sorted(
+            self.crashes,
+            key=lambda c: (c.start, c.site, c.component, c.downtime)))
+        object.__setattr__(self, "crashes", ordered)
+
+    @classmethod
+    def single(cls, site: str, component: str, start: float,
+               downtime: float) -> "ControlPlaneSchedule":
+        """One crash window — the deterministic regression-test shape."""
+        return cls(crashes=(
+            ControlPlaneCrash(site, component, start, downtime),))
+
+    def affecting(self, site: str) -> Tuple[ControlPlaneCrash, ...]:
+        """Crash windows hitting one site."""
+        return tuple(c for c in self.crashes if c.site == site)
+
+    @property
+    def total_downtime(self) -> float:
+        """Summed crash seconds (overlaps counted per window)."""
+        return sum(c.downtime for c in self.crashes)
+
+    def merged(self, other: "ControlPlaneSchedule") -> "ControlPlaneSchedule":
+        """Union of two schedules."""
+        return ControlPlaneSchedule(crashes=self.crashes + other.crashes)
+
+
+def inject_control_plane_failures(
+    env: Environment,
+    targets: dict,
+    schedule: ControlPlaneSchedule,
+) -> None:
+    """Drive ``schedule``'s crashes against per-site crash targets.
+
+    ``targets`` maps ``(site, component)`` to any object with
+    ``crash()`` and ``restart()`` — a
+    :class:`~repro.core.failover.CoordinatorHA` pair for coordinators,
+    a :class:`~repro.federation.gateway.FederationGateway` for
+    gateways.  Each window becomes a kill at its start and a restart
+    at its end, on the sim clock, exactly like a link outage.  Windows
+    for targets the deployment does not expose are skipped (a schedule
+    can be reused across topologies).
+    """
+    for crash in schedule.crashes:
+        target = targets.get((crash.site, crash.component))
+        if target is None:
+            continue
+        env.process(_drive_crash(env, target, crash),
+                    name=f"crash:{crash.component}:{crash.site}"
+                         f"@{crash.start:g}")
+
+
+def _drive_crash(env, target, crash):
+    if crash.start > env.now:
+        yield env.timeout(crash.start - env.now)
+    target.crash()
+    yield env.timeout(crash.downtime)
+    target.restart()

@@ -8,7 +8,7 @@ orders requests by priority class then FIFO, and supports withdrawal
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from ..sim import Environment, Event, PriorityStore
 from .messages import ResourceRequest
@@ -21,6 +21,7 @@ class DispatchQueue:
         self.env = env
         self._store = PriorityStore(env)
         self.total_enqueued = 0
+        self._pending_pops: Dict[Event, Event] = {}
 
     def __len__(self) -> int:
         return len(self._store)
@@ -34,8 +35,10 @@ class DispatchQueue:
         """Event that fires with the next request (priority order)."""
         get_event = self._store.get()
         result = self.env.event()
+        self._pending_pops[result] = get_event
 
         def unwrap(event):
+            self._pending_pops.pop(result, None)
             if event.ok:
                 _, request = event.value
                 result.succeed(request)
@@ -47,6 +50,23 @@ class DispatchQueue:
         else:
             get_event.callbacks.append(unwrap)
         return result
+
+    def cancel_pop(self, result: Event) -> None:
+        """Withdraw a pending :meth:`pop` nobody will wait on anymore.
+
+        A dispatch loop interrupted while blocked on ``pop`` must
+        cancel it: otherwise a later ``push`` would deliver the request
+        into an abandoned event and silently lose it.  If the underlying
+        get already fired but the popped request was never consumed, the
+        request goes back on the queue (``total_enqueued`` is not
+        re-counted — the work was only ever enqueued once).
+        """
+        get_event = self._pending_pops.pop(result, None)
+        if get_event is not None:
+            self._store.cancel(get_event)
+            return
+        if result.triggered and result.ok and result.value is not None:
+            self._store.put((result.value.sort_key(), result.value))
 
     def withdraw(self, request_id: str) -> Optional[ResourceRequest]:
         """Remove a pending request by workload id (None if absent)."""

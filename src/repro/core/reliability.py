@@ -55,15 +55,23 @@ class ReliabilityPredictor:
             history.downtime += self.env.now - history.down_since
             history.down_since = None
 
-    def observe_interruption(self, node_id: str) -> None:
-        """A node departed / was marked unavailable."""
+    def observe_interruption(self, node_id: str,
+                             at: Optional[float] = None) -> None:
+        """A node departed / was marked unavailable.
+
+        ``at`` backdates the observation to when the failure was
+        actually detected — a coordinator outage can delay the
+        *declaration* long past the detection, and stamping the replay
+        instant would understate downtime and inflate MTBF.
+        """
+        when = self.env.now if at is None else at
         history = self._history.setdefault(
             node_id, _NodeHistory(joined_at=self.env.now)
         )
         if history.down_since is None:
             history.interruptions += 1
-            history.down_since = self.env.now
-            history.last_interruption_at = self.env.now
+            history.down_since = when
+            history.last_interruption_at = when
 
     def observe_return(self, node_id: str) -> None:
         """A previously-unavailable node came back."""

@@ -72,6 +72,17 @@ class StorageError(GPUnionError):
     """Data store or distributed file system operation failed."""
 
 
+class SnapshotVersionError(StorageError):
+    """A persisted control-plane snapshot carries an incompatible
+    format version.
+
+    Recovery must reject it rather than guess: installing state whose
+    layout the running code misreads is how exactly-once guarantees
+    die silently.  The operator keeps the snapshot for forensics and
+    the gateway comes up cold (every delegation resolves through
+    ``forward-status`` probes instead)."""
+
+
 class NetworkError(GPUnionError):
     """A network transfer or RPC failed (peer gone, link down)."""
 

@@ -18,11 +18,14 @@ from .deployment import FederatedDeployment, SiteHandle
 from .gateway import FederationGateway
 from .ledger import CreditEntry, CreditLedger
 from .messages import (
+    GATEWAY_SNAPSHOT_VERSION,
     CapacityDigest,
     DelegationState,
     ForwardEnvelope,
+    ForwardIntent,
     ForwardOffer,
     ForwardRecord,
+    GatewaySnapshot,
 )
 from .policy import FederationConfig, ForwardingPolicy
 
@@ -36,8 +39,11 @@ __all__ = [
     "FederationConfig",
     "FederationGateway",
     "ForwardEnvelope",
+    "ForwardIntent",
     "ForwardOffer",
     "ForwardRecord",
     "ForwardingPolicy",
+    "GATEWAY_SNAPSHOT_VERSION",
+    "GatewaySnapshot",
     "SiteHandle",
 ]

@@ -23,7 +23,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..config import PlatformConfig
-from ..core.partition import PartitionSchedule, inject_partitions
+from ..core.failover import CoordinatorHA, FailoverConfig
+from ..core.partition import (
+    ControlPlaneSchedule,
+    PartitionSchedule,
+    inject_control_plane_failures,
+    inject_partitions,
+)
 from ..core.platform import GPUnionPlatform
 from ..network import (
     FlowNetwork,
@@ -36,6 +42,7 @@ from ..observability.hooks import KernelHooks
 from ..observability.trace import Tracer
 from ..sim import Environment
 from ..sim.rng import derive_seed
+from ..storage import StateVault, Volume
 from .gateway import FederationGateway
 from .ledger import CreditLedger
 from .policy import FederationConfig
@@ -81,6 +88,9 @@ class FederatedDeployment:
         self.ledger = CreditLedger()
         self.federation_config = federation_config or FederationConfig()
         self.sites: Dict[str, SiteHandle] = {}
+        #: Per-site coordinator HA pairs (populated by
+        #: :meth:`enable_failover`; empty on the default fast path).
+        self.failover: Dict[str, CoordinatorHA] = {}
 
     def add_campus(
         self,
@@ -154,6 +164,53 @@ class FederatedDeployment:
         of link outages against this federation's WAN on the shared
         clock."""
         inject_partitions(self.env, self.wan, schedule)
+
+    # -- control-plane failure injection -----------------------------------
+
+    def enable_failover(
+        self,
+        config: Optional[FailoverConfig] = None,
+    ) -> Dict[str, CoordinatorHA]:
+        """Make every campus's control plane crashable and recoverable.
+
+        Wraps each coordinator in a :class:`CoordinatorHA`
+        primary/backup pair and attaches a durable
+        :class:`~repro.storage.StateVault` to each gateway so its
+        books survive a restart.  Idempotent per site: campuses added
+        after the first call get wired by calling this again.  Without
+        this call, crash injection is a no-op and the default fast
+        path is untouched (no vault writes, no HA bookkeeping).
+        """
+        for name, handle in self.sites.items():
+            if name in self.failover:
+                continue
+            self.failover[name] = CoordinatorHA(
+                self.env, handle.platform.coordinator,
+                config=config, site=name, tracer=self.tracer)
+            volume = Volume(self.env, name=f"gateway-vault:{name}")
+            handle.gateway.attach_vault(StateVault(volume))
+        return self.failover
+
+    def crash_targets(self) -> Dict[tuple, object]:
+        """``(site, component)`` → crashable, for failure injection."""
+        targets: Dict[tuple, object] = {}
+        for name, handle in self.sites.items():
+            ha = self.failover.get(name)
+            if ha is not None:
+                targets[(name, "coordinator")] = ha
+            targets[(name, "gateway")] = handle.gateway
+        return targets
+
+    def inject_control_plane(self, schedule: ControlPlaneSchedule) -> None:
+        """Drive a :class:`~repro.core.partition.ControlPlaneSchedule`
+        of coordinator/gateway crash windows against this federation.
+
+        Call :meth:`enable_failover` first — coordinator windows need
+        the HA pair, and gateway restarts recover from the vault it
+        attaches.
+        """
+        inject_control_plane_failures(self.env, self.crash_targets(),
+                                      schedule)
 
     # -- federation-wide measurement --------------------------------------
 

@@ -53,32 +53,35 @@ link is severed.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import replace
 from typing import (TYPE_CHECKING, Dict, Generator, List, Optional, Set,
                     Tuple)
 
 from ..core.messages import ResourceRequest
 from ..core.platform import GPUnionPlatform
-from ..errors import NetworkError
+from ..errors import NetworkError, SnapshotVersionError
 from ..monitoring.events import PlatformEvent
-from ..network import FlowNetwork, RpcLayer, WanTopology
-from ..sim import Event
+from ..network import FlowNetwork, RpcError, RpcLayer, WanTopology
+from ..sim import Event, Interrupt, Process
 from ..units import HOUR
 from ..workloads.training import JobStatus, TrainingJobSpec
 from .admission import AdmissionController
 from .ledger import CreditLedger
 from .messages import (
+    GATEWAY_SNAPSHOT_VERSION,
     CapacityDigest,
     DelegationState,
     ForwardEnvelope,
+    ForwardIntent,
     ForwardOffer,
     ForwardRecord,
+    GatewaySnapshot,
 )
 from .policy import FederationConfig, ForwardingPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..observability.trace import Tracer
+    from ..storage import StateVault
 
 
 class FederationGateway:
@@ -138,16 +141,44 @@ class FederationGateway:
         #: reserved capacity the digest must not re-advertise.
         self._inbound_pending = 0
 
-        self._token_seq = itertools.count(1)
+        #: Next claim-token ordinal.  A plain int (not a generator) so
+        #: it snapshots: token monotonicity must survive a restart, or
+        #: a recycled token could collide with a pre-crash handshake.
+        self._token_seq = 1
         self._reconcile_wake: Optional[Event] = None
         self._reconcile_kicked = False
         self._pass_running = False
 
-        #: Adaptive-gossip state: the digest last pushed, when, and the
-        #: credit balance it reflected.
-        self._last_digest: Optional[CapacityDigest] = None
-        self._last_gossip_at = float("-inf")
-        self._last_gossip_balance = 0.0
+        #: Durable-state vault (attached by the deployment when
+        #: control-plane failover is enabled; ``None`` keeps every
+        #: checkpoint a no-op on the default path).
+        self.vault: Optional["StateVault"] = None
+        #: Write-ahead journal of in-flight outbound forwards:
+        #: job_id → ForwardIntent (see :meth:`_recover`).
+        self._intents: Dict[str, ForwardIntent] = {}
+        self._crashed = False
+        #: Bumped on every crash so a handler process that straddles a
+        #: crash/restart can tell whether its bookkeeping (for example
+        #: the ``_inbound_pending`` lease count) still applies to the
+        #: incarnation that granted it.
+        self._incarnation = 0
+        self.restarts = 0
+        #: Gateway-owned processes (loops, forwards, notifies) —
+        #: interrupted wholesale when the gateway crashes.
+        self._procs: Set[Process] = set()
+        self._gossip_proc: Optional[Process] = None
+        self._reconcile_proc: Optional[Process] = None
+
+        #: Adaptive-gossip state, tracked *per peer*: the digest each
+        #: neighbour last **successfully** received, when, and the
+        #: credit balance it reflected.  A failed push leaves that
+        #: peer's entry stale so the next tick retries it with fresh
+        #: data — the old global-digest tracking marked every peer
+        #: up to date the moment the round *started*, so a partitioned
+        #: neighbour could sit on a stale view long after healing.
+        self._pushed_digest: Dict[str, CapacityDigest] = {}
+        self._pushed_at: Dict[str, float] = {}
+        self._pushed_balance: Dict[str, float] = {}
         #: Memoized registry scan behind the digest: (free idle-GPU
         #: count, sorted card classes), valid for one registry
         #: version.  The fast gossip tick rebuilds the digest only to
@@ -168,7 +199,14 @@ class FederationGateway:
         wan.add_site(site)
         wan.add_listener(self._on_wan_transition)
         ledger.register_site(site)
-        endpoint = wan_rpc.bind(site)
+        self._bind_endpoint()
+        platform.coordinator.on_unplaceable = self._on_unplaceable
+        platform.coordinator.on_cancel_delegated = self._on_cancel_delegated
+        platform.events.subscribe(self._on_event)
+        self._start_loops()
+
+    def _bind_endpoint(self) -> None:
+        endpoint = self.wan_rpc.bind(self.site)
         endpoint.register("digest", self._handle_digest)
         endpoint.register("forward-offer", self._handle_forward_offer)
         endpoint.register("forward-commit", self._handle_forward_commit)
@@ -176,11 +214,21 @@ class FederationGateway:
         endpoint.register("forward-status", self._handle_forward_status)
         endpoint.register("cancel-job", self._handle_cancel_job)
         endpoint.register("job-complete", self._handle_job_complete)
-        platform.coordinator.on_unplaceable = self._on_unplaceable
-        platform.coordinator.on_cancel_delegated = self._on_cancel_delegated
-        platform.events.subscribe(self._on_event)
-        self.env.process(self._gossip_loop(), name=f"gossip:{site}")
-        self.env.process(self._reconcile_loop(), name=f"reconcile:{site}")
+
+    def _start_loops(self) -> None:
+        self._gossip_proc = self._spawn(self._gossip_loop(),
+                                        f"gossip:{self.site}")
+        self._reconcile_proc = self._spawn(self._reconcile_loop(),
+                                           f"reconcile:{self.site}")
+
+    def _spawn(self, gen: Generator, name: str) -> Process:
+        """Start a gateway-owned process, tracked for crash interrupts."""
+        proc = self.env.process(gen, name=name)
+        self._procs.add(proc)
+        if proc.callbacks is not None:
+            proc.callbacks.append(
+                lambda _ev, p=proc: self._procs.discard(p))
+        return proc
 
     # -- tracing ----------------------------------------------------------
 
@@ -261,9 +309,18 @@ class FederationGateway:
             self._scan = (free_gpus, tuple(sorted(card_classes)))
         return self._scan
 
-    def _digest_drifted(self, digest: CapacityDigest) -> bool:
-        """Whether the view peers hold of us has gone materially stale."""
-        last = self._last_digest
+    def _digest_drifted(self, peer: str, digest: CapacityDigest,
+                        balance: float) -> bool:
+        """Whether *this peer's* view of us has gone materially stale.
+
+        Drift is judged against the digest the peer last successfully
+        received — not against the last digest pushed to *anyone*.
+        The old global comparison let one successful push mark every
+        neighbour fresh, so a peer that missed the round (partitioned,
+        or simply added later) kept acting on arbitrarily stale data
+        until the next whole-interval round.
+        """
+        last = self._pushed_digest.get(peer)
         if last is None:
             return True
         if digest.free_gpus != last.free_gpus:
@@ -272,8 +329,7 @@ class FederationGateway:
             return True  # same count, different card classes
         if digest.queue_pressure != last.queue_pressure:
             return True
-        drift = abs(self.ledger.balance(self.site)
-                    - self._last_gossip_balance)
+        drift = abs(balance - self._pushed_balance.get(peer, 0.0))
         return drift >= self.config.gossip_balance_drift
 
     def _gossip_loop(self) -> Generator:
@@ -285,20 +341,33 @@ class FederationGateway:
         capacity, a growing queue, or credit-balance movement reach
         peers within seconds instead of a full gossip round, which is
         what cuts staleness-declined forwards.
+
+        Due-ness and drift are evaluated per peer, and a peer's state
+        advances only on a *successful* push — a partitioned neighbour
+        keeps retrying at the fast tick and receives a fresh digest on
+        the first tick after heal.  When no push fails, every peer
+        carries identical state and the loop degenerates to the old
+        all-or-nothing round, so failure-free runs are event-identical.
         """
         interval = self.config.gossip_interval
         tick = self.config.gossip_interval_min or interval
         while True:
-            yield self.env.timeout(tick)
+            try:
+                yield self.env.timeout(tick)
+            except Interrupt:
+                return  # gateway crashed
             digest = self.local_digest()
-            due = self.env.now - self._last_gossip_at >= interval
-            if not due and not self._digest_drifted(digest):
+            now = self.env.now
+            balance = self.ledger.balance(self.site)
+            targets = [
+                peer for peer in self.peers
+                if now - self._pushed_at.get(peer, float("-inf")) >= interval
+                or self._digest_drifted(peer, digest, balance)
+            ]
+            if not targets:
                 continue
-            self._last_digest = digest
-            self._last_gossip_at = self.env.now
-            self._last_gossip_balance = self.ledger.balance(self.site)
             self.gossip_rounds += 1
-            for peer in self.peers:
+            for peer in targets:
                 try:
                     yield self.wan_rpc.call(
                         self.site, peer, "digest", digest,
@@ -306,8 +375,16 @@ class FederationGateway:
                         response_size=self.config.control_message_bytes,
                         timeout=self.config.control_rpc_timeout,
                     )
+                except Interrupt:
+                    return  # gateway crashed
                 except NetworkError:
-                    continue  # partitioned peer; try again next round
+                    continue  # partitioned peer; retried next tick
+                # Stamped with the decision-time clock (not the
+                # post-push clock) so all peers in one round share
+                # identical state.
+                self._pushed_digest[peer] = digest
+                self._pushed_at[peer] = now
+                self._pushed_balance[peer] = balance
 
     def _handle_digest(self, digest: CapacityDigest):
         self.peer_digests[digest.site] = digest
@@ -316,6 +393,8 @@ class FederationGateway:
     # -- WAN transitions --------------------------------------------------
 
     def _on_wan_transition(self, event: str, a: str, b: str) -> None:
+        if self._crashed:
+            return  # a dead gateway observes nothing
         kind = "wan-link-severed" if event == "sever" else "wan-link-healed"
         self.platform.events.emit(kind, a=a, b=b)
         if event == "heal":
@@ -335,6 +414,8 @@ class FederationGateway:
         never ping-pong, and the total WAN crossings are capped by
         ``max_forward_hops``.
         """
+        if self._crashed:
+            return False  # no gateway, no federation: work parks locally
         if request.training is None:
             return False  # sessions never cross the WAN
         if request.forward_hops >= self.config.max_forward_hops:
@@ -358,8 +439,8 @@ class FederationGateway:
             free_gpus=digest.free_gpus - 1,
             queue_pressure=digest.queue_pressure + 1,
         )
-        self.env.process(self._forward(request, dest),
-                         name=f"forward:{request.request_id}->{dest}")
+        self._spawn(self._forward(request, dest),
+                    f"forward:{request.request_id}->{dest}")
         return True
 
     def _forward(self, request: ResourceRequest, dest: str) -> Generator:
@@ -367,6 +448,9 @@ class FederationGateway:
         self._inflight.add(job_id)
         try:
             yield from self._forward_handshake(request, dest)
+        except Interrupt:
+            return  # gateway crashed mid-handshake; the intent
+            # journal carries the truth into recovery
         finally:
             self._inflight.discard(job_id)
 
@@ -413,6 +497,20 @@ class FederationGateway:
                 dest=dest, restore=restore, hop=request.forward_hops + 1,
                 payload_bytes=payload_bytes,
             )
+        # Write-ahead intent: journaled *before* the offer leaves, so
+        # a gateway crash at any point of the handshake leaves behind
+        # an exact classification — no token means phase 1 died (safe
+        # to requeue), a token means the commit may have landed (park
+        # UNKNOWN and probe).  Cleared on every terminal branch.
+        intent = ForwardIntent(
+            job_id=spec.job_id, dest_site=dest, started_at=started,
+            payload_bytes=payload_bytes, restore=restore,
+            shipped_progress=shipped_progress,
+            origin_site=request.origin_site, upstream=upstream,
+            request=request, trace=fwd,
+        )
+        self._intents[spec.job_id] = intent
+        self._checkpoint()
         # Phase 1: metadata-only offer.  A failure here is *safe* —
         # nothing durable happened at the host beyond an expiring
         # lease — so any error reads as a decline.
@@ -439,6 +537,7 @@ class FederationGateway:
             if tracer is not None:
                 tracer.finish(fwd, status="declined",
                               reason=reply.get("reason", "unreachable"))
+            self._intents.pop(spec.job_id, None)
             self._decline(request, dest)
             return
         token = reply["claim_token"]
@@ -450,8 +549,15 @@ class FederationGateway:
             self._pending_cancels.discard(spec.job_id)
             if tracer is not None:
                 tracer.finish(fwd, status="cancelled")
+            self._intents.pop(spec.job_id, None)
+            self._checkpoint()
             yield from self._release_lease(dest, token)
             return
+        # Upgrade the journal entry before the commit leaves: from
+        # here on a crash must resolve through the status probe, never
+        # a blind requeue.
+        intent.claim_token = token
+        self._checkpoint()
         # Phase 2: claim-bearing commit.  A failure here is AMBIGUOUS
         # — the host may have pulled the payload and scheduled the job
         # — so it parks the delegation as unknown outcome for the
@@ -487,6 +593,8 @@ class FederationGateway:
             record.trace = fwd
             self.delegations[spec.job_id] = record
             self._pending_requests[spec.job_id] = request
+            self._intents.pop(spec.job_id, None)
+            self._checkpoint()
             self.platform.events.emit("job-forward-unknown",
                                       job_id=spec.job_id, dest=dest)
             self._kick_reconcile()
@@ -495,6 +603,7 @@ class FederationGateway:
             if tracer is not None:
                 tracer.finish(fwd, status="declined",
                               reason=commit.get("reason", "not-committed"))
+            self._intents.pop(spec.job_id, None)
             self._decline(request, dest)
             return
         elapsed = self.env.now - started
@@ -517,6 +626,7 @@ class FederationGateway:
             tracer.finish(fwd, status="committed",
                           transfer_seconds=elapsed)
         self.delegations[spec.job_id] = record
+        self._intents.pop(spec.job_id, None)
         self._settle_relay_departure(record)
         state = self.platform.coordinator.jobs.get(spec.job_id)
         if state is not None and state.status is JobStatus.CANCELLED:
@@ -527,6 +637,7 @@ class FederationGateway:
         elif state is not None:
             state.status = JobStatus.MIGRATING
             state.current_node = f"wan:{dest}"
+        self._checkpoint()
         self.platform.events.emit(
             "job-forwarded-out", job_id=spec.job_id, dest=dest,
             restore=restore, transfer_seconds=elapsed,
@@ -539,8 +650,13 @@ class FederationGateway:
         is crossing) the WAN, queue the cancellation for at-most-once
         delivery to the hosting site.
         """
+        if self._crashed:
+            # The CANCELLED job state survives in the coordinator;
+            # recovery re-derives the pending set from it.
+            return False
         if job_id in self.delegations or job_id in self._inflight:
             self._pending_cancels.add(job_id)
+            self._checkpoint()
             self._kick_reconcile()
             return True
         return False
@@ -563,6 +679,7 @@ class FederationGateway:
             self.platform.coordinator.queue.push(request)
         else:
             self._pending_cancels.discard(spec.job_id)
+        self._checkpoint()
 
     def _settle_relay_departure(self, record: ForwardRecord) -> None:
         """Close this site's hosting role after relaying a job onward.
@@ -682,11 +799,15 @@ class FederationGateway:
             self._trace_admission(offer, False, "no-headroom")
             return {"accepted": False}
         self._trace_admission(offer, True)
-        token = f"{self.site}#{next(self._token_seq)}"
+        token = f"{self.site}#{self._token_seq}"
+        self._token_seq += 1
         self._offers[token] = offer
         # Reserve the accepted card until the claim arrives, so
         # concurrent origins cannot all book the same advertised GPU.
         self._inbound_pending += 1
+        # Persist the token ordinal: leases are volatile, but a token
+        # recycled after a crash could alias a pre-crash handshake.
+        self._checkpoint()
         self.env.process(self._lease_expiry(token),
                          name=f"lease:{self.site}:{job_id}")
         return {"accepted": True, "claim_token": token}
@@ -717,6 +838,7 @@ class FederationGateway:
         # lives at the relay, not the origin; the handler runs inside
         # the RPC, so the sender sees the full replication time before
         # its commit is acknowledged.
+        incarnation = self._incarnation
         self._committing.add(job_id)
         category = ("federation-checkpoint" if envelope.restore
                     else "federation-dataset")
@@ -733,6 +855,11 @@ class FederationGateway:
                                        envelope.payload_bytes,
                                        category=category)
         except NetworkError:
+            # A crashed gateway must not hand the origin a definite
+            # answer — the pull died *because* this process died, so
+            # the caller sees a network error (ambiguous, resolved by
+            # a probe), exactly as if the response leg was lost.
+            self._check_alive()
             # The pull died (e.g. the WAN severed mid-replication):
             # abort without committing, so a forward-status probe
             # reports "absent" and the origin requeues safely.
@@ -744,7 +871,11 @@ class FederationGateway:
                                       job_id=job_id,
                                       origin=envelope.origin_site)
             return {"committed": False, "reason": "pull-failed"}
-        self._inbound_pending -= 1
+        self._check_alive()
+        if incarnation == self._incarnation:
+            # The lease count belongs to the incarnation that granted
+            # it; after a crash/restart cycle it was already zeroed.
+            self._inbound_pending -= 1
         if tracer is not None:
             tracer.finish(pull)
         if envelope.snapshot is not None:
@@ -759,6 +890,7 @@ class FederationGateway:
                                       envelope.relay_path)
         self._commits[job_id] = token
         self.forwarded_in += 1
+        self._checkpoint()
         self.platform.coordinator.submit_remote(
             envelope.spec,
             origin_site=envelope.origin_site,
@@ -847,34 +979,55 @@ class FederationGateway:
                 # completion path already settled full credits and
                 # queued the notice — report the lost race, don't
                 # overwrite a finished job with CANCELLED.
+                self._check_alive()
                 return {"completed": True,
                         "completed_at": state.completed_at,
                         "host_site": self._host_of(job_id)}
         state.status = JobStatus.CANCELLED
         entry = self._foreign_jobs.pop(job_id, None)
         if entry is not None:
-            origin, arrival_progress, relay_path = entry
-            executed = max(0.0, state.progress - arrival_progress)
-            if executed > 1e-9:
-                # Bill the hours actually donated before the cancel —
-                # and the relays' cut of that partial settlement.
-                self.ledger.record_donation(
-                    donor=self.site,
-                    beneficiary=origin,
-                    gpu_hours=executed / HOUR,
-                    job_id=job_id,
-                    at=self.env.now,
-                )
-                self._settle_relay_fees(job_id, origin, relay_path,
-                                        executed)
-            self.platform.events.emit("foreign-job-cancelled",
-                                      job_id=job_id, origin=origin,
-                                      donated_gpu_hours=executed / HOUR)
+            self._settle_foreign_cancellation(job_id, entry, state)
+            self._checkpoint()
+        # A crash during the terminate round trip keeps the *local*
+        # effects (the executor is already dead, and CANCELLED is the
+        # durable truth) but must not answer: the origin retries after
+        # restart and the idempotent path above reports the outcome.
+        # Settlement then happens in recovery, off the snapshot.
+        self._check_alive()
         return {"cancelled": True}
+
+    def _settle_foreign_cancellation(self, job_id: str, entry: tuple,
+                                     state) -> None:
+        """Bill the hours a cancelled foreign job donated before dying.
+
+        Shared by the live cancel handler and restart recovery (a
+        cancel whose terminate round trip straddled a gateway crash
+        completes locally but cannot settle until the restarted
+        gateway replays its books).
+        """
+        origin, arrival_progress, relay_path = entry
+        executed = max(0.0, state.progress - arrival_progress)
+        if executed > 1e-9:
+            # Bill the hours actually donated before the cancel —
+            # and the relays' cut of that partial settlement.
+            self.ledger.record_donation(
+                donor=self.site,
+                beneficiary=origin,
+                gpu_hours=executed / HOUR,
+                job_id=job_id,
+                at=self.env.now,
+            )
+            self._settle_relay_fees(job_id, origin, relay_path,
+                                    executed)
+        self.platform.events.emit("foreign-job-cancelled",
+                                  job_id=job_id, origin=origin,
+                                  donated_gpu_hours=executed / HOUR)
 
     # -- settlement -------------------------------------------------------
 
     def _on_event(self, event: PlatformEvent) -> None:
+        if self._crashed:
+            return  # a dead gateway sees nothing; recovery replays
         self.admission.on_event(event)
         if event.kind != "job-completed":
             return
@@ -882,6 +1035,17 @@ class FederationGateway:
         entry = self._foreign_jobs.pop(job_id, None)
         if entry is None:
             return
+        self._settle_foreign_completion(job_id, entry)
+        self._checkpoint()
+
+    def _settle_foreign_completion(self, job_id: str,
+                                   entry: tuple) -> None:
+        """Credit this site for a hosted foreign job that finished.
+
+        Shared by the live completion event and restart recovery —
+        a job that completed while the gateway was down settles here
+        when the restarted gateway replays its books.
+        """
         origin, arrival_progress, relay_path = entry
         state = self.platform.coordinator.jobs.get(job_id)
         donated = state.spec.total_compute - arrival_progress
@@ -898,9 +1062,10 @@ class FederationGateway:
         self._settle_relay_fees(job_id, origin, relay_path, donated)
         tracer = self.tracer
         if tracer is not None:
-            # Runs inside the coordinator's job-completed emit, before
-            # it closes the host span — so the settlement records as a
-            # child of the hosting it pays for.
+            # On the live path this runs inside the coordinator's
+            # job-completed emit, before it closes the host span — so
+            # the settlement records as a child of the hosting it pays
+            # for.
             tracer.event("settle", self.platform.coordinator.trace_context(
                 job_id), site=self.site, donated_gpu_hours=donated / HOUR)
         self.platform.events.emit("foreign-job-completed", job_id=job_id,
@@ -934,8 +1099,8 @@ class FederationGateway:
             "job_id": job_id, "completed_at": completed_at,
             "host_site": host_site,
         })
-        self.env.process(self._notify_upstream(job_id),
-                         name=f"notify:{job_id}")
+        self._checkpoint()
+        self._spawn(self._notify_upstream(job_id), f"notify:{job_id}")
 
     def _notify_upstream(self, job_id: str) -> Generator:
         entry = self._unacked.get(job_id)
@@ -951,11 +1116,14 @@ class FederationGateway:
             )
         except NetworkError:
             # The previous hop is partitioned; the reconciliation pass
-            # re-sends this notice once the WAN heals.
+            # re-sends this notice once the WAN heals.  (A crash
+            # Interrupt propagates instead: the notice survives in the
+            # snapshot and reconciliation re-sends it after restart.)
             self.platform.events.emit("job-complete-notify-failed",
                                       job_id=job_id, origin=upstream)
             return
         self._unacked.pop(job_id, None)
+        self._checkpoint()
 
     def _handle_job_complete(self, payload: dict):
         job_id = payload["job_id"]
@@ -1001,6 +1169,7 @@ class FederationGateway:
                                           job_id=job_id, dest=host_site)
             else:
                 state.status = JobStatus.COMPLETED
+        self._checkpoint()
         self.platform.events.emit("job-remote-completed", job_id=job_id,
                                   host=host_site)
         if record is not None and record.upstream is not None:
@@ -1032,6 +1201,7 @@ class FederationGateway:
         elif state is not None:
             state.status = JobStatus.MIGRATING
             state.current_node = f"wan:{record.dest_site}"
+        self._checkpoint()
         self.platform.events.emit(
             "job-forwarded-out", job_id=record.job_id,
             dest=record.dest_site, restore=record.restore,
@@ -1066,14 +1236,20 @@ class FederationGateway:
             if self._reconcile_kicked:
                 self._reconcile_kicked = False
                 self._reconcile_wake.succeed()
-            yield self.env.any_of([
-                self.env.timeout(self.config.reconcile_interval),
-                self._reconcile_wake,
-            ])
+            try:
+                yield self.env.any_of([
+                    self.env.timeout(self.config.reconcile_interval),
+                    self._reconcile_wake,
+                ])
+            except Interrupt:
+                return  # gateway crashed
             if self._has_reconcile_work():
                 self._pass_running = True
                 try:
                     yield from self._reconcile_pass()
+                except Interrupt:
+                    return  # gateway crashed mid-pass; every step is
+                    # idempotent, the restarted loop re-runs the rest
                 finally:
                     self._pass_running = False
 
@@ -1131,6 +1307,7 @@ class FederationGateway:
             del self.delegations[job_id]
             request = self._pending_requests.pop(job_id, None)
             self._pending_cancels.discard(job_id)
+            self._checkpoint()
             self.platform.events.emit("job-forward-requeued",
                                       job_id=job_id, dest=record.dest_site)
             state = self.platform.coordinator.jobs.get(job_id)
@@ -1151,6 +1328,7 @@ class FederationGateway:
         elif outcome == "cancelled":
             record.state = DelegationState.CANCELLED
             self._pending_cancels.discard(job_id)
+            self._checkpoint()
 
     def _send_cancel(self, job_id: str, record: ForwardRecord) -> Generator:
         try:
@@ -1176,12 +1354,219 @@ class FederationGateway:
                 reply.get("host_site", record.dest_site))
         else:
             record.state = DelegationState.CANCELLED
+            self._checkpoint()
             if tracer is not None:
                 tracer.event("cancel-delivered", record.trace,
                              site=self.site, outcome="cancelled")
                 self.platform.coordinator.finish_trace(job_id, "cancelled")
             self.platform.events.emit("job-cancel-delivered",
                                       job_id=job_id, dest=record.dest_site)
+
+    # -- crash / restart --------------------------------------------------
+
+    @property
+    def is_crashed(self) -> bool:
+        """Whether the gateway process is currently down."""
+        return self._crashed
+
+    def _check_alive(self) -> None:
+        """Raise out of a handler that resumed inside a dead gateway.
+
+        RPC handlers run as their own processes, so a gateway crash
+        cannot interrupt them synchronously — instead every handler
+        re-checks liveness after each yield.  Raising turns into a
+        network error at the caller: ambiguous, like any lost response
+        leg, and resolved through the idempotent probe machinery.
+        """
+        if self._crashed:
+            raise RpcError(f"gateway {self.site} crashed mid-operation")
+
+    def attach_vault(self, vault: "StateVault") -> None:
+        """Enable durable snapshots (and write the first one)."""
+        self.vault = vault
+        self._checkpoint()
+
+    def _checkpoint(self) -> None:
+        """Persist the durable tables.  No-op without a vault.
+
+        Called after every mutation of snapshot-worthy state; crash
+        points exist only at yields, so the vault is always current
+        when one lands.  Volatile state (leases, peer digests, backoff
+        clocks, in-flight handshake sets) is deliberately excluded.
+        """
+        if self.vault is None or self._crashed:
+            return
+        snap = GatewaySnapshot(
+            site=self.site,
+            taken_at=self.env.now,
+            token_seq=self._token_seq,
+            delegations=dict(self.delegations),
+            pending_requests=dict(self._pending_requests),
+            pending_cancels=tuple(sorted(self._pending_cancels)),
+            unacked=dict(self._unacked),
+            commits=dict(self._commits),
+            foreign_jobs=dict(self._foreign_jobs),
+            intents=dict(self._intents),
+            counters={
+                "forwarded_out": self.forwarded_out,
+                "forwarded_in": self.forwarded_in,
+                "relayed_out": self.relayed_out,
+                "declined": self.declined,
+                "gossip_rounds": self.gossip_rounds,
+                "wan_transfer_seconds": self.wan_transfer_seconds,
+            },
+        )
+        self.vault.store("gateway", snap, snap.nbytes)
+
+    def crash(self) -> None:
+        """Kill the gateway process: all in-memory state dies.
+
+        The WAN endpoint unbinds (peers see network errors), every
+        flow terminating here fails, and every gateway-owned process —
+        loops, in-flight forwards, notice deliveries — is interrupted.
+        The durable tables come back from the vault at :meth:`restart`;
+        everything else is rebuilt or intentionally dropped.
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        self._incarnation += 1
+        self.wan_rpc.unbind(self.site)
+        self.fabric.kill_host_flows(self.site, reason="gateway crashed")
+        procs, self._procs = self._procs, set()
+        for proc in procs:
+            if proc.is_alive:
+                proc.interrupt("gateway-crash")
+        self._gossip_proc = None
+        self._reconcile_proc = None
+        self.peer_digests.clear()
+        self.delegations = {}
+        self._pending_requests = {}
+        self._pending_cancels = set()
+        self._foreign_jobs = {}
+        self._unacked = {}
+        self._commits = {}
+        self._intents = {}
+        self._inflight.clear()
+        self._retry_after.clear()
+        self._offers.clear()
+        self._committing.clear()
+        self._inbound_pending = 0
+        self._reconcile_wake = None
+        self._reconcile_kicked = False
+        self._pass_running = False
+        self._pushed_digest.clear()
+        self._pushed_at.clear()
+        self._pushed_balance.clear()
+        self._scan_version = -1
+        self.platform.events.emit("gateway-crashed", site=self.site)
+
+    def restart(self) -> None:
+        """Bring the gateway back: recover the vault, replay the books.
+
+        Raises :class:`~repro.errors.SnapshotVersionError` (and stays
+        down) when the persisted snapshot carries an incompatible
+        layout version — the operator discards it and restarts cold
+        rather than let misread state break exactly-once.
+        """
+        if not self._crashed:
+            return
+        snap = self.vault.load("gateway") if self.vault is not None else None
+        if snap is not None and snap.version != GATEWAY_SNAPSHOT_VERSION:
+            raise SnapshotVersionError(
+                f"gateway {self.site}: snapshot version {snap.version} "
+                f"(expected {GATEWAY_SNAPSHOT_VERSION})")
+        self._crashed = False
+        self.restarts += 1
+        if snap is not None:
+            self.delegations = dict(snap.delegations)
+            self._pending_requests = dict(snap.pending_requests)
+            self._pending_cancels = set(snap.pending_cancels)
+            self._unacked = dict(snap.unacked)
+            self._commits = dict(snap.commits)
+            self._foreign_jobs = dict(snap.foreign_jobs)
+            self._intents = dict(snap.intents)
+            self._token_seq = snap.token_seq
+            counters = snap.counters
+            self.forwarded_out = int(counters.get("forwarded_out", 0))
+            self.forwarded_in = int(counters.get("forwarded_in", 0))
+            self.relayed_out = int(counters.get("relayed_out", 0))
+            self.declined = int(counters.get("declined", 0))
+            self.gossip_rounds = int(counters.get("gossip_rounds", 0))
+            self.wan_transfer_seconds = float(
+                counters.get("wan_transfer_seconds", 0.0))
+        self._bind_endpoint()
+        self._start_loops()
+        self.platform.events.emit("gateway-restarted", site=self.site,
+                                  restarts=self.restarts)
+        self._recover()
+
+    def _recover(self) -> None:
+        """Replay the books against what happened while we were down."""
+        coordinator = self.platform.coordinator
+        # 1. Classify crash-orphaned forward attempts from the
+        #    write-ahead journal.
+        intents, self._intents = self._intents, {}
+        for job_id in sorted(intents):
+            intent = intents[job_id]
+            state = coordinator.jobs.get(job_id)
+            if intent.claim_token is None:
+                # Phase-1 crash: nothing durable happened at the peer
+                # beyond an expiring lease — requeue locally, with the
+                # usual decline backoff before the next forward try.
+                self.platform.events.emit("job-forward-requeued",
+                                          job_id=job_id,
+                                          dest=intent.dest_site)
+                if intent.request is not None and (
+                        state is None
+                        or state.status is not JobStatus.CANCELLED):
+                    self._retry_after[job_id] = (
+                        self.env.now + self.config.forward_retry_backoff)
+                    coordinator.queue.push(intent.request)
+                continue
+            # Phase-2 crash: the commit may have landed.  Park the
+            # delegation as unknown outcome; the probe resolves it.
+            record = ForwardRecord(
+                job_id=job_id, dest_site=intent.dest_site,
+                forwarded_at=intent.started_at,
+                payload_bytes=intent.payload_bytes,
+                restore=intent.restore,
+                claim_token=intent.claim_token,
+                state=DelegationState.UNKNOWN,
+                origin_site=intent.origin_site,
+                upstream=intent.upstream,
+                shipped_progress=intent.shipped_progress,
+                trace=intent.trace,
+            )
+            self.delegations[job_id] = record
+            if intent.request is not None:
+                self._pending_requests[job_id] = intent.request
+            self.platform.events.emit("job-forward-unknown",
+                                      job_id=job_id,
+                                      dest=intent.dest_site)
+        # 2. Settle hosted foreign jobs that reached a terminal state
+        #    while the gateway was down (their completion events fired
+        #    into a dead subscriber).
+        for job_id in sorted(self._foreign_jobs):
+            state = coordinator.jobs.get(job_id)
+            if state is None:
+                continue
+            if state.status is JobStatus.CANCELLED:
+                entry = self._foreign_jobs.pop(job_id)
+                self._settle_foreign_cancellation(job_id, entry, state)
+            elif state.is_done:
+                entry = self._foreign_jobs.pop(job_id)
+                self._settle_foreign_completion(job_id, entry)
+        # 3. Cancellations requested while down exist only as
+        #    CANCELLED job states; re-derive the pending set.
+        for job_id, record in self.delegations.items():
+            if record.state in (DelegationState.COMMITTED,
+                                DelegationState.UNKNOWN):
+                state = coordinator.jobs.get(job_id)
+                if state is not None and state.status is JobStatus.CANCELLED:
+                    self._pending_cancels.add(job_id)
+        self._checkpoint()
+        self._kick_reconcile()
 
     # -- introspection ----------------------------------------------------
 

@@ -30,14 +30,15 @@ along hop by hop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from ..storage import CheckpointRecord
 from ..workloads.training import TrainingJobSpec
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..core.messages import ResourceRequest
     from ..observability.trace import TraceContext
 
 
@@ -205,3 +206,82 @@ class ForwardRecord:
     #: (``None`` when tracing is off).  Probe, cancel, and completion
     #: spans for the delegation parent under it.
     trace: Optional["TraceContext"] = None
+
+
+@dataclass(slots=True)
+class ForwardIntent:
+    """Write-ahead record of one in-flight outbound forward attempt.
+
+    Journaled to the gateway's vault *before* the offer RPC leaves and
+    upgraded with the claim token *before* the commit RPC leaves, so a
+    restarted gateway can classify an attempt its crash orphaned:
+
+    * no token — the handshake died in phase 1.  Nothing durable can
+      have happened at the peer (a lost offer costs at most a lease
+      timeout there), so the job is safe to requeue locally;
+    * token present — the commit may have landed.  The job parks as an
+      :attr:`DelegationState.UNKNOWN` delegation and resolves through
+      the idempotent ``forward-status`` probe, exactly like a commit
+      whose acknowledgement the WAN ate.
+    """
+
+    job_id: str
+    dest_site: str
+    started_at: float
+    payload_bytes: float
+    restore: bool
+    shipped_progress: float = 0.0
+    claim_token: Optional[str] = None
+    #: True origin / previous hop, mirroring :class:`ForwardRecord`
+    #: (``None`` at the true origin).
+    origin_site: Optional[str] = None
+    upstream: Optional[str] = None
+    #: The request being forwarded — what a phase-1 crash requeues.
+    request: Optional["ResourceRequest"] = None
+    #: The sender-side ``forward`` span (kept so a post-restart
+    #: delegation record stays parented — no orphan spans).
+    trace: Optional["TraceContext"] = None
+
+
+#: Current :class:`GatewaySnapshot` layout version.  Bump on any
+#: incompatible change; recovery rejects other versions with
+#: :class:`~repro.errors.SnapshotVersionError`.
+GATEWAY_SNAPSHOT_VERSION = 1
+
+
+@dataclass(slots=True)
+class GatewaySnapshot:
+    """Everything a federation gateway must recover after a restart.
+
+    Durable state only: delegation records, requests parked on unknown
+    outcomes, pending cross-WAN cancels, unacked completion notices,
+    the idempotency table of committed claim tokens, hosted foreign
+    jobs, write-ahead forward intents, and the claim-token sequence
+    (monotonicity across restarts keeps tokens unique).  Deliberately
+    absent: capacity leases, peer digests, backoff clocks, in-flight
+    handshakes — all safely reconstructible or intentionally dropped.
+    """
+
+    site: str
+    taken_at: float
+    version: int = GATEWAY_SNAPSHOT_VERSION
+    token_seq: int = 1
+    delegations: Dict[str, ForwardRecord] = field(default_factory=dict)
+    pending_requests: Dict[str, "ResourceRequest"] = field(
+        default_factory=dict)
+    pending_cancels: Tuple[str, ...] = ()
+    unacked: Dict[str, tuple] = field(default_factory=dict)
+    commits: Dict[str, str] = field(default_factory=dict)
+    foreign_jobs: Dict[str, tuple] = field(default_factory=dict)
+    intents: Dict[str, ForwardIntent] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> float:
+        """Modeled on-disk size: a fixed header plus a small record
+        per table entry (the spec/checkpoint bulk lives elsewhere)."""
+        entries = (len(self.delegations) + len(self.pending_requests)
+                   + len(self.pending_cancels) + len(self.unacked)
+                   + len(self.commits) + len(self.foreign_jobs)
+                   + len(self.intents))
+        return 512.0 + 256.0 * entries

@@ -3,6 +3,7 @@
 from .checkpoint_store import CheckpointRecord, CheckpointStore
 from .datastore import TaskDataStore
 from .dfs import DistributedFileSystem
+from .vault import StateVault
 from .volume import StoredObject, Volume
 
 __all__ = [
@@ -12,4 +13,5 @@ __all__ = [
     "CheckpointStore",
     "CheckpointRecord",
     "DistributedFileSystem",
+    "StateVault",
 ]

@@ -326,6 +326,49 @@ def test_fixed_gossip_cadence_unchanged_without_min_interval():
     assert "south" in north.gateway.peer_digests
 
 
+def test_adaptive_gossip_tracks_drift_per_peer():
+    """Drift is judged against what each peer last *received*, not
+    against the last digest pushed to anyone.
+
+    Regression: the old global comparison let bravo's successful push
+    to charlie mark alpha fresh too, so a partitioned alpha kept
+    acting on stale capacity until the next whole-interval round.  Now
+    alpha's view catches up within a fast tick of the heal, long
+    before the slow interval elapses.
+    """
+    fed = FederatedDeployment(
+        seed=5,
+        federation_config=FederationConfig(gossip_interval=10 * MINUTE,
+                                           digest_staleness=30 * MINUTE,
+                                           gossip_interval_min=15.0))
+    alpha = fed.add_campus("alpha")
+    bravo = fed.add_campus("bravo")
+    charlie = fed.add_campus("charlie")
+    fed.connect("alpha", "bravo")
+    fed.connect("bravo", "charlie")
+    alpha.platform.add_provider("a-ws", [RTX_3090], lab="vision")
+    bravo.platform.add_provider("b-ws", [RTX_3090], lab="nlp")
+    charlie.platform.add_provider("c-farm", [RTX_4090], lab="infra")
+    fed.run(until=60)
+    baseline = alpha.gateway.peer_digests["bravo"].advertised_at
+    # Alpha drops off the WAN; bravo's capacity then drifts (its only
+    # card is taken), and the drift-triggered push reaches charlie but
+    # keeps failing toward alpha.
+    fed.sever("alpha", "bravo")
+    bravo.platform.submit_job(_job(compute=2 * HOUR))
+    fed.run(until=180)
+    assert charlie.gateway.peer_digests["bravo"].free_gpus <= 0
+    assert alpha.gateway.peer_digests["bravo"].advertised_at == baseline
+    # On heal, alpha is still drifted *for alpha* — the retry at the
+    # next fast tick delivers the fresh digest, nowhere near the
+    # 10-minute interval boundary.
+    fed.heal("alpha", "bravo")
+    fed.run(until=240)
+    updated = alpha.gateway.peer_digests["bravo"]
+    assert updated.advertised_at > baseline
+    assert updated.free_gpus <= 0
+
+
 def test_adaptive_gossip_cuts_staleness_declines():
     # Same saturated-middle race as the relay tests, but with adaptive
     # gossip bravo's saturation reaches alpha before alpha wastes an

@@ -288,3 +288,75 @@ def test_relay_chaos_span_trees_are_complete():
         if any(s.name == "forward" and s.status == "committed"
                for s in spans):
             assert "admission" in names
+
+
+# -- control-plane chaos: failover epochs in the trees ---------------------
+
+def test_failover_epoch_appears_in_the_jobs_trace_tree():
+    """A coordinator takeover stamps every workload it resynced with a
+    ``failover-epoch`` event span inside the job's own tree, and the
+    leadership change itself is a ``coordinator-epoch`` root pair in
+    the campus HA trace — no orphans either way."""
+    from repro.workloads import JobStatus
+
+    fed = FederatedDeployment(seed=13, trace=True)
+    north = fed.add_campus("north")
+    north.platform.add_provider("ws", [RTX_3090], lab="vision")
+    fed.enable_failover()
+    job_id = next_job_id()
+    job = north.platform.submit_job(TrainingJobSpec(
+        job_id=job_id, model=RESNET50, total_compute=1 * HOUR,
+        lab="vision"))
+    while job.status is not JobStatus.RUNNING and fed.env.now < 30 * MINUTE:
+        fed.run(until=fed.env.now + 1.0)
+    assert job.status is JobStatus.RUNNING
+    fed.failover["north"].crash()
+    fed.run(until=fed.env.now + 4 * HOUR)
+    assert job.status is JobStatus.COMPLETED
+
+    tracer = fed.tracer
+    names = [s.name for s in tracer.spans(job_id)]
+    assert "failover-epoch" in names
+    epoch_mark = next(s for s in tracer.spans(job_id)
+                      if s.name == "failover-epoch")
+    assert epoch_mark.attrs["epoch"] == 2
+    assert epoch_mark.parent_id is not None
+    # The leadership terms themselves: old epoch closed as failed-over,
+    # new epoch open, same HA trace.
+    terms = tracer.spans("ha:north")
+    assert [s.name for s in terms] == ["coordinator-epoch",
+                                       "coordinator-epoch"]
+    assert terms[0].status == "failed-over"
+    assert terms[1].is_open and terms[1].attrs["epoch"] == 2
+    assert tracer.orphans() == []
+
+
+def test_control_plane_chaos_keeps_span_trees_orphan_free():
+    """Gateway crash/restart mid-forward and a coordinator takeover on
+    the host campus: every trace stays a single rooted tree (the
+    write-ahead intent carries the forward span across the restart)."""
+    from repro.core.partition import ControlPlaneCrash, ControlPlaneSchedule
+    from repro.workloads import JobStatus
+
+    fed, north, south = build_forwarding_pair(trace=True)
+    fed.enable_failover()
+    fed.inject_control_plane(ControlPlaneSchedule(crashes=(
+        # The origin gateway dies early in the forward fan-out and
+        # again later; the host's coordinator leader dies in between.
+        ControlPlaneCrash("north", "gateway", 30.0, 120.0),
+        ControlPlaneCrash("south", "coordinator", 300.0, 600.0),
+        ControlPlaneCrash("north", "gateway", 20 * MINUTE, 5 * MINUTE),
+    )))
+    fed.run(until=12 * HOUR)
+    assert north.gateway.restarts == 2
+    assert fed.failover["south"].takeovers >= 1
+    completed = [e.payload["job_id"]
+                 for handle in fed.sites.values()
+                 for e in handle.platform.events.of_kind("job-completed")]
+    assert len(completed) == len(set(completed)) == 3
+    tracer = fed.tracer
+    assert tracer.orphans() == []
+    for trace_id in tracer.trace_ids():
+        assert tracer.orphans(trace_id) == []
+        root = tracer.root(trace_id)
+        assert root is not None, f"trace {trace_id} has no root span"
