@@ -32,7 +32,10 @@ from ..core.partition import (
 )
 from ..core.platform import GPUnionPlatform
 from ..network import (
+    AutorateConfig,
+    BulkAutorate,
     FlowNetwork,
+    QoSPolicy,
     RpcLayer,
     WanTopology,
     attach_partition_enforcement,
@@ -72,6 +75,7 @@ class FederatedDeployment:
         federation_config: Optional[FederationConfig] = None,
         hooks: Optional[KernelHooks] = None,
         trace: bool = False,
+        qos: Optional[QoSPolicy] = None,
     ):
         self.seed = seed
         self.env = Environment(hooks=hooks)
@@ -80,10 +84,19 @@ class FederatedDeployment:
         #: (the default) records nothing — the golden-trace config.
         self.tracer: Optional[Tracer] = Tracer(self.env) if trace else None
         self.wan = wan or WanTopology()
-        self.fabric = FlowNetwork(self.env, self.wan)
+        #: ``qos`` makes the WAN fabric class-aware: gateway checkpoint
+        #: replication rides bulk, RPCs control, session traffic
+        #: interactive (see :mod:`repro.network.qos`).  ``None`` keeps
+        #: the classless engine and its bit-identical golden traces.
+        self.fabric = FlowNetwork(self.env, self.wan, qos=qos)
         attach_wan_meter(self.fabric)
-        # Link failures kill in-flight WAN flows with WanPartitionError.
+        # Link failures migrate in-flight WAN flows onto recomputed
+        # routes; only genuinely partitioned flows fail with
+        # WanPartitionError.
         attach_partition_enforcement(self.fabric, self.wan)
+        #: Bulk pacing loop (:meth:`enable_bulk_autorate`), ``None``
+        #: until enabled.
+        self.autorate: Optional[BulkAutorate] = None
         self.wan_rpc = RpcLayer(self.env, self.fabric)
         self.ledger = CreditLedger()
         self.federation_config = federation_config or FederationConfig()
@@ -136,6 +149,21 @@ class FederatedDeployment:
                 latency: Optional[float] = None) -> None:
         """Join two campuses with a symmetric WAN link pair."""
         self.wan.connect(a, b, capacity=capacity, latency=latency)
+
+    def enable_bulk_autorate(
+        self,
+        config: Optional[AutorateConfig] = None,
+    ) -> BulkAutorate:
+        """Start the latency-target pacing loop for bulk replication.
+
+        Requires a QoS-enabled deployment (``qos=QoSPolicy()``); the
+        loop samples control-class RTT inflation each interval and
+        drives the fabric's bulk rate cap.  Idempotent.
+        """
+        if self.autorate is None:
+            self.autorate = BulkAutorate(self.env, self.fabric, self.wan,
+                                         config=config)
+        return self.autorate
 
     def site(self, name: str) -> SiteHandle:
         """Handle for a campus (raises ``KeyError`` if unknown)."""
@@ -247,7 +275,9 @@ class FederatedDeployment:
         return self.wan.total_bytes()
 
     def wan_link_report(self, horizon: float) -> List[dict]:
-        """Per-link bytes and mean utilization over ``horizon`` seconds."""
+        """Per-link cumulative bytes, plus mean utilization over each
+        link's current metering window ending at ``horizon`` (the
+        whole run unless a sever/heal opened a fresh window)."""
         return [
             {
                 "link": link.name,

@@ -83,6 +83,15 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..observability.trace import Tracer
     from ..storage import StateVault
 
+#: Flow categories the gateway stamps on its bulk payload pulls.  Both
+#: map to the *bulk* traffic class under the default
+#: :class:`~repro.network.qos.QoSPolicy`, while the RPC layer's
+#: ``"control"`` legs ride the strict-priority control class and
+#: session traffic the interactive class — the class wiring the WAN
+#: QoS engine keys on.
+CHECKPOINT_CATEGORY = "federation-checkpoint"
+DATASET_CATEGORY = "federation-dataset"
+
 
 class FederationGateway:
     """One campus's ambassador to the federation."""
@@ -840,8 +849,8 @@ class FederationGateway:
         # its commit is acknowledged.
         incarnation = self._incarnation
         self._committing.add(job_id)
-        category = ("federation-checkpoint" if envelope.restore
-                    else "federation-dataset")
+        category = (CHECKPOINT_CATEGORY if envelope.restore
+                    else DATASET_CATEGORY)
         tracer = self.tracer
         pull = None
         if tracer is not None and envelope.trace is not None:

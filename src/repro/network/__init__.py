@@ -1,8 +1,17 @@
 """Network substrate: campus LAN and inter-campus WAN topologies,
-fair-share flows, RPC, metering."""
+fair-share flows, QoS traffic classes, RPC, metering."""
 
-from .flows import Flow, FlowNetwork, max_min_rates
+from .flows import Flow, FlowNetwork, max_min_rates, qos_max_min_rates
 from .lan import CampusLAN, HostPort, Link
+from .qos import (
+    BULK,
+    CONTROL,
+    INTERACTIVE,
+    TRAFFIC_CLASSES,
+    AutorateConfig,
+    BulkAutorate,
+    QoSPolicy,
+)
 from .rpc import DEFAULT_MESSAGE_SIZE, RpcEndpoint, RpcError, RpcLayer
 from .traffic import TrafficMeter
 from .wan import (
@@ -19,6 +28,14 @@ __all__ = [
     "Flow",
     "FlowNetwork",
     "max_min_rates",
+    "qos_max_min_rates",
+    "QoSPolicy",
+    "AutorateConfig",
+    "BulkAutorate",
+    "CONTROL",
+    "INTERACTIVE",
+    "BULK",
+    "TRAFFIC_CLASSES",
     "RpcLayer",
     "RpcEndpoint",
     "RpcError",

@@ -40,6 +40,7 @@ from ..errors import NetworkError
 from ..sim import Environment, Event
 from .flows import Flow
 from .lan import CampusLAN, Link
+from .qos import TRAFFIC_CLASSES, QoSPolicy
 
 
 def reference_max_min_rates(flows: List[Flow]) -> Dict[Flow, float]:
@@ -85,13 +86,121 @@ def reference_max_min_rates(flows: List[Flow]) -> Dict[Flow, float]:
     return rates
 
 
+def reference_qos_max_min_rates(
+    flows: List[Flow],
+    policy: QoSPolicy,
+    class_caps: Optional[Dict[str, float]] = None,
+) -> Dict[Flow, float]:
+    """Class-aware allocation, by full restart (the naive counterpart
+    of :func:`repro.network.flows.qos_max_min_rates`).
+
+    Strict-priority control fills first over the full capacity, then a
+    naive *weighted* fill covers the remaining classes, then capped
+    classes are scaled down proportionally.
+
+    The weighted fill keeps per-link weight sums as *running*
+    decrements (not fresh per-round re-summations): re-summing floats
+    each round would differ from the decremented sums by ulps for
+    non-power-of-two weights, and the fast engine's heap fill — which
+    this function must match bitwise — can only decrement.
+    """
+    from .qos import CONTROL
+
+    rates: Dict[Flow, float] = {}
+    active = [flow for flow in flows if flow.links]
+    for flow in flows:
+        if not flow.links:
+            rates[flow] = math.inf  # local copies are disk-bound, not ours
+    if not active:
+        return rates
+    weights = {flow: policy.class_weight(policy.class_of(flow))
+               for flow in active}
+    if policy.strict_priority_control:
+        control = [f for f in active if policy.class_of(f) == CONTROL]
+        others = [f for f in active if policy.class_of(f) != CONTROL]
+    else:
+        control = []
+        others = list(active)
+
+    def fill(group: List[Flow], consumed: List[Flow]) -> None:
+        residual: Dict[Link, float] = {}
+        members: Dict[Link, List[Flow]] = {}
+        wsums: Dict[Link, float] = {}
+        for flow in group:
+            for link in flow.links:
+                if link not in residual:
+                    residual[link] = link.capacity
+                    members[link] = []
+                    wsums[link] = 0.0
+                members[link].append(flow)
+                wsums[link] += weights[flow]
+        # Capacity the higher-priority pass already consumed, charged
+        # in flow order (identical subtraction order to the fast
+        # engine's component fill).
+        for flow in consumed:
+            rate = rates[flow]
+            for link in flow.links:
+                if link in residual:
+                    residual[link] -= rate
+        unfrozen = set(group)
+        while unfrozen:
+            best_share = math.inf
+            best_link: Optional[Link] = None
+            for link, flows_on in members.items():
+                if not any(flow in unfrozen for flow in flows_on):
+                    continue
+                room = residual[link]
+                wsum = wsums[link]
+                share = (room / wsum
+                         if room > 0.0 and wsum > 0.0 else 0.0)
+                if share < best_share:
+                    best_share = share
+                    best_link = link
+            if best_link is None:
+                break
+            for flow in members[best_link]:
+                if flow not in unfrozen:
+                    continue
+                weight = weights[flow]
+                rate = best_share * weight
+                rates[flow] = rate
+                unfrozen.discard(flow)
+                for link in flow.links:
+                    residual[link] -= rate
+                    wsums[link] -= weight
+
+    if control:
+        fill(control, [])
+    if others:
+        fill(others, control)
+    if class_caps:
+        # Scale each capped class down to its cap, proportionally —
+        # stranding the freed capacity (pacing buys headroom, it does
+        # not reshuffle shares).  Same loop as the fast engine's
+        # _apply_class_caps, duplicated on purpose.
+        for cls in sorted(class_caps):
+            cap = class_caps[cls]
+            group = [flow for flow in active if policy.class_of(flow) == cls]
+            total = 0.0
+            for flow in group:
+                total += rates[flow]
+            if total > cap and total > 0.0:
+                scale = cap / total
+                for flow in group:
+                    rates[flow] = rates[flow] * scale
+    return rates
+
+
 class ReferenceFlowNetwork:
     """The original event-driven transfer engine (full restart on every
     arrival/completion, global settle of all flows at every event)."""
 
-    def __init__(self, env: Environment, lan: CampusLAN):
+    def __init__(self, env: Environment, lan: CampusLAN,
+                 qos: Optional[QoSPolicy] = None):
         self.env = env
         self.lan = lan
+        self.qos = qos
+        self._class_caps: Dict[str, float] = {}
         self._flows: List[Flow] = []
         self._flow_seq = itertools.count(1)
         self._generation = 0
@@ -100,6 +209,14 @@ class ReferenceFlowNetwork:
         self.reallocations = 0
         self.flows_started = 0
         self.flows_completed = 0
+        self.flows_migrated = 0
+        self.class_bytes: Dict[str, float] = {}
+        self.class_flows_started: Dict[str, int] = {}
+        if qos is not None:
+            for cls in TRAFFIC_CLASSES:
+                self.class_bytes[cls] = 0.0
+                self.class_flows_started[cls] = 0
+            self.add_observer(self._account)
 
     @property
     def active_flows(self) -> List[Flow]:
@@ -125,16 +242,24 @@ class ReferenceFlowNetwork:
         links = self.lan.path(src, dst)  # raises NetworkError if unreachable
         flow = Flow(self.env, src, dst, size, links, category,
                     flow_id=next(self._flow_seq))
+        if self.qos is not None:
+            flow.traffic_class = self.qos.classify(category)
+            self.class_flows_started[flow.traffic_class] = (
+                self.class_flows_started.get(flow.traffic_class, 0) + 1)
+        # Every issued transfer counts, instant paths included (the
+        # fast engine counts identically).
+        self.flows_started += 1
         if not links:
             flow.transferred = flow.size
             self._notify(flow, flow.size)
+            self.flows_completed += 1
             flow.done.succeed(flow)
             return flow.done
         if size == 0:
+            self.flows_completed += 1
             flow.done.succeed(flow, delay=self.lan.latency(src, dst))
             return flow.done
         self._settle()
-        self.flows_started += 1
         self._flows.append(flow)
         self._reallocate()
         return flow.done
@@ -171,6 +296,83 @@ class ReferenceFlowNetwork:
             self._reallocate()
         return len(doomed)
 
+    def migrate_flows(
+        self,
+        flows: List[Flow],
+        route_of: Callable[[Flow], List[Link]],
+        error_factory: Optional[Callable[[Flow], NetworkError]] = None,
+    ):
+        """Re-pin in-flight flows onto freshly computed routes (the
+        naive mirror of the fast engine's ``migrate_flows``)."""
+        self._settle()
+        candidates = [f for f in flows if f in self._flows]
+        if not candidates:
+            return (0, 0)
+        now = self.env.now
+        moved = 0
+        killed = 0
+        for flow in candidates:
+            try:
+                new_links = route_of(flow)
+            except NetworkError as exc:
+                self._flows.remove(flow)
+                flow.done.fail(error_factory(flow)
+                               if error_factory is not None else exc)
+                killed += 1
+                continue
+            flow.links = new_links
+            flow.routed_at = now
+            flow.migrations += 1
+            moved += 1
+        self.flows_migrated += moved
+        self._reallocate()
+        return (moved, killed)
+
+    def migrate_flows_on(
+        self,
+        links,
+        route_of: Callable[[Flow], List[Link]],
+        error_factory: Optional[Callable[[Flow], NetworkError]] = None,
+    ):
+        """Migrate every flow whose route crosses any of ``links``."""
+        links = set(links)
+        return self.migrate_flows(
+            [f for f in self._flows if links.intersection(f.links)],
+            route_of,
+            error_factory,
+        )
+
+    def set_class_cap(self, traffic_class: str,
+                      cap: Optional[float]) -> None:
+        """Cap (or with ``None`` uncap) a class's aggregate rate."""
+        if self.qos is None:
+            raise ValueError("class caps need a QoS-enabled engine")
+        if traffic_class not in TRAFFIC_CLASSES:
+            raise ValueError(f"unknown traffic class {traffic_class!r}")
+        if cap is not None and cap <= 0:
+            raise ValueError("cap must be positive (None to uncap)")
+        if cap == self._class_caps.get(traffic_class):
+            return
+        self._settle()
+        if cap is None:
+            del self._class_caps[traffic_class]
+        else:
+            self._class_caps[traffic_class] = cap
+        if self._flows:
+            self._reallocate()
+
+    def link_rate(self, link: Link) -> float:
+        """Aggregate allocated rate over ``link`` (bytes/s)."""
+        return sum(flow.rate for flow in self._flows
+                   if link in flow.links)
+
+    def class_rate(self, traffic_class: str) -> float:
+        """Aggregate allocated rate of a class's in-flight flows."""
+        if self.qos is None:
+            return 0.0
+        return sum(flow.rate for flow in self._flows
+                   if self.qos.class_of(flow) == traffic_class)
+
     # -- engine ------------------------------------------------------------
 
     def _notify(self, flow: Flow, delta: float) -> None:
@@ -178,6 +380,11 @@ class ReferenceFlowNetwork:
             return
         for observer in self._observers:
             observer(flow, delta)
+
+    def _account(self, flow: Flow, delta: float) -> None:
+        """Internal observer: per-class delivered-byte counters."""
+        cls = self.qos.class_of(flow)
+        self.class_bytes[cls] = self.class_bytes.get(cls, 0.0) + delta
 
     def _settle(self) -> None:
         """Credit every flow with progress since the last update."""
@@ -192,7 +399,12 @@ class ReferenceFlowNetwork:
 
     def _reallocate(self) -> None:
         """Recompute fair rates and schedule the next completion."""
-        rates = reference_max_min_rates(self._flows)
+        if self.qos is not None:
+            rates = reference_qos_max_min_rates(
+                self._flows, self.qos,
+                self._class_caps if self._class_caps else None)
+        else:
+            rates = reference_max_min_rates(self._flows)
         for flow in self._flows:
             flow.rate = rates.get(flow, 0.0)
         self.reallocations += 1

@@ -41,6 +41,18 @@ The engine runs in one of two settle disciplines:
 Wake-ups use a token guard instead of cancellable timers, scheduled
 through the kernel's lightweight :meth:`~repro.sim.Environment.call_at`
 fast path (no Event/Timeout allocation per reallocation).
+
+With a :class:`~repro.network.qos.QoSPolicy` attached (``qos=``), the
+engine becomes class-aware: control flows fill first over the full
+capacity (strict priority), interactive and bulk split the residual by
+weight, and an optional per-class rate cap (driven by
+:class:`~repro.network.qos.BulkAutorate`) paces bulk replication.
+In-flight flows can also *migrate*: :meth:`FlowNetwork.migrate_flows_on`
+re-pins flows whose route died onto a freshly computed route with
+``transferred`` bytes preserved, which is how a checkpoint replication
+survives a WAN link flap instead of restarting from zero.  The
+``qos=None`` default keeps every code path — and every golden trace —
+bit-identical to the classless engine.
 """
 
 from __future__ import annotations
@@ -54,6 +66,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..errors import NetworkError
 from ..sim import Environment, Event
 from .lan import CampusLAN, Link
+from .qos import CONTROL, TRAFFIC_CLASSES, QoSPolicy
 
 #: Fallback id source for flows constructed outside an engine (unit
 #: tests build bare :class:`Flow` objects).  A :class:`FlowNetwork`
@@ -76,6 +89,7 @@ class Flow:
     __slots__ = (
         "flow_id", "src", "dst", "size", "links", "transferred",
         "rate", "done", "category", "started_at", "settled_at", "eta",
+        "traffic_class", "routed_at", "migrations",
     )
 
     def __init__(self, env: Environment, src: str, dst: str, size: float,
@@ -97,6 +111,15 @@ class Flow:
         #: Estimated completion time under the current rate (lazy
         #: wake bookkeeping; ``inf`` while the rate is zero).
         self.eta = math.inf
+        #: QoS class stamped by a class-aware engine (``None`` on the
+        #: classless path; the policy classifies by category then).
+        self.traffic_class: Optional[str] = None
+        #: When the current route was pinned (creation or the last
+        #: migration) — the dwell clock route steering checks before
+        #: moving a flow again.
+        self.routed_at = env.now
+        #: Times this flow was re-pinned onto a recomputed route.
+        self.migrations = 0
 
     @property
     def remaining(self) -> float:
@@ -207,6 +230,172 @@ def _progressive_fill(
                     floor[hop] = current
 
 
+def _progressive_fill_weighted(
+    rates: Dict[Flow, float],
+    unfrozen: set,
+    residual: Dict[Link, float],
+    members: Dict[Link, List[Flow]],
+    wsums: Dict[Link, float],
+    counts: Dict[Link, int],
+    order: Dict[Link, int],
+    weights: Dict[Flow, float],
+) -> None:
+    """Weighted variant of :func:`_progressive_fill`.
+
+    A link's fair share is ``residual / sum-of-unfrozen-weights`` and
+    a flow freezes at ``share * weight`` — classic weighted max-min.
+    Same heap hygiene as the unweighted fill (decrease-only pushes,
+    lazy revalidation, first-touch tie-breaks).  ``counts`` guards
+    the termination test: weight sums are floats and could carry a
+    last-ulp residue after all traversals froze, integers cannot.
+    The reference oracle mirrors every division and subtraction in
+    this exact order, so QoS-on parity is bitwise.
+    """
+    heap: List[Tuple[float, int, Link]] = [
+        (residual[link] / wsums[link]
+         if residual[link] > 0.0 and wsums[link] > 0.0 else 0.0,
+         seq, link)
+        for link, seq in order.items()
+    ]
+    heapq.heapify(heap)
+    floor: Dict[Link, float] = {entry[2]: entry[0] for entry in heap}
+    pop = heapq.heappop
+    push = heapq.heappush
+    while heap and unfrozen:
+        share, seq, link = pop(heap)
+        if counts[link] <= 0:
+            continue  # all traversals frozen since this entry was pushed
+        room = residual[link]
+        wsum = wsums[link]
+        current = room / wsum if room > 0.0 and wsum > 0.0 else 0.0
+        if current != share:
+            push(heap, (current, seq, link))
+            floor[link] = current
+            continue  # stale entry; revalidated share goes back in
+        touched = {}
+        for flow in members[link]:
+            if flow not in unfrozen:
+                continue
+            weight = weights[flow]
+            rate = share * weight
+            rates[flow] = rate
+            unfrozen.discard(flow)
+            for hop in flow.links:
+                residual[hop] -= rate
+                wsums[hop] -= weight
+                counts[hop] -= 1
+                touched[hop] = None
+        for hop in touched:
+            if counts[hop] > 0:
+                room = residual[hop]
+                wsum = wsums[hop]
+                current = room / wsum if room > 0.0 and wsum > 0.0 else 0.0
+                if current < floor[hop]:
+                    push(heap, (current, order[hop], hop))
+                    floor[hop] = current
+
+
+def _split_by_priority(active: List[Flow], policy) -> Tuple[List[Flow],
+                                                            List[Flow]]:
+    """Partition flows into (strict-priority control, the rest),
+    preserving order.  With strict priority disabled everything lands
+    in the second bucket and one weighted fill covers all classes."""
+    if not policy.strict_priority_control:
+        return [], list(active)
+    control: List[Flow] = []
+    others: List[Flow] = []
+    for flow in active:
+        if policy.class_of(flow) == CONTROL:
+            control.append(flow)
+        else:
+            others.append(flow)
+    return control, others
+
+
+def _apply_class_caps(rates: Dict[Flow, float], active: List[Flow],
+                      policy, class_caps: Dict[str, float]) -> None:
+    """Scale each capped class down to its rate cap, proportionally.
+
+    Pacing deliberately strands the freed capacity instead of handing
+    it to other classes — the point of the autorate loop is headroom
+    (lower queueing delay), not reshuffled max-min shares.  Mirrored
+    verbatim in the reference oracle.
+    """
+    for cls in sorted(class_caps):
+        cap = class_caps[cls]
+        group = [flow for flow in active if policy.class_of(flow) == cls]
+        total = 0.0
+        for flow in group:
+            total += rates[flow]
+        if total > cap and total > 0.0:
+            scale = cap / total
+            for flow in group:
+                rates[flow] = rates[flow] * scale
+
+
+def qos_max_min_rates(
+    flows: List[Flow],
+    policy,
+    class_caps: Optional[Dict[str, float]] = None,
+) -> Dict[Flow, float]:
+    """Class-aware allocation: strict-priority control, weighted
+    max-min for the rest, then per-class rate caps.
+
+    The standalone QoS counterpart of :func:`max_min_rates` (and the
+    arithmetic the engine's component-scoped fast path reproduces):
+
+    1. control flows fill alone over the full link capacities;
+    2. the other classes run a *weighted* fill over the residual,
+       each flow frozen at ``share * class_weight``;
+    3. any capped class is scaled down to its cap proportionally.
+    """
+    rates: Dict[Flow, float] = {}
+    active = [flow for flow in flows if flow.links]
+    for flow in flows:
+        if not flow.links:
+            rates[flow] = math.inf  # local copies are disk-bound, not ours
+    if not active:
+        return rates
+    weights = {flow: policy.class_weight(policy.class_of(flow))
+               for flow in active}
+    control, others = _split_by_priority(active, policy)
+
+    def fill(group: List[Flow], consumed: List[Flow]) -> None:
+        residual: Dict[Link, float] = {}
+        members: Dict[Link, List[Flow]] = {}
+        wsums: Dict[Link, float] = {}
+        counts: Dict[Link, int] = {}
+        order: Dict[Link, int] = {}
+        for flow in group:
+            for link in flow.links:
+                if link not in residual:
+                    residual[link] = link.capacity
+                    members[link] = []
+                    wsums[link] = 0.0
+                    counts[link] = 0
+                    order[link] = len(order)
+                members[link].append(flow)
+                wsums[link] += weights[flow]
+                counts[link] += 1
+        # Capacity the higher-priority pass already consumed, charged
+        # in flow order so both engines subtract identically.
+        for flow in consumed:
+            rate = rates[flow]
+            for link in flow.links:
+                if link in residual:
+                    residual[link] -= rate
+        _progressive_fill_weighted(rates, set(group), residual, members,
+                                   wsums, counts, order, weights)
+
+    if control:
+        fill(control, [])
+    if others:
+        fill(others, control)
+    if class_caps:
+        _apply_class_caps(rates, active, policy, class_caps)
+    return rates
+
+
 class FlowNetwork:
     """Event-driven transfer engine over a :class:`CampusLAN`.
 
@@ -217,9 +406,16 @@ class FlowNetwork:
         result = yield done   # fires when the transfer completes
     """
 
-    def __init__(self, env: Environment, lan: CampusLAN):
+    def __init__(self, env: Environment, lan: CampusLAN,
+                 qos: Optional[QoSPolicy] = None):
         self.env = env
         self.lan = lan
+        #: Optional traffic-class policy.  ``None`` (the default) is
+        #: the classless engine — bit-identical to every pre-QoS trace.
+        self.qos = qos
+        #: Per-class aggregate rate caps (bytes/s), the pacing knob
+        #: :class:`~repro.network.qos.BulkAutorate` drives.
+        self._class_caps: Dict[str, float] = {}
         #: Active flows, keyed by flow id.  Insertion order is id
         #: order, which every deterministic iteration below relies on.
         self._flows: Dict[int, Flow] = {}
@@ -238,6 +434,20 @@ class FlowNetwork:
         self.reallocations = 0
         self.flows_started = 0
         self.flows_completed = 0
+        #: Flows re-pinned onto a recomputed route by migration.
+        self.flows_migrated = 0
+        #: Per-class delivered bytes / issued transfers (QoS engines
+        #: only — kept by the internal accounting observer below).
+        self.class_bytes: Dict[str, float] = {}
+        self.class_flows_started: Dict[str, int] = {}
+        if qos is not None:
+            for cls in TRAFFIC_CLASSES:
+                self.class_bytes[cls] = 0.0
+                self.class_flows_started[cls] = 0
+            # Class byte accounting rides the observer channel, which
+            # also pins the engine to synchronous settling: QoS engines
+            # trade the lazy fast path for deterministic class meters.
+            self.add_observer(self._account)
 
     @property
     def active_flows(self) -> List[Flow]:
@@ -284,19 +494,28 @@ class FlowNetwork:
         links = self.lan.path(src, dst)  # raises NetworkError if unreachable
         flow = Flow(self.env, src, dst, size, links, category,
                     flow_id=next(self._flow_seq))
+        if self.qos is not None:
+            flow.traffic_class = self.qos.classify(category)
+            self.class_flows_started[flow.traffic_class] = (
+                self.class_flows_started.get(flow.traffic_class, 0) + 1)
+        # Every issued transfer counts — including the instant paths
+        # below — so engine counters agree with the number of
+        # transfers callers started (and with the reference oracle).
+        self.flows_started += 1
         if not links:
             # Same-host: completes immediately (disk copy is modelled
             # by the storage layer, not the network).
             flow.transferred = flow.size
             self._notify(flow, flow.size)
+            self.flows_completed += 1
             flow.done.succeed(flow)
             return flow.done
         if size == 0:
+            self.flows_completed += 1
             flow.done.succeed(flow, delay=self.lan.latency(src, dst))
             return flow.done
         if self._observers:
             self._settle_all()
-        self.flows_started += 1
         self._flows[flow.flow_id] = flow
         for link in flow.links:
             self._link_index.setdefault(link, {})[flow.flow_id] = flow
@@ -356,6 +575,131 @@ class FlowNetwork:
         self._reallocate(component, buckets)
         return len(doomed)
 
+    def migrate_flows(
+        self,
+        flows: List[Flow],
+        route_of: Callable[[Flow], List[Link]],
+        error_factory: Optional[Callable[[Flow], NetworkError]] = None,
+    ) -> Tuple[int, int]:
+        """Re-pin in-flight flows onto freshly computed routes.
+
+        For each flow, ``route_of(flow)`` returns the new link list —
+        or raises a :class:`NetworkError` (subclass), dooming the flow.
+        Progress is settled at the switch point, so ``transferred``
+        bytes survive the move: a checkpoint replication that loses
+        its route resumes on the new one instead of restarting from
+        zero.  Doomed flows fail with ``error_factory(flow)`` when
+        given, else with whatever ``route_of`` raised.
+
+        Returns ``(migrated, killed)``.
+        """
+        if self._observers:
+            self._settle_all()
+        candidates = [f for f in flows if f.flow_id in self._flows]
+        if not candidates:
+            return (0, 0)
+        component, buckets = self._component_of(candidates)
+        now = self.env.now
+        moved: List[Flow] = []
+        killed = 0
+        for flow in candidates:
+            if not self._observers:
+                self._settle_flow(flow, now)  # bytes-so-far accounting
+            try:
+                new_links = route_of(flow)
+            except NetworkError as exc:
+                del component[flow.flow_id]
+                self._unregister(flow)
+                flow.done.fail(error_factory(flow)
+                               if error_factory is not None else exc)
+                killed += 1
+                continue
+            # Re-pin: move the flow between link buckets, stamp the
+            # dwell clock route steering consults before moving it
+            # again.
+            for link in flow.links:
+                bucket = self._link_index.get(link)
+                if bucket is not None:
+                    bucket.pop(flow.flow_id, None)
+                    if not bucket:
+                        del self._link_index[link]
+            flow.links = new_links
+            for link in new_links:
+                self._link_index.setdefault(link, {})[flow.flow_id] = flow
+            flow.routed_at = now
+            flow.migrations += 1
+            moved.append(flow)
+        self.flows_migrated += len(moved)
+        if moved:
+            # The reallocation scope spans the abandoned routes *and*
+            # the freshly pinned ones (whose incumbents now share).
+            extra_component, extra_buckets = self._component_of(moved)
+            component.update(extra_component)
+            buckets.update(extra_buckets)
+        self._reallocate(component, buckets)
+        return (len(moved), killed)
+
+    def migrate_flows_on(
+        self,
+        links,
+        route_of: Callable[[Flow], List[Link]],
+        error_factory: Optional[Callable[[Flow], NetworkError]] = None,
+    ) -> Tuple[int, int]:
+        """Migrate every flow whose route crosses any of ``links``.
+
+        The sever-time counterpart of :meth:`kill_flows_on`: flows
+        with a surviving alternate route move onto it, only genuinely
+        partitioned flows die.  Returns ``(migrated, killed)``.
+        """
+        links = set(links)
+        return self.migrate_flows(
+            [f for f in self._flows.values() if links.intersection(f.links)],
+            route_of,
+            error_factory,
+        )
+
+    def set_class_cap(self, traffic_class: str,
+                      cap: Optional[float]) -> None:
+        """Cap (or with ``None`` uncap) a class's aggregate rate.
+
+        The pacing knob :class:`~repro.network.qos.BulkAutorate`
+        drives: while capped, the class's flows are scaled down
+        proportionally after the fill and the freed capacity is
+        deliberately left idle (headroom, not reshuffled shares).
+        """
+        if self.qos is None:
+            raise ValueError("class caps need a QoS-enabled engine")
+        if traffic_class not in TRAFFIC_CLASSES:
+            raise ValueError(f"unknown traffic class {traffic_class!r}")
+        if cap is not None and cap <= 0:
+            raise ValueError("cap must be positive (None to uncap)")
+        if cap == self._class_caps.get(traffic_class):
+            return
+        if self._observers:
+            self._settle_all()
+        if cap is None:
+            del self._class_caps[traffic_class]
+        else:
+            self._class_caps[traffic_class] = cap
+        if self._flows:
+            # Cap changes rescale the whole class, so the realloc is
+            # global regardless of the cap-active component shortcut.
+            self._reallocate(dict(self._flows), dict(self._link_index))
+
+    def link_rate(self, link: Link) -> float:
+        """Aggregate allocated rate over ``link`` (bytes/s)."""
+        bucket = self._link_index.get(link)
+        if not bucket:
+            return 0.0
+        return sum(flow.rate for flow in bucket.values())
+
+    def class_rate(self, traffic_class: str) -> float:
+        """Aggregate allocated rate of a class's in-flight flows."""
+        if self.qos is None:
+            return 0.0
+        return sum(flow.rate for flow in self._flows.values()
+                   if self.qos.class_of(flow) == traffic_class)
+
     # -- engine ------------------------------------------------------------
 
     def _notify(self, flow: Flow, delta: float) -> None:
@@ -363,6 +707,11 @@ class FlowNetwork:
             return
         for observer in self._observers:
             observer(flow, delta)
+
+    def _account(self, flow: Flow, delta: float) -> None:
+        """Internal observer: per-class delivered-byte counters."""
+        cls = self.qos.class_of(flow)
+        self.class_bytes[cls] = self.class_bytes.get(cls, 0.0) + delta
 
     def _settle_all(self) -> None:
         """Credit every flow with progress since the last engine event.
@@ -403,6 +752,13 @@ class FlowNetwork:
         this walk disappear from them, which is exactly what the
         subsequent reallocation wants.
         """
+        if self._class_caps:
+            # A class cap is global state: the proportional rescale
+            # must see the class's *whole* aggregate rate, so while a
+            # cap is active every perturbation reallocates the full
+            # fabric (identically in the reference oracle, which is
+            # always global).  Values stay the live index buckets.
+            return dict(self._flows), dict(self._link_index)
         component: Dict[int, Flow] = {}
         buckets: Dict[Link, Dict[int, Flow]] = {}
         pending = list(seeds)
@@ -457,22 +813,33 @@ class FlowNetwork:
         flows = [component[fid] for fid in sorted(component)]
         rates: Dict[Flow, float] = {}
         if flows:
-            # Link tie-break order is first touch by a flow in id
-            # order, exactly as max_min_rates derives it.
-            order: Dict[Link, int] = {}
-            for flow in flows:
-                for link in flow.links:
-                    if link not in order:
-                        order[link] = len(order)
-            members = {link: list(buckets[link].values()) for link in order}
-            _progressive_fill(
-                rates,
-                set(flows),
-                {link: link.capacity for link in order},
-                members,
-                {link: len(bucket) for link, bucket in members.items()},
-                order,
-            )
+            if self.qos is not None:
+                # Class-aware allocation over the component, in id
+                # order — exactly the arithmetic of the standalone
+                # allocator (and the reference oracle's global fill;
+                # weighted max-min on disjoint components is
+                # independent, so scoping preserves bitwise parity).
+                rates = qos_max_min_rates(
+                    flows, self.qos,
+                    self._class_caps if self._class_caps else None)
+            else:
+                # Link tie-break order is first touch by a flow in id
+                # order, exactly as max_min_rates derives it.
+                order: Dict[Link, int] = {}
+                for flow in flows:
+                    for link in flow.links:
+                        if link not in order:
+                            order[link] = len(order)
+                members = {link: list(buckets[link].values())
+                           for link in order}
+                _progressive_fill(
+                    rates,
+                    set(flows),
+                    {link: link.capacity for link in order},
+                    members,
+                    {link: len(bucket) for link, bucket in members.items()},
+                    order,
+                )
         if self._observers:
             for flow in flows:
                 flow.rate = rates.get(flow, 0.0)

@@ -37,6 +37,11 @@ class TrafficMeter:
         network.add_observer(self._observe)
 
     def _observe(self, flow: Flow, delta: float) -> None:
+        if delta <= 0:
+            # Engines guard zero deltas too, but a phantom notification
+            # must never create a category key (the defaultdicts below
+            # would report a category that carried no bytes).
+            return
         index = int(self.env.now // self.window)
         self._bins[flow.category][index] += delta
         self._totals[flow.category] += delta

@@ -26,7 +26,9 @@ severed route fail with :class:`~repro.errors.WanPartitionError` — a
 distinct error so federation gateways can treat "partitioned, retry on
 heal" differently from a permanent routing mistake.  Attach
 :func:`attach_partition_enforcement` so flows already in flight over a
-link die the instant it is severed, exactly like a real long-haul cut.
+severed link *migrate* onto the recomputed route the instant it goes
+down (progress preserved), with only genuinely partitioned flows
+dying — exactly like a real long-haul cut under IGP reconvergence.
 """
 
 from __future__ import annotations
@@ -57,6 +59,14 @@ class WanLink(Link):
     #: :meth:`WanTopology.sever` / :meth:`WanTopology.heal`; a down
     #: link is invisible to routing.
     up: bool = True
+    #: Start of the current metering window (simulation time) and the
+    #: ``bytes_carried`` reading when it opened.  ``bytes_carried``
+    #: itself is cumulative since construction; utilization is
+    #: reported against the window so post-heal numbers are not
+    #: inflated by pre-outage history.  Partition enforcement opens a
+    #: fresh window on every sever/heal transition.
+    window_start: float = 0.0
+    window_bytes: float = 0.0
 
     def __post_init__(self):
         super().__post_init__()
@@ -67,11 +77,24 @@ class WanLink(Link):
         """Meter ``nbytes`` carried over this link."""
         self.bytes_carried += nbytes
 
-    def utilization(self, elapsed: float) -> float:
-        """Mean utilization over an ``elapsed``-second window."""
-        if elapsed <= 0:
+    def begin_window(self, now: float) -> None:
+        """Open a fresh metering window at simulation time ``now``."""
+        self.window_start = now
+        self.window_bytes = self.bytes_carried
+
+    def utilization(self, now: float) -> float:
+        """Mean utilization over the current metering window.
+
+        The window runs from ``window_start`` (construction, unless
+        :meth:`begin_window` opened a newer one) to ``now`` — a true
+        window mean, not bytes-since-construction over an arbitrary
+        divisor.
+        """
+        elapsed = now - self.window_start
+        if elapsed <= 0 or self.capacity <= 0:
             return 0.0
-        return self.bytes_carried / (self.capacity * elapsed)
+        return (self.bytes_carried - self.window_bytes) / (
+            self.capacity * elapsed)
 
 
 class WanTopology:
@@ -358,28 +381,77 @@ def attach_wan_meter(fabric: FlowNetwork) -> None:
     fabric.add_observer(meter)
 
 
-def attach_partition_enforcement(fabric: FlowNetwork,
-                                 wan: WanTopology) -> None:
-    """Make link failures bite in-flight traffic.
+def attach_partition_enforcement(
+    fabric: FlowNetwork,
+    wan: WanTopology,
+    migrate: bool = True,
+    steer_on_heal: bool = False,
+    steer_margin: float = 1.5,
+    steer_dwell: float = 60.0,
+) -> None:
+    """Make link failures bite in-flight traffic — by *rerouting* it.
 
-    Subscribes to ``wan``'s sever transitions; every flow whose pinned
-    route crosses a freshly-severed link fails immediately with
-    :class:`~repro.errors.WanPartitionError` (delivered at the waiter's
-    ``yield``, exactly like a TCP reset after a long-haul cut).  Heals
-    need no enforcement — surviving flows keep their routes, and new
-    transfers pick up the recomputed paths.
+    Subscribes to ``wan``'s sever/heal transitions.  On a sever, every
+    flow whose pinned route crosses the cut is handed to
+    :meth:`~repro.network.flows.FlowNetwork.migrate_flows_on`: flows
+    whose ``(src, dst)`` is still reachable re-pin onto the freshly
+    recomputed route with ``transferred`` bytes preserved, and only
+    genuinely partitioned flows fail with
+    :class:`~repro.errors.WanPartitionError` (delivered at the
+    waiter's ``yield``, exactly like a TCP reset after a long-haul
+    cut).  ``migrate=False`` restores the legacy kill-everything
+    behaviour.
+
+    ``steer_on_heal=True`` additionally steers long-lived flows back
+    when a heal restores a much better route — guarded by hysteresis
+    so flows don't flap: a flow is only moved once it has dwelt
+    ``steer_dwell`` seconds on its current route *and* that route's
+    latency exceeds the best available by ``steer_margin``×.
+
+    Both transitions also open a fresh :meth:`WanLink.begin_window`
+    metering window on the pair, so utilization reports around an
+    outage never mix pre-outage history in.
     """
 
     def on_transition(event: str, a: str, b: str) -> None:
-        if event != "sever":
-            return
-        down = {wan.link(a, b), wan.link(b, a)}
-        fabric.kill_flows_on(
-            down,
-            error_factory=lambda flow: WanPartitionError(
+        now = fabric.env.now
+        pair = (wan.link(a, b), wan.link(b, a))
+        if event == "sever":
+            down = set(pair)
+            error_factory = lambda flow: WanPartitionError(
                 f"flow {flow.flow_id} ({flow.src}->{flow.dst}) lost: "
-                f"WAN link {a}<->{b} severed"
-            ),
-        )
+                f"WAN link {a}<->{b} severed and no alternate route"
+            )
+            if migrate:
+                fabric.migrate_flows_on(
+                    down,
+                    lambda flow: wan.path(flow.src, flow.dst),
+                    error_factory=error_factory,
+                )
+            else:
+                fabric.kill_flows_on(down, error_factory=error_factory)
+        elif event == "heal" and steer_on_heal:
+            candidates = []
+            for flow in fabric.active_flows:
+                if now - flow.routed_at < steer_dwell:
+                    continue  # hasn't dwelt long enough to move again
+                current = sum(link.latency for link in flow.links)
+                try:
+                    best = wan.latency(flow.src, flow.dst)
+                except NetworkError:
+                    continue  # no live route; the next sever handles it
+                if current > best * steer_margin:
+                    candidates.append(flow)
+            if candidates:
+                fabric.migrate_flows(
+                    candidates,
+                    lambda flow: wan.path(flow.src, flow.dst),
+                )
+        # Open the fresh metering window *after* the flow handling:
+        # migrating/killing settles progress first, so bytes carried
+        # up to this instant land in the closing window, not the new
+        # one.
+        for link in pair:
+            link.begin_window(now)
 
     wan.add_listener(on_transition)

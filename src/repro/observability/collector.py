@@ -82,6 +82,7 @@ class FleetCollector:
         self._collect_campuses(reg)
         self._collect_federation(reg)
         self._collect_wan(reg, now)
+        self._collect_qos(reg)
         self._collect_tracing(reg)
         self._collect_kernel(reg)
         return reg
@@ -199,6 +200,43 @@ class FleetCollector:
                 link_util.set(link.utilization(now), link=link.name)
             link_up.set(1.0 if link.up else 0.0, link=link.name)
 
+    def _collect_qos(self, reg: MetricRegistry) -> None:
+        """Per-class WAN fabric families (QoS-enabled deployments)."""
+        fabric = self.deployment.fabric
+        if fabric.qos is None:
+            return
+        cls_bytes = reg.counter("wan_class_bytes_total",
+                                "Bytes delivered per traffic class")
+        cls_started = reg.counter("wan_class_flows_started_total",
+                                  "Transfers issued per traffic class")
+        cls_rate = reg.gauge("wan_class_rate_bytes_per_sec",
+                             "Allocated rate per traffic class")
+        for cls in sorted(fabric.class_bytes):
+            cls_bytes.inc(fabric.class_bytes[cls], **{"class": cls})
+            cls_started.inc(fabric.class_flows_started.get(cls, 0),
+                            **{"class": cls})
+            cls_rate.set(fabric.class_rate(cls), **{"class": cls})
+        reg.counter("wan_flows_migrated_total",
+                    "In-flight flows re-pinned onto recomputed routes"
+                    ).inc(fabric.flows_migrated)
+        autorate = self.deployment.autorate
+        if autorate is not None:
+            reg.gauge("wan_autorate_engaged",
+                      "Whether bulk pacing currently holds a cap").set(
+                1.0 if autorate.engaged else 0.0)
+            reg.counter("wan_autorate_backoffs_total",
+                        "Multiplicative decreases applied to bulk").inc(
+                autorate.backoffs)
+            reg.counter("wan_autorate_recoveries_total",
+                        "Cap recoveries after sustained calm").inc(
+                autorate.recoveries)
+            reg.gauge("wan_control_rtt_inflation",
+                      "Last sampled worst-link control RTT inflation").set(
+                autorate.last_inflation)
+            if autorate.cap is not None:
+                reg.gauge("wan_autorate_bulk_cap_bytes_per_sec",
+                          "Active bulk-class rate cap").set(autorate.cap)
+
     def _collect_tracing(self, reg: MetricRegistry) -> None:
         tracer = self.deployment.tracer
         if tracer is None:
@@ -273,6 +311,25 @@ class FleetCollector:
             },
             "unresolved": deployment.unresolved_count(),
         }
+        fabric = deployment.fabric
+        if fabric.qos is not None:
+            qos: Dict[str, Any] = {
+                "class_bytes": {cls: round(value, 2) for cls, value
+                                in sorted(fabric.class_bytes.items())},
+                "class_flows_started": dict(
+                    sorted(fabric.class_flows_started.items())),
+                "flows_migrated": fabric.flows_migrated,
+            }
+            autorate = deployment.autorate
+            if autorate is not None:
+                qos["autorate"] = {
+                    "engaged": autorate.engaged,
+                    "backoffs": autorate.backoffs,
+                    "recoveries": autorate.recoveries,
+                    "last_inflation": round(autorate.last_inflation, 4),
+                    "cap": autorate.cap,
+                }
+            status["qos"] = qos
         tracer = deployment.tracer
         if tracer is not None:
             status["traces"] = {

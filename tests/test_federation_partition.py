@@ -254,3 +254,38 @@ def test_transfer_on_severed_route_raises_wan_partition_error():
     done = fed.fabric.transfer("north", "south", 1 * GIB)
     fed.run(until=1 * HOUR)
     assert done.ok
+
+
+def test_bulk_checkpoint_survives_mid_transfer_sever():
+    """The severed-route fix at deployment level: a checkpoint transfer
+    between sites that remain reachable over an alternate WAN route
+    migrates instead of dying, with its transferred bytes preserved."""
+    fed = FederatedDeployment(seed=3)
+    for name in ("origin", "hub", "backup"):
+        fed.add_campus(name)
+    fed.connect("origin", "hub", latency=0.010)
+    fed.connect("hub", "backup", latency=0.010)
+    fed.connect("origin", "backup", latency=0.060)
+    # origin->backup routes via hub (20 ms beats 60 ms direct).
+    done = fed.fabric.transfer("origin", "backup", 4 * GIB,
+                               category="federation-checkpoint")
+    fed.run(until=10.0)
+    flow = next(f for f in fed.fabric.active_flows if f.dst == "backup")
+    assert not done.triggered
+    fed.sever("hub", "backup")
+    # Reachability survives over the direct link; the flow re-pinned.
+    assert [link.name for link in flow.links] == ["origin->backup"]
+    assert flow.migrations == 1
+    assert flow.transferred > 0
+    flow_bytes_at_sever = flow.transferred
+    assert fed.fabric.flows_migrated == 1
+    fed.run(until=2 * HOUR)
+    assert done.ok
+    assert done.value.transferred == pytest.approx(4 * GIB)
+    # The WAN meter saw every checkpoint byte exactly once across both
+    # routes (plus gossip/RPC chatter, hence >=), and the direct link
+    # carried the post-migration remainder.
+    report = {entry["link"]: entry["bytes"]
+              for entry in fed.wan_link_report(fed.env.now)}
+    assert sum(report.values()) >= 4 * GIB
+    assert report["origin->backup"] >= 4 * GIB - flow_bytes_at_sever

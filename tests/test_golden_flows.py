@@ -355,3 +355,170 @@ def test_federated_chaos_golden():
     opt_log, opt_summary = run_federated_chaos(FlowNetwork)
     assert opt_log == ref_log
     assert opt_summary == ref_summary
+
+
+# -- QoS allocator + engine equivalence ------------------------------------
+
+from repro.network import (  # noqa: E402  (grouped with the QoS tests)
+    BULK,
+    QoSPolicy,
+    attach_partition_enforcement,
+    qos_max_min_rates,
+)
+from repro.network._reference import reference_qos_max_min_rates
+
+QOS_CATEGORIES = ("control", "rpc", "session", "checkpoint",
+                  "federation-checkpoint", "federation-dataset",
+                  "image-pull", "data", "mystery")
+
+
+def random_qos_population(seed, hosts=12, flows=50):
+    env = Environment()
+    lan = CampusLAN(backbone_capacity=gbps(8))
+    rng = random.Random(seed)
+    names = [f"h{i}" for i in range(hosts)]
+    for name in names:
+        lan.attach(name, access_capacity=gbps(rng.choice((1, 2, 10))))
+    population = []
+    for i in range(flows):
+        src, dst = rng.sample(names, 2)
+        population.append(
+            Flow(env, src, dst, rng.uniform(1, 500) * MIB,
+                 lan.path(src, dst), rng.choice(QOS_CATEGORIES)))
+    return population
+
+
+@pytest.mark.parametrize("seed", range(12))
+@pytest.mark.parametrize("strict", (True, False))
+def test_qos_rates_match_reference_bitwise(seed, strict):
+    """The weighted/strict-priority allocator reproduces its naive
+    restart reference float-for-float, with and without class caps."""
+    population = random_qos_population(seed)
+    policy = QoSPolicy(strict_priority_control=strict)
+    fast = qos_max_min_rates(population, policy)
+    slow = reference_qos_max_min_rates(population, policy)
+    assert fast == slow
+    caps = {BULK: mbps(150 + 25 * seed)}
+    fast = qos_max_min_rates(population, policy, class_caps=caps)
+    slow = reference_qos_max_min_rates(population, policy, class_caps=caps)
+    assert fast == slow
+
+
+def run_qos_lan_churn(engine_cls, seed):
+    """LAN churn with a QoS engine: classed arrivals, host kills, and
+    live class-cap toggles mid-run."""
+    env = Environment()
+    lan = CampusLAN(backbone_capacity=gbps(6))
+    hosts = [f"h{i}" for i in range(10)]
+    for i, name in enumerate(hosts):
+        lan.attach(name, access_capacity=gbps(1 + (i % 3)))
+    net = engine_cls(env, lan, qos=QoSPolicy())
+    trace = []
+    net.add_observer(
+        lambda flow, delta: trace.append(("obs", env.now,
+                                          flow.flow_id, delta)))
+    rng = random.Random(seed)
+
+    def record(event):
+        if event.ok:
+            flow = event.value
+            trace.append(("done", env.now, flow.flow_id,
+                          flow.transferred, flow.traffic_class))
+        else:
+            trace.append(("fail", env.now, str(event.value)))
+
+    def driver(env):
+        for i in range(100):
+            src, dst = rng.sample(hosts, 2)
+            done = net.transfer(src, dst, rng.uniform(1, 300) * MIB,
+                                category=rng.choice(QOS_CATEGORIES))
+            done.callbacks.append(record)
+            yield env.timeout(rng.uniform(0.01, 2.5))
+            if rng.random() < 0.1:
+                killed = net.kill_host_flows(rng.choice(hosts),
+                                             reason="chaos")
+                trace.append(("kill", env.now, killed))
+            if i in (10, 40, 70):
+                cap = rng.choice((gbps(0.5), gbps(1), None))
+                net.set_class_cap(BULK, cap)
+                trace.append(("cap", env.now, cap))
+
+    env.process(driver(env))
+    env.run()
+    trace.append(("end", env.now, net.flows_completed,
+                  tuple(sorted(net.class_bytes.items())),
+                  tuple(sorted(net.class_flows_started.items()))))
+    return trace
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_qos_lan_churn_trace_bit_identical(seed):
+    reference = run_qos_lan_churn(ReferenceFlowNetwork, seed)
+    optimized = run_qos_lan_churn(FlowNetwork, seed)
+    assert optimized == reference
+
+
+def run_wan_migration_churn(engine_cls, seed):
+    """WAN sever/heal churn with *migrating* enforcement attached: the
+    engines must re-pin the same flows at the same instants, settle the
+    same deltas, and doom the same genuinely-partitioned flows."""
+    env = Environment()
+    wan = WanTopology(default_capacity=mbps(400))
+    wan.connect("e", "f")
+    wan.connect("f", "g")
+    wan.connect("e", "g", latency=0.030)
+    wan.connect("g", "island", latency=0.020)
+    routes = [("e", "f"), ("e", "g"), ("f", "g"), ("e", "island")]
+    net = engine_cls(env, wan, qos=QoSPolicy())
+    trace = []
+    net.add_observer(
+        lambda flow, delta: trace.append(("obs", env.now,
+                                          flow.flow_id, delta)))
+    attach_partition_enforcement(net, wan)
+    rng = random.Random(seed)
+
+    def record(event):
+        if event.ok:
+            flow = event.value
+            trace.append(("done", env.now, flow.flow_id,
+                          flow.transferred, flow.migrations))
+        else:
+            trace.append(("fail", env.now, type(event.value).__name__))
+
+    def driver(env):
+        pairs = [("e", "f"), ("f", "g"), ("g", "island")]
+        for _ in range(70):
+            src, dst = rng.choice(routes)
+            if rng.random() < 0.5:
+                src, dst = dst, src
+            try:
+                done = net.transfer(
+                    src, dst, rng.uniform(1, 80) * MIB,
+                    category=rng.choice(QOS_CATEGORIES))
+            except Exception as exc:  # severed at submit time
+                trace.append(("reject", env.now, type(exc).__name__))
+            else:
+                done.callbacks.append(record)
+            yield env.timeout(rng.uniform(0.05, 2.0))
+            if rng.random() < 0.12:
+                pair = rng.choice(pairs)
+                if wan.is_severed(*pair):
+                    wan.heal(*pair)
+                    trace.append(("heal", env.now, pair))
+                else:
+                    wan.sever(*pair)
+                    trace.append(("sever", env.now, pair))
+
+    env.process(driver(env))
+    env.run()
+    trace.append(("end", env.now, net.flows_completed,
+                  net.flows_migrated,
+                  tuple(sorted(net.class_bytes.items()))))
+    return trace
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_wan_migration_churn_trace_bit_identical(seed):
+    reference = run_wan_migration_churn(ReferenceFlowNetwork, seed)
+    optimized = run_wan_migration_churn(FlowNetwork, seed)
+    assert optimized == reference

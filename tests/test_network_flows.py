@@ -282,3 +282,27 @@ def test_flow_conservation_under_churn():
     env.run()
     assert all(ev.ok for ev in events)
     assert sum(delivered) == pytest.approx(sum(sizes))
+
+
+def test_instant_transfers_count_in_both_engines():
+    """Zero-byte and same-host transfers are issued transfers: both
+    engines count them in flows_started/flows_completed identically,
+    so counters agree with the number of transfers callers made."""
+    from repro.network._reference import ReferenceFlowNetwork
+
+    def run(engine_cls):
+        env = Environment()
+        lan = CampusLAN(default_latency=0.001)
+        lan.attach("a")
+        lan.attach("b")
+        net = engine_cls(env, lan)
+        net.transfer("a", "b", size=0)          # RPC round, no bytes
+        net.transfer("a", "a", size=100 * GIB)  # same-host disk copy
+        net.transfer("a", "a", size=0)          # both at once
+        net.transfer("a", "b", size=10 * MIB)   # a real flow
+        env.run()
+        return net.flows_started, net.flows_completed
+
+    fast = run(FlowNetwork)
+    reference = run(ReferenceFlowNetwork)
+    assert fast == reference == (4, 4)

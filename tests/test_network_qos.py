@@ -1,0 +1,420 @@
+"""WAN QoS: traffic classes, weighted filling, strict priority,
+class caps, flow migration, and the bulk autorate loop."""
+
+import pytest
+
+from repro.errors import NetworkError, WanPartitionError
+from repro.network import (
+    BULK,
+    CONTROL,
+    INTERACTIVE,
+    AutorateConfig,
+    BulkAutorate,
+    FlowNetwork,
+    QoSPolicy,
+    WanTopology,
+    attach_partition_enforcement,
+    attach_wan_meter,
+    qos_max_min_rates,
+)
+from repro.network.flows import Flow
+from repro.network.lan import Link
+from repro.sim import Environment
+from repro.units import GIB, MIB, mbps
+
+
+# -- policy ----------------------------------------------------------------
+
+def test_policy_classifies_known_categories():
+    policy = QoSPolicy()
+    assert policy.classify("control") == CONTROL
+    assert policy.classify("session") == INTERACTIVE
+    assert policy.classify("checkpoint") == BULK
+    assert policy.classify("federation-checkpoint") == BULK
+    assert policy.classify("federation-dataset") == BULK
+    assert policy.classify("image-pull") == BULK
+    # Unknown categories default to bulk — they must not sneak into
+    # the protected classes.
+    assert policy.classify("mystery") == BULK
+
+
+def test_policy_overrides_and_default_class():
+    policy = QoSPolicy(category_classes={"mystery": INTERACTIVE},
+                       default_class=INTERACTIVE)
+    assert policy.classify("mystery") == INTERACTIVE
+    assert policy.classify("never-seen") == INTERACTIVE
+    assert policy.classify("checkpoint") == BULK  # defaults still apply
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        QoSPolicy(default_class="platinum")
+    with pytest.raises(ValueError):
+        QoSPolicy(weights={CONTROL: 4.0, INTERACTIVE: 2.0})  # bulk missing
+    with pytest.raises(ValueError):
+        QoSPolicy(weights={CONTROL: 4.0, INTERACTIVE: 2.0, BULK: 0.0})
+    with pytest.raises(ValueError):
+        QoSPolicy(category_classes={"x": "platinum"})
+
+
+def test_class_of_prefers_stamped_class():
+    env = Environment()
+    policy = QoSPolicy()
+    flow = Flow(env, "a", "b", 1.0, [], category="checkpoint")
+    assert policy.class_of(flow) == BULK
+    flow.traffic_class = CONTROL  # engine stamp wins over category
+    assert policy.class_of(flow) == CONTROL
+
+
+# -- allocation ------------------------------------------------------------
+
+def _flows(env, link, categories):
+    return [Flow(env, "a", "b", 1.0, [link], category=c)
+            for c in categories]
+
+
+def test_strict_priority_control_takes_full_capacity():
+    env = Environment()
+    link = Link("l", mbps(100))
+    control, bulk = _flows(env, link, ["control", "checkpoint"])
+    rates = qos_max_min_rates([control, bulk], QoSPolicy())
+    # Control fills first over the full capacity; bulk gets what is
+    # left — here nothing, which is exactly what "strict priority"
+    # promises (control RPCs are small and finish fast).
+    assert rates[control] == pytest.approx(mbps(100))
+    assert rates[bulk] == 0.0
+
+
+def test_weighted_fill_without_strict_priority():
+    env = Environment()
+    link = Link("l", mbps(100))
+    control, bulk = _flows(env, link, ["control", "checkpoint"])
+    policy = QoSPolicy(strict_priority_control=False)
+    rates = qos_max_min_rates([control, bulk], policy)
+    # One weighted fill: control weight 4, bulk weight 1.
+    assert rates[control] == pytest.approx(mbps(100) * 4 / 5)
+    assert rates[bulk] == pytest.approx(mbps(100) * 1 / 5)
+
+
+def test_interactive_vs_bulk_split_residual_by_weight():
+    env = Environment()
+    link = Link("l", mbps(90))
+    session, ckpt = _flows(env, link, ["session", "checkpoint"])
+    rates = qos_max_min_rates([session, ckpt], QoSPolicy())
+    # No control flows: the weighted fill covers the full capacity,
+    # interactive (2) vs bulk (1).
+    assert rates[session] == pytest.approx(mbps(90) * 2 / 3)
+    assert rates[ckpt] == pytest.approx(mbps(90) * 1 / 3)
+
+
+def test_class_cap_scales_proportionally_and_strands_capacity():
+    env = Environment()
+    l1, l2 = Link("l1", mbps(100)), Link("l2", mbps(50))
+    b1 = Flow(env, "a", "b", 1.0, [l1], category="checkpoint")
+    b2 = Flow(env, "c", "d", 1.0, [l2], category="checkpoint")
+    ctl = Flow(env, "a", "b", 1.0, [l1], category="control")
+    rates = qos_max_min_rates([b1, b2, ctl], QoSPolicy(),
+                              class_caps={BULK: mbps(30)})
+    # Uncapped bulk would be 0 on l1 (control owns it) + 50 on l2;
+    # the cap scales the class total 50 down to 30, proportionally.
+    assert rates[ctl] == pytest.approx(mbps(100))  # control untouched
+    assert rates[b1] == 0.0
+    assert rates[b2] == pytest.approx(mbps(30))
+
+
+def test_set_class_cap_validation():
+    env = Environment()
+    wan = WanTopology()
+    wan.connect("a", "b")
+    classless = FlowNetwork(env, wan)
+    with pytest.raises(ValueError):
+        classless.set_class_cap(BULK, mbps(10))
+    fabric = FlowNetwork(env, wan, qos=QoSPolicy())
+    with pytest.raises(ValueError):
+        fabric.set_class_cap("platinum", mbps(10))
+    with pytest.raises(ValueError):
+        fabric.set_class_cap(BULK, 0.0)
+    fabric.set_class_cap(BULK, None)  # uncapping when uncapped: no-op
+
+
+def test_engine_applies_live_class_cap():
+    env = Environment()
+    wan = WanTopology()
+    wan.connect("a", "b", capacity=mbps(100), latency=0.0)
+    fabric = FlowNetwork(env, wan, qos=QoSPolicy())
+    fabric.transfer("a", "b", 10 * GIB, category="checkpoint")
+    flow = fabric.active_flows[0]
+    assert flow.rate == pytest.approx(mbps(100))
+    fabric.set_class_cap(BULK, mbps(25))
+    assert flow.rate == pytest.approx(mbps(25))
+    assert fabric.class_rate(BULK) == pytest.approx(mbps(25))
+    fabric.set_class_cap(BULK, None)
+    assert flow.rate == pytest.approx(mbps(100))
+
+
+def test_per_class_counters_track_transfers():
+    env = Environment()
+    wan = WanTopology()
+    wan.connect("a", "b", capacity=mbps(100), latency=0.0)
+    fabric = FlowNetwork(env, wan, qos=QoSPolicy())
+    fabric.transfer("a", "b", 10 * MIB, category="control")
+    fabric.transfer("a", "b", 40 * MIB, category="federation-checkpoint")
+    fabric.transfer("a", "b", 20 * MIB, category="session")
+    env.run()
+    assert fabric.class_flows_started == {CONTROL: 1, INTERACTIVE: 1,
+                                          BULK: 1}
+    assert fabric.class_bytes[CONTROL] == pytest.approx(10 * MIB)
+    assert fabric.class_bytes[BULK] == pytest.approx(40 * MIB)
+    assert fabric.class_bytes[INTERACTIVE] == pytest.approx(20 * MIB)
+
+
+# -- migration -------------------------------------------------------------
+
+def test_migrate_flows_preserves_bytes_and_reroutes():
+    env = Environment()
+    wan = WanTopology()
+    wan.connect("a", "b", capacity=mbps(100), latency=0.010)
+    wan.connect("a", "c", capacity=mbps(100), latency=0.020)
+    wan.connect("c", "b", capacity=mbps(100), latency=0.020)
+    fabric = FlowNetwork(env, wan)
+    seen = []
+    fabric.add_observer(lambda flow, delta: seen.append(delta))
+    done = fabric.transfer("a", "b", 1 * GIB)
+    env.run(until=10.0)
+    flow = fabric.active_flows[0]
+    detour = [wan.link("a", "c"), wan.link("c", "b")]
+    migrated, killed = fabric.migrate_flows([flow], lambda f: detour)
+    assert (migrated, killed) == (1, 0)
+    assert flow.links == detour
+    assert flow.transferred == pytest.approx(mbps(100) * 10.0)
+    assert flow.routed_at == 10.0
+    env.run()
+    assert done.ok
+    # Byte conservation across the migration: observers saw every
+    # byte exactly once, no restart from zero.
+    assert sum(seen) == pytest.approx(1 * GIB)
+    # Delivery latency uses the topology's current shortest path
+    # between the endpoints (the direct link is still up here).
+    total_time = GIB / mbps(100)
+    assert env.now == pytest.approx(total_time + wan.latency("a", "b"),
+                                    rel=1e-6)
+
+
+def test_migrate_flows_kills_on_route_error():
+    env = Environment()
+    wan = WanTopology()
+    wan.connect("a", "b", capacity=mbps(100))
+    fabric = FlowNetwork(env, wan)
+    done = fabric.transfer("a", "b", 1 * GIB)
+    env.run(until=1.0)
+    flow = fabric.active_flows[0]
+
+    def no_route(f):
+        raise WanPartitionError("nope")
+
+    migrated, killed = fabric.migrate_flows([flow], no_route)
+    assert (migrated, killed) == (0, 1)
+    assert fabric.flows_migrated == 0
+    env.run()
+    assert done.processed and not done.ok
+    assert isinstance(done.value, WanPartitionError)
+
+
+def test_migrate_flows_error_factory_overrides_route_error():
+    env = Environment()
+    wan = WanTopology()
+    wan.connect("a", "b", capacity=mbps(100))
+    fabric = FlowNetwork(env, wan)
+    done = fabric.transfer("a", "b", 1 * GIB)
+    env.run(until=1.0)
+
+    def no_route(f):
+        raise NetworkError("generic")
+
+    fabric.migrate_flows(fabric.active_flows, no_route,
+                         error_factory=lambda f: WanPartitionError(
+                             f"flow {f.flow_id} partitioned"))
+    env.run()
+    assert isinstance(done.value, WanPartitionError)
+
+
+def test_migration_rebalances_incumbents_on_target_route():
+    """A migrated flow contends with flows already on its new route:
+    the reallocation scope must span both components."""
+    env = Environment()
+    wan = WanTopology()
+    wan.connect("a", "b", capacity=mbps(100), latency=0.0)
+    wan.connect("c", "d", capacity=mbps(100), latency=0.0)
+    fabric = FlowNetwork(env, wan)
+    fabric.transfer("a", "b", 10 * GIB)
+    fabric.transfer("c", "d", 10 * GIB)
+    mover, incumbent = fabric.active_flows
+    assert incumbent.rate == pytest.approx(mbps(100))
+    fabric.migrate_flows([mover], lambda f: [wan.link("c", "d")])
+    # Both now share c->d: the incumbent's rate was recomputed too.
+    assert mover.rate == pytest.approx(mbps(50))
+    assert incumbent.rate == pytest.approx(mbps(50))
+
+
+# -- autorate --------------------------------------------------------------
+
+def _saturated_stack(config=None):
+    env = Environment()
+    wan = WanTopology()
+    wan.connect("origin", "hub", capacity=mbps(400), latency=0.010)
+    fabric = FlowNetwork(env, wan, qos=QoSPolicy())
+    autorate = BulkAutorate(env, fabric, wan, config=config)
+    return env, wan, fabric, autorate
+
+
+def test_autorate_requires_qos_fabric():
+    env = Environment()
+    wan = WanTopology()
+    wan.connect("a", "b")
+    with pytest.raises(ValueError):
+        BulkAutorate(env, FlowNetwork(env, wan), wan)
+
+
+def test_autorate_config_validation():
+    with pytest.raises(ValueError):
+        AutorateConfig(interval=0.0)
+    with pytest.raises(ValueError):
+        AutorateConfig(release_inflation=2.5, target_inflation=2.0)
+    with pytest.raises(ValueError):
+        AutorateConfig(decrease=1.1)
+    with pytest.raises(ValueError):
+        AutorateConfig(floor_fraction=0.0)
+    with pytest.raises(ValueError):
+        AutorateConfig(release_ticks=0)
+
+
+def test_autorate_backs_off_saturated_bulk_then_releases():
+    env, wan, fabric, autorate = _saturated_stack()
+    done = fabric.transfer("origin", "hub", 2 * GIB,
+                           category="federation-checkpoint")
+    env.run(until=10.0)
+    # A saturated link (rho clamped at 0.99) inflates the delay proxy
+    # far past the 2.0 target: the loop engages and keeps decreasing
+    # until inflation drops inside the hysteresis band.
+    assert autorate.engaged
+    assert autorate.backoffs >= 2
+    assert autorate.cap is not None
+    settled_inflation = autorate.measure()
+    assert 1.0 < settled_inflation < autorate.config.target_inflation
+    # The paced transfer still completes; once the fabric is idle the
+    # calm samples accumulate and the cap fully releases.  (Bounded
+    # run: the autorate process ticks forever by design.)
+    env.run(until=200.0)
+    assert done.ok
+    assert not autorate.engaged
+    assert autorate.cap is None
+    assert autorate.recoveries >= 1
+
+
+def test_autorate_hysteresis_band_holds():
+    """Inside the band (release < inflation < target) the cap holds:
+    no backoff, no recovery — the anti-flap guarantee."""
+    env, wan, fabric, autorate = _saturated_stack()
+    fabric.transfer("origin", "hub", 100 * GIB, category="checkpoint")
+    env.run(until=5.0)  # enough ticks to settle into the band
+    backoffs = autorate.backoffs
+    recoveries = autorate.recoveries
+    cap = autorate.cap
+    for _ in range(5):
+        autorate.tick()
+    assert autorate.backoffs == backoffs
+    assert autorate.recoveries == recoveries
+    assert autorate.cap == cap
+
+
+def test_autorate_ignores_control_only_load():
+    """Inflation caused by non-bulk traffic must not engage pacing —
+    there is no bulk to pace."""
+    env, wan, fabric, autorate = _saturated_stack()
+    fabric.transfer("origin", "hub", 100 * GIB, category="control")
+    env.run(until=5.0)
+    assert autorate.samples >= 4
+    assert autorate.last_inflation > autorate.config.target_inflation
+    assert not autorate.engaged
+    assert autorate.backoffs == 0
+
+
+def test_autorate_cap_floor():
+    config = AutorateConfig(floor_fraction=0.5)
+    env, wan, fabric, autorate = _saturated_stack(config)
+    fabric.transfer("origin", "hub", 100 * GIB, category="checkpoint")
+    env.run(until=30.0)
+    assert autorate.engaged
+    # However hard it pushes, the cap never drops below half the
+    # engage-time bulk rate: paced, not starved.
+    assert autorate.min_cap >= 0.5 * mbps(400) * 0.999
+
+
+# -- heal-time steering ----------------------------------------------------
+
+def _flap_topology():
+    wan = WanTopology()
+    wan.connect("a", "b", capacity=mbps(100), latency=0.010)
+    wan.connect("a", "c", capacity=mbps(100), latency=0.030)
+    wan.connect("c", "b", capacity=mbps(100), latency=0.030)
+    return wan
+
+
+def test_steer_on_heal_moves_dwelled_flows_back():
+    env = Environment()
+    wan = _flap_topology()
+    fabric = FlowNetwork(env, wan)
+    attach_wan_meter(fabric)
+    attach_partition_enforcement(fabric, wan, steer_on_heal=True,
+                                 steer_margin=1.5, steer_dwell=5.0)
+    fabric.transfer("a", "b", 100 * GIB)
+    env.run(until=1.0)
+    wan.sever("a", "b")  # migrates onto the 60 ms detour at t=1
+    flow = fabric.active_flows[0]
+    assert flow.migrations == 1
+    env.run(until=10.0)
+    wan.heal("a", "b")
+    # Dwell satisfied (9 s > 5 s) and the detour costs 60 ms vs the
+    # restored 10 ms route (> 1.5x margin): the flow steers back.
+    assert flow.migrations == 2
+    assert [l.name for l in flow.links] == ["a->b"]
+
+
+def test_steer_on_heal_respects_dwell_hysteresis():
+    env = Environment()
+    wan = _flap_topology()
+    fabric = FlowNetwork(env, wan)
+    attach_wan_meter(fabric)
+    attach_partition_enforcement(fabric, wan, steer_on_heal=True,
+                                 steer_margin=1.5, steer_dwell=60.0)
+    fabric.transfer("a", "b", 100 * GIB)
+    env.run(until=1.0)
+    wan.sever("a", "b")
+    flow = fabric.active_flows[0]
+    env.run(until=10.0)
+    wan.heal("a", "b")
+    # Only 9 s on the detour — under the 60 s dwell, so the flow does
+    # NOT flap back even though the better route exists.
+    assert flow.migrations == 1
+    assert [l.name for l in flow.links] == ["a->c", "c->b"]
+
+
+def test_steer_on_heal_respects_latency_margin():
+    env = Environment()
+    wan = WanTopology()
+    wan.connect("a", "b", capacity=mbps(100), latency=0.010)
+    # Detour barely worse than direct: 12 ms vs 10 ms — inside the
+    # 1.5x margin, not worth the move.
+    wan.connect("a", "c", capacity=mbps(100), latency=0.006)
+    wan.connect("c", "b", capacity=mbps(100), latency=0.006)
+    fabric = FlowNetwork(env, wan)
+    attach_wan_meter(fabric)
+    attach_partition_enforcement(fabric, wan, steer_on_heal=True,
+                                 steer_margin=1.5, steer_dwell=1.0)
+    fabric.transfer("a", "b", 100 * GIB)
+    env.run(until=1.0)
+    wan.sever("a", "b")
+    flow = fabric.active_flows[0]
+    env.run(until=10.0)
+    wan.heal("a", "b")
+    assert flow.migrations == 1  # held: margin not met

@@ -89,3 +89,66 @@ def test_window_validation(stack):
     env, net, meter = stack
     with pytest.raises(ValueError):
         TrafficMeter(env, net, window=0)
+
+
+def test_zero_delta_never_creates_phantom_category(stack):
+    """A zero-byte notification must not materialize a category key:
+    the meter's defaultdicts would otherwise report categories that
+    never carried a byte (and the Prometheus families built from
+    ``categories`` would export them)."""
+    env, net, meter = stack
+    # Same-host zero-byte: the engine's notify path sees delta == 0.
+    net.transfer("a", "a", 0, category="phantom")
+    # Deliver one directly at the observer too — defense in depth
+    # against any future engine path that forwards a zero delta.
+    class _FakeFlow:
+        category = "phantom-direct"
+    meter._observe(_FakeFlow(), 0.0)
+    meter._observe(_FakeFlow(), -1.0)
+    env.run()
+    assert meter.categories == []
+    assert meter.total_bytes("phantom") == 0.0
+    assert meter.peak_rate("phantom") == 0.0
+
+
+def test_empty_meter_rate_edges(stack):
+    """peak_rate/average_rate over a meter that never saw a byte, for
+    both the all-categories and named-category forms."""
+    env, net, meter = stack
+    assert meter.peak_rate() == 0.0
+    assert meter.peak_rate("checkpoint") == 0.0
+    assert meter.average_rate() == 0.0
+    assert meter.average_rate("checkpoint", since=0, until=50) == 0.0
+    # Degenerate window: zero or negative duration is 0, not a div-by-0.
+    assert meter.average_rate(since=10, until=10) == 0.0
+    assert meter.average_rate(since=10, until=5) == 0.0
+    assert meter.series("checkpoint") == []
+
+
+def test_combined_category_summation_across_overlapping_windows(stack):
+    """``category=None`` sums *within* each window before taking the
+    peak: two categories each at 0.5 Gbps in the same window must read
+    as one 1 Gbps window, not two 0.5 Gbps ones."""
+    env, net, meter = stack
+    # Both run concurrently for 4 s, sharing windows [0, 10).
+    net.transfer("a", "b", gbps(0.5) * 4, category="x")
+    net.transfer("c", "b", gbps(0.5) * 4, category="y")
+    env.run()
+    assert meter.peak_rate("x") == pytest.approx(gbps(0.5) * 4 / 10)
+    assert meter.peak_rate() == pytest.approx(
+        meter.peak_rate("x") + meter.peak_rate("y"))
+    assert meter.total_bytes() == pytest.approx(gbps(0.5) * 8)
+
+
+def test_average_rate_spanning_partial_window_at_sim_end(stack):
+    """average_rate defaulting ``until=now`` mid-window divides by the
+    true elapsed duration, not a rounded-up window multiple."""
+    env, net, meter = stack
+    net.transfer("a", "b", gbps(1) * 5, category="data")  # done at t=5
+    env.run(until=15.0)  # now sits mid-window [10, 20)
+    # All bytes landed in window [0, 10); duration is the real 15 s.
+    assert meter.average_rate("data") == pytest.approx(gbps(1) * 5 / 15.0)
+    # An explicit partial window that excludes the traffic: the bin
+    # overlaps [0, 10) so window-granular accounting attributes its
+    # bytes to any span touching that bin.
+    assert meter.average_rate("data", since=10, until=15) == 0.0

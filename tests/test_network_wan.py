@@ -166,52 +166,109 @@ def test_sever_spares_flows_on_other_routes():
     wan = triangle()
     fabric = FlowNetwork(env, wan)
     attach_partition_enforcement(fabric, wan)
-    doomed = fabric.transfer("a", "b", 1 * GIB)
+    # Severing a<->b leaves a->b reachable via c, so this flow
+    # *migrates* rather than dying; the c->b flow never notices.
+    rerouted = fabric.transfer("a", "b", 1 * GIB)
     safe = fabric.transfer("c", "b", 1 * GIB)
     env.run(until=1.0)
     wan.sever("a", "b")
     env.run()
-    assert not doomed.ok
+    assert rerouted.ok
+    assert rerouted.value.migrations == 1
     assert safe.ok
+    assert safe.value.migrations == 0
 
 
-def test_pinned_flow_dies_on_sever_while_recomputed_routes_flow():
-    """The documented PR-2 nuance, pinned as a regression test.
+def test_severed_flow_migrates_onto_recomputed_route():
+    """The ROADMAP item-1 fix, pinned as a regression test.
 
-    A flow is *pinned* to the route computed at its start: severing
-    any link of that route kills it even though an alternate route
-    exists the whole time — in-flight transfers are never re-spread
-    onto recomputed paths.  Flows on unrelated links survive, and new
-    transfers between the same endpoints immediately use the
-    recomputed route.
+    Before the reroute-capable engine, a flow was *pinned* to the
+    route computed at its start: severing any link of that route
+    killed it even though an alternate route existed the whole time
+    (this test fails on that engine — the old assertion was
+    ``pinned.processed and not pinned.ok``).  Now the flow migrates
+    onto the recomputed route with its transferred bytes preserved.
     """
     env = Environment()
     wan = triangle()
     fabric = FlowNetwork(env, wan)
+    attach_wan_meter(fabric)  # synchronous settling, as deployments run
     attach_partition_enforcement(fabric, wan)
     # a->c routes via b (20 ms beats the 50 ms direct link), so this
-    # flow is pinned to the a->b, b->c links.
-    pinned = fabric.transfer("a", "c", 10 * GIB)
+    # flow starts pinned to the a->b, b->c links.
+    migrating = fabric.transfer("a", "c", 10 * GIB)
     assert {l.name for l in wan.path("a", "c")} == {"a->b", "b->c"}
-    # An unrelated flow: a->b shares the pinned flow's first link but
-    # never touches the pair about to sever.
+    # An unrelated flow: a->b shares the first link but never touches
+    # the pair about to sever.
     unrelated = fabric.transfer("a", "b", 1 * GIB)
     env.run(until=1.0)
-    assert not pinned.triggered
+    assert not migrating.triggered
+    flow = next(f for f in fabric.active_flows if f.dst == "c")
 
     wan.sever("b", "c")
-    # The recomputed a->c route exists (the direct 50 ms link) ...
+    # The recomputed a->c route exists (the direct 50 ms link) and the
+    # in-flight flow re-pinned onto it.  Migration settles progress at
+    # the switch point, so the second of pre-sever transfer is already
+    # credited — no restart from zero.
     assert [l.name for l in wan.path("a", "c")] == ["a->c"]
-    env.run(until=2.0)
-    # ... but the pinned flow died instead of migrating onto it.
-    assert pinned.processed and not pinned.ok
-    assert isinstance(pinned.value, WanPartitionError)
-    # A new transfer between the same endpoints takes the recomputed
-    # route and completes; the unrelated flow never noticed.
-    retried = fabric.transfer("a", "c", 1 * GIB)
+    assert [l.name for l in flow.links] == ["a->c"]
+    assert flow.migrations == 1
+    assert flow.transferred > 0
+    assert fabric.flows_migrated == 1
     env.run()
-    assert retried.ok
+    assert migrating.ok
+    assert migrating.value.transferred == pytest.approx(10 * GIB)
     assert unrelated.ok
+    # Completion latency follows the *new* route (50 ms direct hop).
+
+
+def test_sever_with_no_alternate_route_still_kills():
+    """Migration must not soften genuine partitions: a flow whose
+    endpoints become unreachable fails with WanPartitionError."""
+    env = Environment()
+    wan = triangle()
+    fabric = FlowNetwork(env, wan)
+    attach_partition_enforcement(fabric, wan)
+    doomed = fabric.transfer("a", "c", 10 * GIB)  # routes a->b->c
+    env.run(until=1.0)
+    wan.sever("a", "c")  # not on the route: the flow never notices
+    assert not doomed.triggered
+    wan.sever("a", "b")  # 'a' is now fully cut off — no route left
+    env.run(until=2.0)
+    assert doomed.processed and not doomed.ok
+    assert isinstance(doomed.value, WanPartitionError)
+    assert fabric.flows_migrated == 0
+
+
+def test_utilization_windows_reset_around_sever_heal():
+    """WanLink.utilization is a true window mean: enforcement opens a
+    fresh metering window on each transition, so post-heal numbers
+    are not inflated (or diluted) by pre-outage history."""
+    env = Environment()
+    wan = WanTopology()
+    wan.connect("a", "b", capacity=mbps(100), latency=0.010)
+    fabric = FlowNetwork(env, wan)
+    attach_wan_meter(fabric)
+    attach_partition_enforcement(fabric, wan)
+    link = wan.link("a", "b")
+    fabric.transfer("a", "b", 10 * GIB)
+    env.run(until=10.0)
+    # Severing settles the doomed flow first (crediting the 10 s of
+    # saturated traffic to the closing window), *then* opens a fresh
+    # metering window.
+    wan.sever("a", "b")
+    assert link.bytes_carried == pytest.approx(mbps(100) * 10.0)
+    env.run(until=20.0)
+    # The outage window carried nothing — cumulative bytes over
+    # elapsed time would report ~50% here; the window mean must be 0.
+    assert link.utilization(env.now) == 0.0
+    wan.heal("a", "b")   # opens another window at t=20
+    fabric.transfer("a", "b", 1 * GIB)
+    env.run()
+    # Post-heal utilization reflects only post-heal traffic.
+    elapsed = env.now - 20.0
+    assert link.utilization(env.now) == pytest.approx(
+        GIB / (mbps(100) * elapsed), rel=1e-6)
 
 
 def test_path_load_counts_flows_sharing_route_links():

@@ -203,3 +203,47 @@ def test_endpoint_restart_and_ephemeral_ports():
     assert endpoint.start() == first  # idempotent while running
     endpoint.stop()
     endpoint.stop()  # idempotent when already stopped
+
+
+def test_qos_families_reach_fleet_scrape_and_status():
+    """A classed deployment exposes per-class counters, migration
+    totals, and the autorate gauges through the fleet collector."""
+    from repro.network import QoSPolicy
+    from repro.units import GIB
+
+    fed = FederatedDeployment(seed=9, qos=QoSPolicy())
+    for name in ("north", "south", "west"):
+        fed.add_campus(name)
+    fed.connect("north", "south", latency=0.010)
+    fed.connect("south", "west", latency=0.010)
+    fed.connect("north", "west", latency=0.060)
+    fed.enable_bulk_autorate()
+    done = fed.fabric.transfer("north", "west", 2 * GIB,
+                               category="federation-checkpoint")
+    fed.run(until=5.0)
+    fed.sever("south", "west")  # in-flight checkpoint migrates
+    fed.run(until=1 * HOUR)
+    assert done.ok
+
+    collector = FleetCollector(fed)
+    text = collector.expose()
+    for family in ("wan_class_bytes_total", "wan_class_flows_started_total",
+                   "wan_class_rate_bytes_per_sec", "wan_flows_migrated_total",
+                   "wan_autorate_engaged", "wan_autorate_backoffs_total",
+                   "wan_autorate_recoveries_total", "wan_control_rtt_inflation"):
+        assert f"# TYPE {family} " in text, family
+    assert 'wan_class_bytes_total{class="bulk"}' in text
+    assert "wan_flows_migrated_total 1" in text
+
+    status = collector.status()
+    qos = status["qos"]
+    assert qos["flows_migrated"] == 1
+    assert qos["class_bytes"]["bulk"] == pytest.approx(2 * GIB, rel=1e-6)
+    assert qos["autorate"]["backoffs"] >= 1
+
+
+def test_classless_deployment_has_no_qos_families():
+    fed = build_fleet()
+    collector = FleetCollector(fed)
+    assert "wan_class_bytes_total" not in collector.expose()
+    assert "qos" not in collector.status()

@@ -7,7 +7,10 @@ The trajectory file every perf-focused PR is measured against:
   run against both the optimized engine and the preserved reference
   implementation, with the churn-phase speedup as the headline;
 * **macro** — the relay-chaos federation scenario on the optimized
-  engine (the reference is too slow to be worth timing end-to-end).
+  engine (the reference is too slow to be worth timing end-to-end);
+* **wan_qos** — the WAN QoS saturation + link-flap scenario
+  (``benchmarks/bench_wan_qos``): strict-priority control latency,
+  in-flight flow migration, and the bulk autorate loop.
 
 Usage::
 
@@ -129,6 +132,15 @@ def run_suite(quick: bool) -> dict:
     print(f"[perf]   {macro['wall_seconds']}s wall, "
           f"{macro['events_per_sec']} events/s, "
           f"{macro['reallocations_per_sec']} reallocations/s", flush=True)
+    from bench_wan_qos import WAN_QOS_FULL, WAN_QOS_QUICK, run_wan_qos
+    wan_qos_params = WAN_QOS_QUICK if quick else WAN_QOS_FULL
+    print(f"[perf] wan qos flap: {wan_qos_params}", flush=True)
+    wan_qos = run_wan_qos(**wan_qos_params)
+    print(f"[perf]   {wan_qos['wall_seconds']}s wall, "
+          f"{wan_qos['flows_migrated']} migrations, "
+          f"{wan_qos['autorate']['backoffs']} autorate backoffs, "
+          f"control mean latency {wan_qos['control_mean_latency']}s",
+          flush=True)
     return {
         "micro_flow_churn": {
             "optimized": optimized,
@@ -138,6 +150,7 @@ def run_suite(quick: bool) -> dict:
         },
         "hooks_overhead": hooks_overhead,
         "macro_relay_chaos": macro,
+        "wan_qos": wan_qos,
     }
 
 
@@ -165,6 +178,38 @@ def check_regression(results: dict, baseline_path: Path, mode: str) -> int:
               f"{overhead * 100:.2f}% on the churn microbench — the "
               "hooks fast path is no longer near-free")
         return 1
+    # WAN QoS invariants are simulation results, not wall-clock, so
+    # they gate deterministically regardless of machine speed.
+    wan_qos = results.get("wan_qos")
+    if wan_qos is not None:
+        pacer = wan_qos["autorate"]
+        print(f"[perf] wan qos: {wan_qos['bulk_completed']}/"
+              f"{wan_qos['bulk_transfers']} checkpoints survived the "
+              f"flap, {wan_qos['flows_migrated']} migrations, "
+              f"{pacer['backoffs']} backoffs")
+        if wan_qos["bulk_completed"] < wan_qos["bulk_transfers"]:
+            print("[perf] REGRESSION: bulk checkpoints died across the "
+                  "link flap instead of migrating")
+            return 1
+        if wan_qos["flows_migrated"] < 1:
+            print("[perf] REGRESSION: the flap rerouted zero in-flight "
+                  "flows — migration is not engaging")
+            return 1
+        if pacer["backoffs"] < 1 or pacer["engaged_at_end"]:
+            print("[perf] REGRESSION: the bulk autorate loop failed to "
+                  "engage under saturation (or failed to release after "
+                  "the burst drained)")
+            return 1
+        recorded_qos = recorded.get("wan_qos")
+        if recorded_qos is not None:
+            before_lat = recorded_qos["control_mean_latency"]
+            after_lat = wan_qos["control_mean_latency"]
+            print(f"[perf] wan qos control mean latency: {after_lat}s "
+                  f"now, {before_lat}s recorded (gate: <= 1.5x)")
+            if before_lat and after_lat > 1.5 * before_lat:
+                print("[perf] REGRESSION: strict-priority control "
+                      "latency degraded vs the committed baseline")
+                return 1
     return 0
 
 
