@@ -1,0 +1,29 @@
+"""Scenario runner throughput: a full chaos sweep stays cheap.
+
+Not a paper figure — a harness benchmark: compiling and seed-sweeping
+the demo flash-crowd scenario (diurnal demand across two timezones,
+spot-style churn, a WAN outage) must stay fast enough to run inside
+tier-1 CI, and the sweep's invariants must hold under timing.
+"""
+
+from conftest import run_once
+
+from repro.scenarios import ScenarioRunner, example_scenario
+
+
+def sweep():
+    return ScenarioRunner(example_scenario(), seeds=(1, 2, 3)).sweep()
+
+
+def test_scenario_sweep_is_fast_and_clean(benchmark):
+    report = run_once(benchmark, sweep)
+    aggregate = report.aggregate()
+    print()
+    print(f"seeds: {aggregate['seeds']}  "
+          f"jobs: {aggregate['jobs_planned']} planned / "
+          f"{aggregate['jobs_completed']} completed  "
+          f"sessions: {aggregate['sessions_planned']}  "
+          f"mean utilization: {aggregate['mean_utilization']:.1%}")
+    assert report.ok, report.violations
+    assert aggregate["jobs_planned"] > 0
+    assert aggregate["sessions_planned"] > 0

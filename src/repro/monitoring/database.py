@@ -56,7 +56,11 @@ class SystemDatabase:
     """SQLite-backed persistence for the coordinator."""
 
     def __init__(self, path: str = ":memory:"):
-        self._conn = sqlite3.connect(path)
+        # check_same_thread=False: the SimulationServer drives the sim
+        # from a worker thread while handlers submit from HTTP threads;
+        # every access is serialized by the server's snapshot lock, so
+        # sqlite's own same-thread guard would only reject safe calls.
+        self._conn = sqlite3.connect(path, check_same_thread=False)
         self._conn.executescript(_SCHEMA)
 
     def close(self) -> None:

@@ -13,10 +13,14 @@ running (or finished) federation can be inspected with nothing but
 * ``GET /traces/<id>/chrome`` — the same trace as Chrome trace-event
   JSON (load in Perfetto / ``chrome://tracing``).
 
-The server runs on a daemon thread and every request reads simulation
-state directly — safe because handlers never mutate it, and because
-the typical use drives the simulation stepwise from the same process
-(scrape between ``run()`` calls, or after the run finishes).
+The server runs on a daemon thread pool (``ThreadingHTTPServer``), so
+a slow scrape — a giant ``/traces/<id>`` tree dribbling to a slow
+client — never stalls ``/status`` for everyone else.  Handlers take
+the endpoint's snapshot lock only while *reading* simulation state
+into a response body, and write the body to the socket outside it;
+anything that mutates simulation state concurrently (the
+:class:`~repro.server.SimulationServer` driver thread) shares the same
+lock, so every scrape sees a consistent instant.
 
 >>> from repro.federation import FederatedDeployment
 >>> from repro.observability import FleetCollector, StatusEndpoint
@@ -40,37 +44,71 @@ from .collector import FleetCollector
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
+#: A fully-rendered HTTP response: status code, content type, body
+#: text, and any extra headers (e.g. ``Retry-After``).
+Response = tuple  # (code, content_type, body, headers_dict)
+
+
 class _Handler(BaseHTTPRequestHandler):
-    """Routes one request against the attached collector."""
+    """Routes one request against the attached collector.
+
+    Subclasses (the simulation server) extend :meth:`_route` with
+    their own paths and methods; everything routed here builds its
+    full response body *under the snapshot lock* and writes it to the
+    socket *outside* it, so a slow client connection never holds
+    simulation state hostage.
+    """
 
     #: Injected by :class:`StatusEndpoint` via a subclass attribute.
     collector: FleetCollector = None  # type: ignore[assignment]
+    #: Snapshot lock shared with whoever mutates simulation state.
+    lock: threading.Lock = None  # type: ignore[assignment]
+    #: Routes advertised in 404 bodies (subclasses extend).
+    routes = ["/metrics", "/status", "/traces", "/traces/<id>",
+              "/traces/<id>/chrome"]
 
     def do_GET(self):  # noqa: N802 - http.server's naming
+        self._serve("GET", None)
+
+    def _serve(self, method: str, payload) -> None:
+        """Build the response under the lock, then write it outside."""
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         try:
-            if path == "/metrics":
-                self._reply(200, PROMETHEUS_CONTENT_TYPE,
-                            self.collector.expose() + "\n")
-            elif path == "/status":
-                self._json(200, self.collector.status())
-            elif path == "/traces":
-                self._traces_index()
-            elif path.startswith("/traces/"):
-                self._trace(path[len("/traces/"):])
-            else:
-                self._json(404, {"error": "not found", "routes": [
-                    "/metrics", "/status", "/traces", "/traces/<id>",
-                    "/traces/<id>/chrome"]})
+            with self.lock:
+                response = self._route(method, path, payload)
+            if response is None:
+                response = self._json_doc(404, {
+                    "error": "not found", "routes": list(self.routes)})
         except Exception as error:  # surface, don't kill the thread
-            self._json(500, {"error": repr(error)})
+            response = self._json_doc(500, {"error": repr(error)})
+        self._reply(*response)
 
-    def _traces_index(self) -> None:
+    # -- routing (snapshot reads; called with the lock held) ---------------
+
+    def _route(self, method: str, path: str, payload) -> Optional[Response]:
+        """Resolve one request to a rendered response (``None`` = 404)."""
+        if method != "GET":
+            return None
+        if path == "/metrics":
+            return (200, PROMETHEUS_CONTENT_TYPE,
+                    self._metrics_text() + "\n", {})
+        if path == "/status":
+            return self._json_doc(200, self.collector.status())
+        if path == "/traces":
+            return self._traces_index()
+        if path.startswith("/traces/"):
+            return self._trace(path[len("/traces/"):])
+        return None
+
+    def _metrics_text(self) -> str:
+        """The ``/metrics`` exposition (subclasses append families)."""
+        return self.collector.expose()
+
+    def _traces_index(self) -> Response:
         tracer = self.collector.deployment.tracer
         if tracer is None:
-            self._json(200, {"tracing": False, "traces": []})
-            return
-        self._json(200, {"tracing": True, "traces": [
+            return self._json_doc(200, {"tracing": False, "traces": []})
+        return self._json_doc(200, {"tracing": True, "traces": [
             {
                 "trace_id": trace_id,
                 "spans": len(tracer.spans(trace_id)),
@@ -80,34 +118,36 @@ class _Handler(BaseHTTPRequestHandler):
             for trace_id in tracer.trace_ids()
         ]})
 
-    def _trace(self, rest: str) -> None:
+    def _trace(self, rest: str) -> Response:
         tracer = self.collector.deployment.tracer
         if tracer is None:
-            self._json(404, {"error": "tracing is not enabled"})
-            return
+            return self._json_doc(404, {"error": "tracing is not enabled"})
         chrome = rest.endswith("/chrome")
         trace_id = rest[:-len("/chrome")] if chrome else rest
         if trace_id not in tracer.trace_ids():
-            self._json(404, {"error": f"unknown trace {trace_id!r}"})
-            return
+            return self._json_doc(404, {"error": f"unknown trace {trace_id!r}"})
         if chrome:
-            self._json(200, tracer.to_chrome_trace(trace_id))
-        else:
-            self._json(200, {"trace_id": trace_id,
-                             "orphans": len(tracer.orphans(trace_id)),
-                             "tree": tracer.tree(trace_id)})
+            return self._json_doc(200, tracer.to_chrome_trace(trace_id))
+        return self._json_doc(200, {"trace_id": trace_id,
+                                    "orphans": len(tracer.orphans(trace_id)),
+                                    "tree": tracer.tree(trace_id)})
 
     # -- plumbing ----------------------------------------------------------
 
-    def _json(self, code: int, document) -> None:
-        self._reply(code, "application/json",
-                    json.dumps(document, indent=2) + "\n")
+    @staticmethod
+    def _json_doc(code: int, document, headers: Optional[dict] = None,
+                  ) -> Response:
+        return (code, "application/json",
+                json.dumps(document, indent=2) + "\n", headers or {})
 
-    def _reply(self, code: int, content_type: str, body: str) -> None:
+    def _reply(self, code: int, content_type: str, body: str,
+               headers: Optional[dict] = None) -> None:
         data = body.encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(data)
 
@@ -116,22 +156,38 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class StatusEndpoint:
-    """Serves a fleet collector over HTTP on a daemon thread."""
+    """Serves a fleet collector over HTTP on a daemon thread.
+
+    ``lock`` is the snapshot lock every handler takes while reading
+    simulation state.  Pass the same lock to whatever advances the
+    simulation concurrently (e.g. a server driver thread); by default
+    each endpoint gets its own — correct for the common scrape-between-
+    ``run()``-calls usage, where nothing mutates during requests.
+    """
+
+    #: Handler class to bind (subclasses swap in their own).
+    handler_class = _Handler
 
     def __init__(self, collector: FleetCollector,
-                 host: str = "127.0.0.1", port: int = 0):
+                 host: str = "127.0.0.1", port: int = 0,
+                 lock: Optional[threading.Lock] = None):
         self.collector = collector
         self.host = host
         self.port = port  # 0 = pick an ephemeral port on start()
+        self.lock = lock if lock is not None else threading.Lock()
         self._server: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
+
+    def _handler_attrs(self) -> dict:
+        """Class attributes injected into the bound handler."""
+        return {"collector": self.collector, "lock": self.lock}
 
     def start(self) -> str:
         """Bind and serve; returns the base URL (resolved port)."""
         if self._server is not None:
             return self.url
-        handler = type("BoundHandler", (_Handler,),
-                       {"collector": self.collector})
+        handler = type("BoundHandler", (self.handler_class,),
+                       self._handler_attrs())
         self._server = ThreadingHTTPServer((self.host, self.port), handler)
         self.port = self._server.server_address[1]
         self._thread = threading.Thread(

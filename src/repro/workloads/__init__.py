@@ -1,6 +1,7 @@
 """Workload models, job specs, and campus demand generation."""
 
-from .generator import Arrival, LabProfile, WorkloadGenerator, diurnal_weight
+from .demand import DemandProcess, diurnal_weight
+from .generator import Arrival, LabProfile, WorkloadGenerator
 from .interactive import (
     InteractiveSessionSpec,
     SessionOutcome,
@@ -48,5 +49,6 @@ __all__ = [
     "LabProfile",
     "WorkloadGenerator",
     "Arrival",
+    "DemandProcess",
     "diurnal_weight",
 ]

@@ -18,7 +18,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..sim import RngStreams
-from ..units import DAY, HOUR, MINUTE
+from ..units import HOUR, MINUTE
+from .demand import DemandProcess, diurnal_weight
 from .interactive import InteractiveSessionSpec, next_session_id
 from .models import MODEL_CATALOG, WorkloadModel
 from .training import TrainingJobSpec, next_job_id
@@ -57,33 +58,17 @@ class Arrival:
         return self.time < other.time
 
 
-def diurnal_weight(time_of_day: float) -> float:
-    """Relative demand intensity over the day.
-
-    Campus activity peaks mid-afternoon and bottoms out before dawn;
-    modelled as a raised cosine with its minimum at 04:00.
-    """
-    phase = 2 * math.pi * (time_of_day / DAY - 4 * HOUR / DAY)
-    return 0.55 - 0.45 * math.cos(phase)
-
-
 def _poisson_arrivals(
     rng, rate_per_day: float, horizon: float, modulated: bool = True
 ) -> List[float]:
-    """Thinned non-homogeneous Poisson arrival times over [0, horizon]."""
-    if rate_per_day <= 0:
-        return []
-    peak_rate = rate_per_day / DAY  # events per second at weight 1.0
-    times = []
-    t = 0.0
-    while True:
-        t += rng.expovariate(peak_rate)
-        if t >= horizon:
-            break
-        if modulated and rng.random() > diurnal_weight(t % DAY):
-            continue
-        times.append(t)
-    return times
+    """Thinned non-homogeneous Poisson arrival times over [0, horizon].
+
+    A thin wrapper over :class:`~repro.workloads.demand.DemandProcess`
+    (where the primitive now lives); kept because every per-lab stream
+    in this module funnels through it.
+    """
+    return DemandProcess(rate_per_day, modulated=modulated).arrivals(
+        rng, horizon)
 
 
 class WorkloadGenerator:

@@ -41,6 +41,16 @@ def test_auto_submission_runs(capsys):
     assert "checkpoint interval" in out
 
 
+def test_simulation_service_runs(capsys):
+    run_example("simulation_service.py")
+    out = capsys.readouterr().out
+    assert "simulation service listening on http://" in out
+    assert "submitted api-" in out
+    assert "server_jobs_submitted_total 3" in out
+    assert "invariant violations: none" in out
+    assert "service stopped" in out
+
+
 def test_multi_campus_runs(capsys):
     run_example("multi_campus.py")
     out = capsys.readouterr().out

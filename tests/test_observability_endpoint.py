@@ -1,6 +1,9 @@
 """Fleet collector and the live status endpoint, over real HTTP."""
 
 import json
+import socket
+import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -203,6 +206,71 @@ def test_endpoint_restart_and_ephemeral_ports():
     assert endpoint.start() == first  # idempotent while running
     endpoint.stop()
     endpoint.stop()  # idempotent when already stopped
+
+
+def test_two_concurrent_requests_both_succeed(served):
+    """The threaded server answers overlapping scrapes in parallel."""
+    fed, url = served
+    results = {}
+
+    def fetch(path):
+        results[path] = get(url + path)[0]
+
+    threads = [threading.Thread(target=fetch, args=(path,))
+               for path in ("/status", "/metrics", "/traces")]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10.0)
+    assert results == {"/status": 200, "/metrics": 200, "/traces": 200}
+
+
+def test_stalled_trace_scrape_does_not_block_status():
+    """A client stuck mid-request must not stall other routes.
+
+    With the old single-threaded server, one connection that opened
+    but never finished sending its request held the accept loop
+    hostage; ``/status`` below would hit its timeout.
+    """
+    fed = build_fleet()
+    endpoint = StatusEndpoint(FleetCollector(fed))
+    url = endpoint.start()
+    stalled = socket.create_connection((endpoint.host, endpoint.port))
+    try:
+        stalled.sendall(b"GET /traces HTTP/1.1\r\n")  # headers never finish
+        start = time.monotonic()
+        code, _headers, body = get(url + "/status")
+        assert code == 200
+        assert json.loads(body)["sim_time"] == fed.env.now
+        assert time.monotonic() - start < 5.0
+    finally:
+        stalled.close()
+        endpoint.stop()
+
+
+def test_snapshot_lock_gates_reads_but_not_writes():
+    """Handlers snapshot under the endpoint lock, so a mutator holding
+    it delays the response — and releasing it unblocks immediately."""
+    fed = build_fleet()
+    endpoint = StatusEndpoint(FleetCollector(fed))
+    url = endpoint.start()
+    try:
+        done = threading.Event()
+        result = {}
+
+        def fetch():
+            result["code"] = get(url + "/status")[0]
+            done.set()
+
+        with endpoint.lock:  # simulate the sim driver mid-step
+            thread = threading.Thread(target=fetch)
+            thread.start()
+            assert not done.wait(0.3)
+        assert done.wait(10.0)
+        assert result["code"] == 200
+        thread.join(timeout=5.0)
+    finally:
+        endpoint.stop()
 
 
 def test_qos_families_reach_fleet_scrape_and_status():

@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""Closed-loop load generator for a running :class:`SimulationServer`.
+
+Each worker drives one closed loop: ``POST /jobs``, honour ``429`` +
+``Retry-After`` backpressure, then poll ``GET /jobs/<id>`` until the
+job reaches a terminal status before submitting the next one.  At the
+end it prints a JSON summary and exits non-zero if anything other
+than backpressure went wrong.
+
+Point it at a server you started yourself::
+
+    PYTHONPATH=src python tools/load_gen.py --url http://127.0.0.1:8321 \\
+        --jobs 50 --concurrency 8
+
+or let it spawn a free-running demo server on an ephemeral port and
+tear it down afterwards (what the CI smoke job does)::
+
+    PYTHONPATH=src python tools/load_gen.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Job statuses after which the loop stops polling.
+TERMINAL = {"completed", "failed", "cancelled"}
+
+
+class LoadStats:
+    """Thread-safe tally of what the workers saw."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected_429 = 0
+        self.errors = []
+
+    def record(self, field, amount=1):
+        with self.lock:
+            setattr(self, field, getattr(self, field) + amount)
+
+    def error(self, message):
+        with self.lock:
+            self.errors.append(message)
+
+    def summary(self):
+        with self.lock:
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected_429": self.rejected_429,
+                "errors": list(self.errors[:10]),
+                "error_count": len(self.errors),
+            }
+
+
+def request(url, method="GET", payload=None, timeout=10.0):
+    """One HTTP exchange; returns ``(status, headers, parsed_body)``."""
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    req = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as response:
+            text = response.read().decode("utf-8")
+            if "json" in (response.headers.get("Content-Type") or ""):
+                return response.status, dict(response.headers), json.loads(text)
+            return response.status, dict(response.headers), {"raw": text}
+    except urllib.error.HTTPError as error:
+        body = error.read().decode("utf-8", "replace")
+        try:
+            parsed = json.loads(body)
+        except json.JSONDecodeError:
+            parsed = {"raw": body}
+        return error.code, dict(error.headers), parsed
+
+
+def worker(base_url, sites, jobs, stats, args, seed):
+    """One closed loop: submit, wait out backpressure, poll to done."""
+    rng = random.Random(seed)
+    for _ in range(jobs):
+        payload = {
+            "site": rng.choice(sites),
+            "model": args.model,
+            "compute_hours": args.compute_hours,
+            "owner": f"loadgen-{seed}",
+            "lab": "loadgen",
+        }
+        job_id = None
+        for _attempt in range(args.max_retries):
+            try:
+                code, headers, body = request(
+                    base_url + "/jobs", "POST", payload,
+                    timeout=args.timeout)
+            except OSError as error:
+                stats.error(f"POST /jobs: {error!r}")
+                break
+            if code == 202:
+                stats.record("submitted")
+                job_id = body["job_id"]
+                break
+            if code == 429:
+                stats.record("rejected_429")
+                time.sleep(float(headers.get("Retry-After", 1)))
+                continue
+            stats.error(f"POST /jobs -> {code}: {body}")
+            break
+        if job_id is None:
+            continue
+        deadline = time.monotonic() + args.job_timeout
+        while time.monotonic() < deadline:
+            try:
+                code, _headers, body = request(
+                    f"{base_url}/jobs/{job_id}", timeout=args.timeout)
+            except OSError as error:
+                stats.error(f"GET /jobs/{job_id}: {error!r}")
+                break
+            if code != 200:
+                stats.error(f"GET /jobs/{job_id} -> {code}: {body}")
+                break
+            if body["status"] in TERMINAL:
+                stats.record("completed" if body["status"] == "completed"
+                             else "failed")
+                break
+            time.sleep(args.poll_interval)
+        else:
+            stats.error(f"job {job_id} not terminal "
+                        f"after {args.job_timeout:.0f}s")
+
+
+def discover_sites(base_url, timeout):
+    """The server's campuses, from ``/status``."""
+    code, _headers, body = request(base_url + "/status", timeout=timeout)
+    if code != 200:
+        raise RuntimeError(f"GET /status -> {code}")
+    return sorted(body["sites"])
+
+
+def run_load(base_url, args):
+    """Fan the closed loops out over ``--concurrency`` threads."""
+    sites = args.sites or discover_sites(base_url, args.timeout)
+    stats = LoadStats()
+    per_worker = args.jobs // args.concurrency
+    remainder = args.jobs % args.concurrency
+    threads = []
+    for index in range(args.concurrency):
+        quota = per_worker + (1 if index < remainder else 0)
+        if quota == 0:
+            continue
+        thread = threading.Thread(
+            target=worker, name=f"loadgen-{index}",
+            args=(base_url, sites, quota, stats, args, args.seed + index))
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join()
+    return stats
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", help="base URL of a running server "
+                        "(omit to spawn a demo server)")
+    parser.add_argument("--jobs", type=int, default=20,
+                        help="total jobs to submit (default 20)")
+    parser.add_argument("--concurrency", type=int, default=4,
+                        help="closed loops in parallel (default 4)")
+    parser.add_argument("--sites", nargs="*",
+                        help="target sites (default: discover via /status)")
+    parser.add_argument("--model", default="resnet50-cifar")
+    parser.add_argument("--compute-hours", type=float, default=0.02,
+                        dest="compute_hours",
+                        help="sim compute-hours per job (default 0.02)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="per-request timeout, wall seconds")
+    parser.add_argument("--job-timeout", type=float, default=120.0,
+                        dest="job_timeout",
+                        help="wall seconds to wait for one job to finish")
+    parser.add_argument("--poll-interval", type=float, default=0.02,
+                        dest="poll_interval")
+    parser.add_argument("--max-retries", type=int, default=50,
+                        dest="max_retries",
+                        help="submission attempts per job (429s retry)")
+    parser.add_argument("--quick", action="store_true",
+                        help="spawn a demo server, run a small load, "
+                        "assert the smoke invariants, exit")
+    args = parser.parse_args(argv)
+
+    server = None
+    base_url = args.url
+    if base_url is None:
+        from repro.scenarios import example_scenario
+        from repro.server import SimulationServer
+
+        server = SimulationServer(example_scenario(), seed=7)
+        base_url = server.start()
+        print(f"spawned demo server at {base_url}", file=sys.stderr)
+    base_url = base_url.rstrip("/")
+
+    try:
+        stats = run_load(base_url, args)
+        summary = stats.summary()
+        code, _headers, metrics_body = request(
+            base_url + "/metrics", timeout=args.timeout)
+        summary["metrics_ok"] = (
+            code == 200 and "server_jobs_submitted_total" in
+            metrics_body.get("raw", ""))
+        if server is not None:
+            summary["audit"] = server.audit()
+        print(json.dumps(summary, indent=2))
+        failed = (summary["error_count"] > 0
+                  or summary["submitted"] < args.jobs
+                  or summary.get("audit"))
+        if args.quick and summary["failed"] > 0:
+            failed = True
+        return 1 if failed else 0
+    finally:
+        if server is not None:
+            server.stop()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
