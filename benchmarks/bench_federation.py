@@ -11,6 +11,7 @@ from conftest import run_once
 
 from repro.analysis import render_table
 from repro.experiments import (
+    run_byzantine_experiment,
     run_federation,
     run_partition_experiment,
     run_relay_experiment,
@@ -110,3 +111,32 @@ def test_federation_partition_resilience(benchmark):
     # proves nothing): partitions interrupted live protocol exchanges.
     assert result.notify_failures > 0
     assert result.outages_injected > 10
+
+
+def test_federation_byzantine_detection(benchmark):
+    result = run_once(benchmark, run_byzantine_experiment, seed=42, days=1.0)
+    print()
+    print(render_table(result.rows(),
+                       title="Byzantine campus vs share-chain verification"))
+    print(f"\nadversary: {result.byzantine_site} ({result.mode}), "
+          f"detected by all: {result.detected_by_all}, "
+          f"slowest observer: {result.max_detection_rounds:.1f} "
+          f"gossip rounds")
+    print(f"throughput: {result.baseline_completed} honest -> "
+          f"{result.byzantine_completed} adversarial "
+          f"({result.throughput_retention:.1%} retained), "
+          f"honest utilization {result.honest_utilization_baseline:.1%} -> "
+          f"{result.honest_utilization_byzantine:.1%}")
+    print(f"rejections: "
+          + ", ".join(f"{reason}={count}" for reason, count
+                      in result.rejected_by_reason.items()))
+
+    # The all-honest verification baseline accepts every entry.
+    assert result.baseline_rejected_total == 0
+    # Every honest site detects and quarantines the adversary, fast.
+    assert result.detected_by_all
+    assert result.max_detection_rounds <= 10
+    # Quarantine is cheap: honest throughput survives the isolation.
+    assert result.throughput_retention >= 0.9
+    # The detection was for cause — forged entries were refused.
+    assert result.rejected_by_reason.get("unknown-job", 0) > 0

@@ -449,3 +449,127 @@ def _drive_crash(env, target, crash):
     target.crash()
     yield env.timeout(crash.downtime)
     target.restart()
+
+
+# -- Byzantine behavior: adversarial sites as first-class events ----------
+
+
+#: Misbehavior modes a Byzantine federation gateway can run:
+#:
+#: * ``over-report`` — gossip digests advertise phantom idle GPUs, so
+#:   peers forward into a wall of reason-less declines;
+#: * ``over-bill`` — real hosted jobs settle honestly in the shared
+#:   ledger but the signed *chain entry* bills inflated hours;
+#: * ``under-bill`` — entries authored by others that charge this site
+#:   are tampered (hours shrunk) when re-gossiped, without re-signing;
+#: * ``forge`` — donation entries are fabricated for jobs never hosted;
+#: * ``replay`` — an already-settled entry is re-signed at a new
+#:   sequence number;
+#: * ``free-ride`` — relay-fee entries crediting this site are forged
+#:   for relay work never performed.
+BYZANTINE_MODES = ("over-report", "over-bill", "under-bill", "forge",
+                   "replay", "free-ride")
+
+
+@dataclass(frozen=True)
+class ByzantineWindow:
+    """One window during which a site runs one misbehavior mode.
+
+    ``duration=None`` means the site misbehaves from ``start`` to the
+    end of the run (the chaos-suite default: detection must not depend
+    on the adversary politely stopping).
+    """
+
+    site: str
+    mode: str
+    start: float = 0.0
+    duration: Optional[float] = None
+
+    def __post_init__(self):
+        if not self.site:
+            raise ValueError("window needs a site")
+        if self.mode not in BYZANTINE_MODES:
+            raise ValueError(
+                f"mode must be one of {BYZANTINE_MODES}, got {self.mode!r}")
+        if self.start < 0:
+            raise ValueError("window start must be >= 0")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("window duration must be positive")
+
+    @property
+    def end(self) -> Optional[float]:
+        """Simulation time the misbehavior stops (``None`` = never)."""
+        if self.duration is None:
+            return None
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class ByzantineSchedule:
+    """A deterministic set of :class:`ByzantineWindow` windows.
+
+    The adversarial sibling of :class:`PartitionSchedule` and
+    :class:`ControlPlaneSchedule`: declare who lies, how, and when —
+    up front — and inject with :func:`inject_byzantine_behaviors`.
+    """
+
+    windows: Tuple[ByzantineWindow, ...] = ()
+
+    def __post_init__(self):
+        ordered = tuple(sorted(
+            self.windows,
+            key=lambda w: (w.start, w.site, w.mode,
+                           w.duration if w.duration is not None
+                           else float("inf"))))
+        object.__setattr__(self, "windows", ordered)
+
+    @classmethod
+    def single(cls, site: str, mode: str, start: float = 0.0,
+               duration: Optional[float] = None) -> "ByzantineSchedule":
+        """One misbehavior window — the regression-test shape."""
+        return cls(windows=(ByzantineWindow(site, mode, start, duration),))
+
+    def affecting(self, site: str) -> Tuple[ByzantineWindow, ...]:
+        """Misbehavior windows run by one site."""
+        return tuple(w for w in self.windows if w.site == site)
+
+    @property
+    def sites(self) -> Tuple[str, ...]:
+        """Every adversarial site, name-sorted and deduplicated."""
+        return tuple(sorted({w.site for w in self.windows}))
+
+    def merged(self, other: "ByzantineSchedule") -> "ByzantineSchedule":
+        """Union of two schedules."""
+        return ByzantineSchedule(windows=self.windows + other.windows)
+
+
+def inject_byzantine_behaviors(
+    env: Environment,
+    targets: dict,
+    schedule: ByzantineSchedule,
+) -> None:
+    """Drive ``schedule``'s windows against per-site Byzantine targets.
+
+    ``targets`` maps ``site`` to any object with ``set_byzantine(mode)``
+    and ``clear_byzantine(mode)`` — a
+    :class:`~repro.federation.gateway.FederationGateway`.  Each window
+    becomes a mode-set at its start and (for bounded windows) a
+    mode-clear at its end, on the sim clock.  Windows for sites the
+    deployment does not expose are skipped.
+    """
+    for window in schedule.windows:
+        target = targets.get(window.site)
+        if target is None:
+            continue
+        env.process(_drive_byzantine(env, target, window),
+                    name=f"byzantine:{window.mode}:{window.site}"
+                         f"@{window.start:g}")
+
+
+def _drive_byzantine(env, target, window):
+    if window.start > env.now:
+        yield env.timeout(window.start - env.now)
+    target.set_byzantine(window.mode)
+    if window.duration is not None:
+        yield env.timeout(window.duration)
+        target.clear_byzantine(window.mode)

@@ -12,6 +12,7 @@ from .campus import (
 from .federation import (
     FEDERATION_SITES,
     RELAY_SITES,
+    ByzantineResult,
     FederationResult,
     FederationSiteSpec,
     PartitionResult,
@@ -19,6 +20,7 @@ from .federation import (
     build_federation,
     build_relay_federation,
     default_partition_schedule,
+    run_byzantine_experiment,
     run_federation,
     run_partition_experiment,
     run_relay_experiment,
@@ -55,12 +57,14 @@ __all__ = [
     "RELAY_SITES",
     "FederationResult",
     "FederationSiteSpec",
+    "ByzantineResult",
     "PartitionResult",
     "RelayResult",
     "build_federation",
     "build_relay_federation",
     "default_partition_schedule",
     "run_federation",
+    "run_byzantine_experiment",
     "run_partition_experiment",
     "run_relay_experiment",
     "site_demand",

@@ -28,6 +28,13 @@ from .messages import (
     GatewaySnapshot,
 )
 from .policy import FederationConfig, ForwardingPolicy
+from .sharechain import (
+    PeerTrust,
+    ShareChain,
+    SignedEntry,
+    SiteKeyring,
+    TrustState,
+)
 
 __all__ = [
     "AdmissionController",
@@ -45,5 +52,10 @@ __all__ = [
     "ForwardingPolicy",
     "GATEWAY_SNAPSHOT_VERSION",
     "GatewaySnapshot",
+    "PeerTrust",
+    "ShareChain",
+    "SignedEntry",
     "SiteHandle",
+    "SiteKeyring",
+    "TrustState",
 ]

@@ -25,8 +25,10 @@ from typing import Dict, List, Optional
 from ..config import PlatformConfig
 from ..core.failover import CoordinatorHA, FailoverConfig
 from ..core.partition import (
+    ByzantineSchedule,
     ControlPlaneSchedule,
     PartitionSchedule,
+    inject_byzantine_behaviors,
     inject_control_plane_failures,
     inject_partitions,
 )
@@ -49,6 +51,7 @@ from ..storage import StateVault, Volume
 from .gateway import FederationGateway
 from .ledger import CreditLedger
 from .policy import FederationConfig
+from .sharechain import SiteKeyring
 
 
 @dataclass
@@ -104,6 +107,12 @@ class FederatedDeployment:
         #: Per-site coordinator HA pairs (populated by
         #: :meth:`enable_failover`; empty on the default fast path).
         self.failover: Dict[str, CoordinatorHA] = {}
+        #: The simulated PKI: per-site signing keys, derived purely
+        #: from the deployment seed (no RNG draws, so building it
+        #: perturbs nothing).  Gateways use it only after
+        #: :meth:`enable_ledger_verification`.
+        self.keyring = SiteKeyring(seed)
+        self._verify_ledger = False
 
     def add_campus(
         self,
@@ -143,6 +152,8 @@ class FederatedDeployment:
         )
         handle = SiteHandle(name=name, platform=platform, gateway=gateway)
         self.sites[name] = handle
+        if self._verify_ledger:
+            gateway.enable_ledger_verification(self.keyring)
         return handle
 
     def connect(self, a: str, b: str, capacity: Optional[float] = None,
@@ -239,6 +250,93 @@ class FederatedDeployment:
         """
         inject_control_plane_failures(self.env, self.crash_targets(),
                                       schedule)
+
+    # -- Byzantine-robustness: share-chain verification --------------------
+
+    def enable_ledger_verification(self) -> None:
+        """Turn on the Byzantine-robust share-chain at every gateway.
+
+        Each site starts signing its settlements into a hash-linked
+        chain, gossiping it alongside capacity digests, and
+        independently verifying every entry it receives before folding
+        it into its local view — with quarantine/eviction for peers
+        whose entries fail verification.  Idempotent; campuses added
+        later are wired automatically.  Off by default: without this
+        call no chain exists and runs are event-identical to the seed.
+        """
+        self._verify_ledger = True
+        for handle in self.sites.values():
+            handle.gateway.enable_ledger_verification(self.keyring)
+
+    def inject_byzantine(self, schedule: ByzantineSchedule) -> None:
+        """Drive a :class:`~repro.core.partition.ByzantineSchedule` of
+        misbehavior windows against this federation's gateways.
+
+        Implies :meth:`enable_ledger_verification` — an adversary
+        without verifiers is unobservable, and the chaos suites always
+        want both.
+        """
+        self.enable_ledger_verification()
+        targets = {name: handle.gateway
+                   for name, handle in self.sites.items()}
+        inject_byzantine_behaviors(self.env, targets, schedule)
+
+    def chain_heights(self) -> Dict[str, int]:
+        """Accepted share-chain entries per site's verified view
+        (empty when verification is off)."""
+        return {
+            name: handle.gateway.sharechain.height()
+            for name, handle in self.sites.items()
+            if handle.gateway.sharechain is not None
+        }
+
+    def rejected_entries(self) -> Dict[str, Dict[str, int]]:
+        """Per-site rejection tallies by reason (empty when off)."""
+        return {
+            name: dict(handle.gateway.sharechain.rejected)
+            for name, handle in self.sites.items()
+            if handle.gateway.sharechain is not None
+        }
+
+    def quarantine_map(self) -> Dict[str, Dict[str, str]]:
+        """Each site's view of every non-TRUSTED peer: observer →
+        (peer → state name).  Sites with a clean view are omitted."""
+        out: Dict[str, Dict[str, str]] = {}
+        for name, handle in self.sites.items():
+            trust = handle.gateway.trust
+            if trust is None:
+                continue
+            suspect = {
+                peer: trust.state(peer).value
+                for peer in sorted(trust.excluded())
+            }
+            if suspect:
+                out[name] = suspect
+        return out
+
+    def quarantined_by_all(self, peer: str) -> bool:
+        """Whether every *other* verifying site currently blocks
+        ``peer`` (the chaos-suite detection criterion)."""
+        observers = [
+            handle.gateway.trust
+            for name, handle in self.sites.items()
+            if name != peer and handle.gateway.trust is not None
+        ]
+        return bool(observers) and all(
+            trust.blocks(peer) for trust in observers)
+
+    def detection_latencies(self, peer: str) -> Dict[str, float]:
+        """When each observer first quarantined ``peer`` (absent key =
+        not detected there)."""
+        out: Dict[str, float] = {}
+        for name, handle in self.sites.items():
+            trust = handle.gateway.trust
+            if name == peer or trust is None:
+                continue
+            at = trust.detected_at.get(peer)
+            if at is not None:
+                out[name] = at
+        return out
 
     # -- federation-wide measurement --------------------------------------
 

@@ -58,15 +58,16 @@ from typing import (TYPE_CHECKING, Dict, Generator, List, Optional, Set,
                     Tuple)
 
 from ..core.messages import ResourceRequest
+from ..core.partition import BYZANTINE_MODES
 from ..core.platform import GPUnionPlatform
 from ..errors import NetworkError, SnapshotVersionError
 from ..monitoring.events import PlatformEvent
 from ..network import FlowNetwork, RpcError, RpcLayer, WanTopology
 from ..sim import Event, Interrupt, Process
-from ..units import HOUR
+from ..units import GIB, HOUR
 from ..workloads.training import JobStatus, TrainingJobSpec
 from .admission import AdmissionController
-from .ledger import CreditLedger
+from .ledger import CreditEntry, CreditLedger
 from .messages import (
     GATEWAY_SNAPSHOT_VERSION,
     CapacityDigest,
@@ -78,6 +79,15 @@ from .messages import (
     GatewaySnapshot,
 )
 from .policy import FederationConfig, ForwardingPolicy
+from .sharechain import (
+    BENIGN_REASONS,
+    DEFINITIVE_REASONS,
+    PeerTrust,
+    ShareChain,
+    SignedEntry,
+    SiteKeyring,
+    TrustState,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..observability.trace import Tracer
@@ -91,6 +101,18 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 #: QoS engine keys on.
 CHECKPOINT_CATEGORY = "federation-checkpoint"
 DATASET_CATEGORY = "federation-dataset"
+
+#: Phantom capacity an ``over-report`` digest adds: enough idle GPUs
+#: (of an impossibly generous card class) to outscore any honest peer.
+OVER_REPORT_PHANTOM_GPUS = 8
+OVER_REPORT_PHANTOM_CARD = (128 * GIB, (9, 9))
+
+#: Factor an ``over-bill`` host inflates its chain-entry hours by.
+OVER_BILL_FACTOR = 4.0
+#: Factor an ``under-bill`` tamperer shrinks its own charges to.
+UNDER_BILL_FACTOR = 0.25
+#: GPU-hours per fabricated ``forge`` / ``free-ride`` entry.
+FORGED_ENTRY_HOURS = 5.0
 
 
 class FederationGateway:
@@ -205,6 +227,22 @@ class FederationGateway:
         self.gossip_rounds = 0
         self.wan_transfer_seconds = 0.0
 
+        #: Share-chain verification layer (``None`` = disabled, the
+        #: default: the golden path must not change by one event).
+        self.sharechain: Optional[ShareChain] = None
+        #: Per-peer quarantine state machine (with the share-chain).
+        self.trust: Optional[PeerTrust] = None
+        #: Per-peer, per-signer sequence numbers the peer last
+        #: acknowledged holding — the chain-gossip delta floor.  The
+        #: receiver's reply is authoritative, so a peer that lost its
+        #: view (crash) is automatically re-sent the gap.
+        self._chain_acked: Dict[str, Dict[str, int]] = {}
+        #: Active Byzantine misbehavior modes (normally empty; driven
+        #: by an injected :class:`ByzantineSchedule`).
+        self.byzantine_modes: Set[str] = set()
+        self._byz_proc: Optional[Process] = None
+        self._byz_seq = 0
+
         wan.add_site(site)
         wan.add_listener(self._on_wan_transition)
         ledger.register_site(site)
@@ -223,12 +261,14 @@ class FederationGateway:
         endpoint.register("forward-status", self._handle_forward_status)
         endpoint.register("cancel-job", self._handle_cancel_job)
         endpoint.register("job-complete", self._handle_job_complete)
+        endpoint.register("chain-entries", self._handle_chain_entries)
 
     def _start_loops(self) -> None:
         self._gossip_proc = self._spawn(self._gossip_loop(),
                                         f"gossip:{self.site}")
         self._reconcile_proc = self._spawn(self._reconcile_loop(),
                                            f"reconcile:{self.site}")
+        self._maybe_start_byzantine_loop()
 
     def _spawn(self, gen: Generator, name: str) -> Process:
         """Start a gateway-owned process, tracked for crash interrupts."""
@@ -366,6 +406,18 @@ class FederationGateway:
             except Interrupt:
                 return  # gateway crashed
             digest = self.local_digest()
+            if "over-report" in self.byzantine_modes:
+                # The gossip lie: phantom idle GPUs of a dream card
+                # class and a rosy queue.  Local admission stays
+                # honest (accepting work it cannot run would break
+                # exactly-once), so acting peers hit reason-less
+                # declines — the capacity-mismatch signature.
+                digest = replace(
+                    digest, queue_pressure=0,
+                    free_gpus=digest.free_gpus + OVER_REPORT_PHANTOM_GPUS,
+                    free_cards=digest.free_cards
+                    + (OVER_REPORT_PHANTOM_CARD,),
+                )
             now = self.env.now
             balance = self.ledger.balance(self.site)
             targets = [
@@ -373,9 +425,8 @@ class FederationGateway:
                 if now - self._pushed_at.get(peer, float("-inf")) >= interval
                 or self._digest_drifted(peer, digest, balance)
             ]
-            if not targets:
-                continue
-            self.gossip_rounds += 1
+            if targets:
+                self.gossip_rounds += 1
             for peer in targets:
                 try:
                     yield self.wan_rpc.call(
@@ -394,10 +445,319 @@ class FederationGateway:
                 self._pushed_digest[peer] = digest
                 self._pushed_at[peer] = now
                 self._pushed_balance[peer] = balance
+            if self.sharechain is not None:
+                try:
+                    yield from self._sharechain_tick()
+                except Interrupt:
+                    return  # gateway crashed
 
     def _handle_digest(self, digest: CapacityDigest):
+        if self.trust is not None and self.trust.blocks(digest.site):
+            return "quarantined"  # a quarantined peer's view is refused
         self.peer_digests[digest.site] = digest
         return "ok"
+
+    # -- share-chain verification & quarantine ----------------------------
+
+    def enable_ledger_verification(self, keyring: SiteKeyring) -> None:
+        """Attach the share-chain verification layer (idempotent).
+
+        Entirely off the default path: with no chain attached the
+        gateway neither signs, gossips, nor verifies credit entries,
+        so verification-off runs stay event-identical to the seed.
+        """
+        if self.sharechain is not None:
+            return
+        keyring.register(self.site)
+        self.sharechain = ShareChain(self.site, keyring)
+        self.trust = PeerTrust(self.site, self.config)
+
+    def _sharechain_tick(self) -> Generator:
+        """One verification turn per gossip tick: advance the
+        quarantine clock, then sync this site's chain view (suffixes
+        past what each peer last acknowledged) to every trusted peer.
+        """
+        for peer, old, new in self.trust.tick(self.env.now):
+            self._on_trust_transition(peer, old, new, "timer")
+        for peer in self.peers:
+            if self.trust.blocks(peer):
+                continue  # no chain sync with a quarantined peer
+            delta = list(self.sharechain.entries_after(
+                self._chain_acked.get(peer, {})))
+            if "under-bill" in self.byzantine_modes:
+                delta = self._tamper_history(delta)
+            if not delta:
+                continue
+            try:
+                reply = yield self.wan_rpc.call(
+                    self.site, peer, "chain-entries",
+                    {"sender": self.site, "entries": tuple(delta)},
+                    request_size=self.config.control_message_bytes,
+                    response_size=self.config.control_message_bytes,
+                    timeout=self.config.control_rpc_timeout,
+                )
+            except NetworkError:
+                continue  # partitioned peer; retried next tick
+            if isinstance(reply, dict) and "heads" in reply:
+                # The receiver's reply is authoritative: a peer that
+                # lost its view (crash) reports low heads and is
+                # re-sent the gap next tick.
+                self._chain_acked[peer] = dict(reply["heads"])
+
+    def _tamper_charge(self, signed: SignedEntry) -> SignedEntry:
+        """The ``under-bill`` tamper: shrink other sites' charges
+        against us while re-gossiping their entries.  We cannot
+        re-sign what we did not author, so the payload hash goes stale
+        — the receiving verifier's integrity check catches it.
+        """
+        entry = signed.entry
+        if signed.signer == self.site or entry.beneficiary != self.site:
+            return signed
+        return replace(signed, entry=replace(
+            entry, gpu_hours=entry.gpu_hours * UNDER_BILL_FACTOR))
+
+    def _tamper_history(self,
+                        delta: List[SignedEntry]) -> List[SignedEntry]:
+        """The full ``under-bill`` gossip payload: the tampered delta
+        plus rewritten copies of every charge against us the peer
+        already holds.  A cheater shrinking its bills must re-gossip
+        the rewritten history (peers already acked the genuine
+        entries, so the normal delta would never carry the lie)."""
+        delta = [self._tamper_charge(signed) for signed in delta]
+        sent = {(signed.signer, signed.seq) for signed in delta}
+        for signed in self.sharechain.accepted_entries():
+            if (signed.signer != self.site
+                    and signed.entry.beneficiary == self.site
+                    and (signed.signer, signed.seq) not in sent):
+                delta.append(self._tamper_charge(signed))
+        return delta
+
+    def _handle_chain_entries(self, payload: dict):
+        if self.sharechain is None:
+            return {"disabled": True}
+        sender = payload.get("sender", "")
+        if self.trust.blocks(sender):
+            # No heads in the reply: a quarantined sender learns
+            # nothing about our view and its ack floor stays frozen.
+            return {"rejected": "quarantined"}
+        for signed in payload.get("entries", ()):
+            self._ingest_chain_entry(signed, sender)
+        return {"heads": self.sharechain.heads()}
+
+    def _ingest_chain_entry(self, signed: SignedEntry,
+                            sender: str) -> None:
+        chain = self.sharechain
+        if self.trust.blocks(signed.signer):
+            # Entries signed by a quarantined site are refused even
+            # when relayed by an honest peer — and the honest relay
+            # earns no strike for carrying them.
+            chain.count_rejection("quarantined-signer")
+            self._emit_rejection(signed, "quarantined-signer", sender)
+            return
+        reason = chain.ingest(signed, cross_check=self._cross_check_entry)
+        if reason is None or reason == "duplicate":
+            return
+        self._emit_rejection(signed, reason, sender)
+        if reason in BENIGN_REASONS:
+            return
+        # Attribution: a broken signature or payload hash implicates
+        # the *transport* (the sender tampered in flight); every other
+        # offense implicates the signer, whose key authenticated the
+        # lie.
+        offender = sender if reason == "bad-signature" else signed.signer
+        self._apply_strike(offender, reason,
+                           definitive=reason in DEFINITIVE_REASONS)
+
+    def _cross_check_entry(self, signed: SignedEntry) -> Optional[str]:
+        """Audit a bill against this site's own delegation records.
+
+        Only entries charging *this* site are checkable — we hold the
+        book for our own jobs.  Everything else is accepted
+        provisionally and purged wholesale if its signer is later
+        quarantined.
+        """
+        entry = signed.entry
+        if entry.beneficiary != self.site:
+            return None
+        record = self.delegations.get(entry.job_id)
+        state = self.platform.coordinator.jobs.get(entry.job_id)
+        if record is None or state is None:
+            return "unknown-job"  # billed for a job we never delegated
+        budget = state.spec.total_compute / HOUR
+        tolerance = 1e-6
+        if entry.kind == "donation":
+            billed = (self.sharechain.donated_for_job(entry.job_id)
+                      + entry.gpu_hours)
+            if billed > budget + tolerance:
+                return "overbilled"  # cumulative hours exceed the job
+        else:
+            fee_cap = budget * self.config.relay_fee_fraction
+            if entry.gpu_hours > fee_cap + tolerance:
+                return "overbilled"  # fee above the per-hop ceiling
+        return None
+
+    def _emit_rejection(self, signed: SignedEntry, reason: str,
+                        sender: str) -> None:
+        """First-class detection record: event + root trace span."""
+        entry = signed.entry
+        self.platform.events.emit(
+            "ledger-entry-rejected", site=self.site, reason=reason,
+            signer=signed.signer, source=sender, job_id=entry.job_id,
+            entry_kind=entry.kind, gpu_hours=entry.gpu_hours)
+        tracer = self.tracer
+        if tracer is not None:
+            span = tracer.start(
+                "ledger-entry-rejected",
+                trace_id=f"byzantine:{self.site}",
+                site=self.site, reason=reason, signer=signed.signer,
+                source=sender, job_id=entry.job_id)
+            tracer.finish(span, status="rejected")
+
+    def _apply_strike(self, offender: str, reason: str,
+                      definitive: bool) -> None:
+        if self.trust is None or not offender or offender == self.site:
+            return
+        transition = self.trust.strike(offender, reason, self.env.now,
+                                       definitive=definitive)
+        if transition is not None:
+            self._on_trust_transition(offender, transition[0],
+                                      transition[1], reason)
+
+    def _on_trust_transition(self, peer: str, old: TrustState,
+                             new: TrustState, reason: str) -> None:
+        """React to a quarantine state change for one peer.
+
+        Entering quarantine (or eviction) severs every trust surface
+        at once: the peer's digest is dropped (no more forwards to
+        it), its chain is purged from the local view, and its ack
+        floor is forgotten.  In-flight two-phase handshakes are *not*
+        interrupted — reconciliation safety outranks isolation, so a
+        claim token the offender already holds resolves through the
+        normal probe machinery.
+        """
+        purged = 0
+        if new in (TrustState.QUARANTINED, TrustState.EVICTED):
+            purged = self.sharechain.purge_signer(peer)
+            self.peer_digests.pop(peer, None)
+            self._chain_acked.pop(peer, None)
+        kind = {
+            TrustState.QUARANTINED: "site-quarantined",
+            TrustState.EVICTED: "site-evicted",
+            TrustState.PROBATION: "site-probation",
+            TrustState.TRUSTED: "site-reinstated",
+        }[new]
+        self.platform.events.emit(kind, site=self.site, peer=peer,
+                                  reason=reason, was=old.name.lower(),
+                                  purged_entries=purged)
+        tracer = self.tracer
+        if tracer is not None:
+            span = tracer.start(kind, trace_id=f"byzantine:{self.site}",
+                                site=self.site, peer=peer, reason=reason,
+                                purged_entries=purged)
+            tracer.finish(span)
+
+    def reinstate_peer(self, peer: str) -> bool:
+        """Operator override: re-admit an evicted peer to probation."""
+        if self.trust is None:
+            return False
+        if self.trust.reinstate(peer, self.env.now):
+            self._on_trust_transition(peer, TrustState.EVICTED,
+                                      TrustState.PROBATION,
+                                      "operator-reinstate")
+            return True
+        return False
+
+    def _chain_record(self, entry: CreditEntry) -> None:
+        """Mirror a settlement this site just wrote into its signed
+        chain (the copy peers verify).
+
+        ``over-bill`` mode is exactly a divergence here: the shared
+        ledger keeps the true hours while the chain copy bills
+        inflated ones — the beneficiary's cross-check refutes the
+        chain copy against its own job budget.
+        """
+        if self.sharechain is None:
+            return
+        if ("over-bill" in self.byzantine_modes
+                and entry.kind == "donation" and entry.donor == self.site):
+            self.sharechain.forge(replace(
+                entry, gpu_hours=entry.gpu_hours * OVER_BILL_FACTOR))
+            return
+        self.sharechain.append(entry)
+
+    # -- Byzantine behavior injection -------------------------------------
+
+    def set_byzantine(self, mode: str) -> None:
+        """Begin one misbehavior mode (schedule-driven)."""
+        if mode not in BYZANTINE_MODES:
+            raise ValueError(f"unknown byzantine mode {mode!r}")
+        self.byzantine_modes.add(mode)
+        self.platform.events.emit("byzantine-mode-set", site=self.site,
+                                  mode=mode)
+        self._maybe_start_byzantine_loop()
+
+    def clear_byzantine(self, mode: str) -> None:
+        """End one misbehavior mode (the loop notices and exits)."""
+        self.byzantine_modes.discard(mode)
+        self.platform.events.emit("byzantine-mode-cleared",
+                                  site=self.site, mode=mode)
+
+    def _maybe_start_byzantine_loop(self) -> None:
+        if (self.sharechain is not None and self._byz_proc is None
+                and not self._crashed
+                and self.byzantine_modes & {"forge", "replay", "free-ride"}):
+            self._byz_proc = self._spawn(self._byzantine_loop(),
+                                         f"byzantine:{self.site}")
+
+    def _byzantine_loop(self) -> Generator:
+        """Fabricate chain entries while a forging mode is active.
+
+        Victims rotate round-robin over the sorted peer list so every
+        honest site eventually holds a lie its own records refute —
+        detection never depends on topology or traffic patterns.
+        """
+        tick = self.config.gossip_interval_min or self.config.gossip_interval
+        while True:
+            try:
+                yield self.env.timeout(tick)
+            except Interrupt:
+                self._byz_proc = None
+                return  # gateway crashed
+            active = self.byzantine_modes & {"forge", "replay", "free-ride"}
+            if not active:
+                self._byz_proc = None
+                return  # schedule window closed
+            peers = sorted(self.peers)
+            if not peers or self.sharechain is None:
+                continue
+            victim = peers[self._byz_seq % len(peers)]
+            self._byz_seq += 1
+            now = self.env.now
+            if "forge" in active:
+                # A donation for a job the victim never delegated.
+                self.sharechain.forge(CreditEntry(
+                    at=now, donor=self.site, beneficiary=victim,
+                    gpu_hours=FORGED_ENTRY_HOURS,
+                    job_id=f"byz-forge-{self.site}-{self._byz_seq}",
+                    kind="donation"))
+            if "free-ride" in active:
+                # A self-credited relay fee for a hop never carried —
+                # structurally invalid, rejected by every verifier.
+                self.sharechain.forge(CreditEntry(
+                    at=now, donor=self.site, beneficiary=victim,
+                    gpu_hours=(FORGED_ENTRY_HOURS
+                               * self.config.relay_fee_fraction),
+                    job_id=f"byz-fee-{self.site}-{self._byz_seq}",
+                    kind="relay-fee"))
+            if "replay" in active:
+                # Re-sign the oldest own entry at a fresh sequence
+                # number; with an empty chain, seed one to replay.
+                if self.sharechain.reissue(0) is None:
+                    self.sharechain.forge(CreditEntry(
+                        at=now, donor=self.site, beneficiary=victim,
+                        gpu_hours=FORGED_ENTRY_HOURS,
+                        job_id=f"byz-replay-{self.site}",
+                        kind="donation"))
 
     # -- WAN transitions --------------------------------------------------
 
@@ -432,10 +792,15 @@ class FederationGateway:
         retry_at = self._retry_after.get(request.request_id)
         if retry_at is not None and self.env.now < retry_at:
             return False
+        exclude = set(request.relay_path)
+        if self.trust is not None:
+            # Quarantined/evicted peers are never forwarding targets
+            # (their digests were dropped too; this guards stragglers).
+            exclude |= self.trust.excluded()
         dest = self.policy.choose(
             self.site, request, self.peer_digests,
             self.wan, self.fabric, self.ledger, self.env.now,
-            exclude=set(request.relay_path),
+            exclude=exclude,
         )
         if dest is None:
             return False
@@ -547,6 +912,14 @@ class FederationGateway:
                 tracer.finish(fwd, status="declined",
                               reason=reply.get("reason", "unreachable"))
             self._intents.pop(spec.job_id, None)
+            if self.trust is not None and reply and "reason" not in reply:
+                # The peer advertised capacity fresh enough for the
+                # policy to pick it, yet declined for headroom (the
+                # reason-less decline).  One honest race is possible;
+                # a pattern of them is the over-report signature —
+                # a circumstantial, threshold-gated strike.
+                self._apply_strike(dest, "capacity-mismatch",
+                                   definitive=False)
             self._decline(request, dest)
             return
         token = reply["claim_token"]
@@ -717,13 +1090,13 @@ class FederationGateway:
         origin, arrival_progress, _path = entry
         executed = max(0.0, record.shipped_progress - arrival_progress)
         if executed > 1e-9:
-            self.ledger.record_donation(
+            self._chain_record(self.ledger.record_donation(
                 donor=self.site,
                 beneficiary=origin,
                 gpu_hours=executed / HOUR,
                 job_id=record.job_id,
                 at=self.env.now,
-            )
+            ))
 
     def _settle_relay_fees(self, job_id: str, origin: str,
                            relay_path: Tuple[str, ...],
@@ -740,13 +1113,15 @@ class FederationGateway:
         if fee <= 1e-12:
             return
         for relay in relay_path[1:]:
-            self.ledger.record_relay_fee(
+            # The settling host signs the fee entry — donor is the
+            # relay, so an honest fee is never self-credited.
+            self._chain_record(self.ledger.record_relay_fee(
                 relay=relay,
                 beneficiary=origin,
                 gpu_hours=fee,
                 job_id=job_id,
                 at=self.env.now,
-            )
+            ))
 
     def _release_lease(self, dest: str, token: str) -> Generator:
         try:
@@ -783,6 +1158,14 @@ class FederationGateway:
 
     def _handle_forward_offer(self, offer: ForwardOffer) -> dict:
         job_id = offer.spec.job_id
+        sender = (offer.relay_path[-1] if offer.relay_path
+                  else offer.origin_site)
+        if self.trust is not None and self.trust.blocks(sender):
+            # A quarantined peer gets no capacity lease (its work may
+            # be fabricated); already-committed jobs still run — the
+            # isolation is forward-looking only.
+            self._trace_admission(offer, False, "quarantined")
+            return {"accepted": False, "reason": "quarantined"}
         if not self.config.host_foreign_jobs:
             # Opted out of hosting: our digest already advertises no
             # capacity, but a peer acting on a pre-opt-out digest (or
@@ -1019,13 +1402,13 @@ class FederationGateway:
         if executed > 1e-9:
             # Bill the hours actually donated before the cancel —
             # and the relays' cut of that partial settlement.
-            self.ledger.record_donation(
+            self._chain_record(self.ledger.record_donation(
                 donor=self.site,
                 beneficiary=origin,
                 gpu_hours=executed / HOUR,
                 job_id=job_id,
                 at=self.env.now,
-            )
+            ))
             self._settle_relay_fees(job_id, origin, relay_path,
                                     executed)
         self.platform.events.emit("foreign-job-cancelled",
@@ -1058,13 +1441,13 @@ class FederationGateway:
         origin, arrival_progress, relay_path = entry
         state = self.platform.coordinator.jobs.get(job_id)
         donated = state.spec.total_compute - arrival_progress
-        self.ledger.record_donation(
+        self._chain_record(self.ledger.record_donation(
             donor=self.site,
             beneficiary=origin,
             gpu_hours=donated / HOUR,
             job_id=job_id,
             at=self.env.now,
-        )
+        ))
         # Relays along the path earn their fee out of the origin's
         # balance — settled here, at the one site that knows the final
         # donated hours.
@@ -1468,6 +1851,11 @@ class FederationGateway:
         self._pushed_at.clear()
         self._pushed_balance.clear()
         self._scan_version = -1
+        # Volatile chain-gossip floors die with the process; the chain
+        # view, trust state, and active misbehavior modes are durable
+        # operator state (the peers' replies rebuild the floors).
+        self._chain_acked.clear()
+        self._byz_proc = None
         self.platform.events.emit("gateway-crashed", site=self.site)
 
     def restart(self) -> None:

@@ -57,12 +57,18 @@ class CreditLedger:
         self._entries: List[CreditEntry] = []
         self._sites: List[str] = []
         self._balances: Dict[str, float] = {}
+        self._donated: Dict[str, float] = {}
+        self._consumed: Dict[str, float] = {}
+        self._relay_fees: Dict[str, float] = {}
 
     def register_site(self, site: str) -> None:
         """Make a site show up in balance reports (idempotent)."""
         if site not in self._sites:
             self._sites.append(site)
             self._balances.setdefault(site, 0.0)
+            self._donated.setdefault(site, 0.0)
+            self._consumed.setdefault(site, 0.0)
+            self._relay_fees.setdefault(site, 0.0)
 
     @property
     def sites(self) -> List[str]:
@@ -87,6 +93,10 @@ class CreditLedger:
         self._entries.append(entry)
         self._balances[donor] += gpu_hours
         self._balances[beneficiary] -= gpu_hours
+        self._donated[donor] += gpu_hours
+        self._consumed[beneficiary] += gpu_hours
+        if kind == "relay-fee":
+            self._relay_fees[donor] += gpu_hours
         return entry
 
     def record_donation(
@@ -119,18 +129,27 @@ class CreditLedger:
                             kind="relay-fee")
 
     def donated(self, site: str) -> float:
-        """GPU-hours of credit ``site`` earned (hosting + relaying)."""
-        return sum(e.gpu_hours for e in self._entries if e.donor == site)
+        """GPU-hours of credit ``site`` earned (hosting + relaying).
+
+        O(1) — a running sum updated in :meth:`_record`, equal to the
+        ``sum(e.gpu_hours for e in entries if e.donor == site)`` fold
+        by the same induction argument as :meth:`balance`.
+        """
+        return self._donated.get(site, 0.0)
 
     def consumed(self, site: str) -> float:
-        """GPU-hours of credit ``site`` paid out for its own jobs."""
-        return sum(e.gpu_hours for e in self._entries
-                   if e.beneficiary == site)
+        """GPU-hours of credit ``site`` paid out for its own jobs.
+
+        O(1) — running sum; see :meth:`donated`.
+        """
+        return self._consumed.get(site, 0.0)
 
     def relay_fees_earned(self, site: str) -> float:
-        """Credit ``site`` earned purely for relaying foreign jobs."""
-        return sum(e.gpu_hours for e in self._entries
-                   if e.donor == site and e.kind == "relay-fee")
+        """Credit ``site`` earned purely for relaying foreign jobs.
+
+        O(1) — running sum; see :meth:`donated`.
+        """
+        return self._relay_fees.get(site, 0.0)
 
     def entries_of_kind(self, kind: str) -> List[CreditEntry]:
         """Every entry of one kind (``donation`` / ``relay-fee``)."""

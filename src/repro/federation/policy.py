@@ -95,6 +95,17 @@ class FederationConfig:
     #: pending cancels, unacked completion notices).  A WAN heal kicks
     #: the pass immediately; this is the steady-state fallback.
     reconcile_interval: float = 120.0
+    #: Circumstantial strikes (e.g. capacity-mismatch declines) a peer
+    #: accrues before share-chain verification quarantines it.  A
+    #: definitive offense (tampered entry, forged bill, replay, fork)
+    #: quarantines on the first strike regardless.
+    quarantine_strikes: int = 3
+    #: Sim-seconds a quarantined peer is isolated before it enters
+    #: probation (the false-positive heal path).
+    quarantine_duration: float = 2 * 3600.0
+    #: Clean sim-seconds on probation before full trust is restored
+    #: (strikes forgiven).  Any offense on probation evicts instead.
+    probation_duration: float = 3600.0
 
     def __post_init__(self):
         if self.gossip_interval <= 0:
@@ -126,6 +137,12 @@ class FederationConfig:
                 "offer_lease_timeout must outlive the offer round trip")
         if self.reconcile_interval <= 0:
             raise ValueError("reconcile_interval must be positive")
+        if self.quarantine_strikes < 1:
+            raise ValueError("quarantine_strikes must be >= 1")
+        if self.quarantine_duration <= 0 or self.probation_duration <= 0:
+            raise ValueError(
+                "quarantine_duration and probation_duration must be "
+                "positive")
 
 
 class ForwardingPolicy:

@@ -82,6 +82,7 @@ class FleetCollector:
         self._collect_campuses(reg)
         self._collect_federation(reg)
         self._collect_wan(reg, now)
+        self._collect_sharechain(reg)
         self._collect_qos(reg)
         self._collect_tracing(reg)
         self._collect_kernel(reg)
@@ -186,6 +187,30 @@ class FleetCollector:
         reg.counter("fleet_wan_bytes_total",
                     "Bytes carried across all WAN links").inc(
             self.deployment.wan_bytes())
+
+    def _collect_sharechain(self, reg: MetricRegistry) -> None:
+        """Share-chain verification families — registered only when at
+        least one gateway verifies, so non-verifying fleets expose no
+        empty families."""
+        verifying = [(site, handle.gateway)
+                     for site, handle in self.deployment.sites.items()
+                     if handle.gateway.sharechain is not None]
+        if not verifying:
+            return
+        height = reg.gauge("ledger_chain_height",
+                           "Accepted share-chain entries in this "
+                           "site's verified view")
+        rejected = reg.counter("ledger_entries_rejected_total",
+                               "Chain entries this site refused, by "
+                               "verification failure reason")
+        quarantined = reg.gauge("sites_quarantined",
+                                "Peers this site currently blocks "
+                                "(quarantined or evicted)")
+        for site, gateway in verifying:
+            height.set(gateway.sharechain.height(), site=site)
+            for reason, count in sorted(gateway.sharechain.rejected.items()):
+                rejected.inc(count, site=site, reason=reason)
+            quarantined.set(len(gateway.trust.blocked()), site=site)
 
     def _collect_wan(self, reg: MetricRegistry, now: float) -> None:
         link_bytes = reg.counter("wan_link_bytes_total",
@@ -330,6 +355,22 @@ class FleetCollector:
                     "cap": autorate.cap,
                 }
             status["qos"] = qos
+        chains: Dict[str, Any] = {}
+        for site, handle in deployment.sites.items():
+            gateway = handle.gateway
+            if gateway.sharechain is None:
+                continue
+            chains[site] = {
+                "height": gateway.sharechain.height(),
+                "rejected": dict(sorted(gateway.sharechain.rejected.items())),
+                "rejected_total": gateway.sharechain.rejected_total,
+                "blocked_peers": gateway.trust.blocked(),
+                "peer_states": {
+                    peer: gateway.trust.state(peer).value
+                    for peer in sorted(gateway.trust.excluded())},
+            }
+        if chains:
+            status["sharechain"] = chains
         tracer = deployment.tracer
         if tracer is not None:
             status["traces"] = {

@@ -19,6 +19,7 @@ from .compile import (
 )
 from .runner import ScenarioReport, ScenarioRunner, SeedResult, summarize
 from .spec import (
+    AdversarySpec,
     ChurnSpec,
     CrashSpec,
     DemandSpec,
@@ -33,6 +34,7 @@ from .spec import (
 )
 
 __all__ = [
+    "AdversarySpec",
     "ScenarioSpec",
     "SiteSpec",
     "ProviderSpec",

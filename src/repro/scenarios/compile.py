@@ -24,6 +24,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..agent import BehaviorProfile
 from ..core.partition import (
+    ByzantineSchedule,
+    ByzantineWindow,
     ControlPlaneCrash,
     ControlPlaneSchedule,
     LinkOutage,
@@ -256,6 +258,14 @@ def compile_scenario(scenario: ScenarioSpec, seed: int = 0,
             ControlPlaneCrash(c.site, c.component, c.start_hour * HOUR,
                               c.downtime_minutes * MINUTE)
             for c in scenario.crashes)))
+    if scenario.verify_ledger or scenario.adversaries:
+        deployment.enable_ledger_verification()
+    if scenario.adversaries:
+        deployment.inject_byzantine(ByzantineSchedule(windows=tuple(
+            ByzantineWindow(a.site, a.mode, a.start_hour * HOUR,
+                            None if a.duration_hours is None
+                            else a.duration_hours * HOUR)
+            for a in scenario.adversaries)))
 
     compiled = CompiledScenario(
         spec=scenario, seed=seed, deployment=deployment, horizon=horizon)

@@ -27,6 +27,18 @@ from .spec import ScenarioSpec
 #: so any drift beyond float noise is a violation.
 LEDGER_TOLERANCE = 1e-6
 
+#: Gossip intervals within which a chain-visible forgery must be
+#: quarantined by every honest verifying site (generous: fabrication,
+#: one chain-gossip hop, and the strike are all sub-interval).
+DETECTION_ROUNDS_BOUND = 10
+
+#: Misbehavior modes that self-propagate over chain gossip regardless
+#: of demand (a forged entry reaches every neighbour within a round).
+#: The other modes need real traffic to observe, so generic scenarios
+#: cannot bound their detection latency — the Byzantine chaos suite
+#: pins those with purpose-built topologies.
+CHAIN_VISIBLE_MODES = frozenset({"forge", "replay", "free-ride"})
+
 
 @dataclass
 class SeedResult:
@@ -73,6 +85,60 @@ def _check_invariants(compiled: CompiledScenario,
             violations.append(
                 f"orphan-free-traces: {len(orphans)} span(s) reference "
                 f"a parent that was never recorded")
+    violations.extend(_check_adversary_invariants(compiled))
+    return violations
+
+
+def _check_adversary_invariants(compiled: CompiledScenario) -> List[str]:
+    """Share-chain invariants, evaluated only when verification is on."""
+    deployment = compiled.deployment
+    scenario = compiled.spec
+    violations: List[str] = []
+    adversarial = {a.site for a in scenario.adversaries}
+    verifying = {name: handle for name, handle in deployment.sites.items()
+                 if handle.gateway.sharechain is not None}
+    if not verifying:
+        return violations
+    for name, handle in sorted(verifying.items()):
+        chain = handle.gateway.sharechain
+        trust = handle.gateway.trust
+        # Quarantining a signer purges its chain wholesale, so no
+        # blocked peer's entries may survive in the verified view.
+        stray = sorted({s.signer for s in chain.accepted_entries()
+                        if trust.blocks(s.signer)})
+        if stray:
+            violations.append(
+                f"quarantine-purge: site {name} still holds entries "
+                f"signed by blocked peer(s) {stray}")
+        # The verified view folds only zero-sum transfers, so the
+        # honest subset it retains must conserve like the shared
+        # ledger does.
+        drift = chain.view.total()
+        if abs(drift) > LEDGER_TOLERANCE:
+            violations.append(
+                f"view-conservation: site {name}'s verified view sums "
+                f"to {drift:+.9f} GPU-hours")
+    interval = deployment.federation_config.gossip_interval
+    bound = DETECTION_ROUNDS_BOUND * interval
+    for adversary in scenario.adversaries:
+        if adversary.mode not in CHAIN_VISIBLE_MODES:
+            continue
+        start = adversary.start_hour * 3600.0
+        if start + bound > compiled.horizon:
+            continue  # too close to the horizon to judge detection
+        for name, handle in sorted(verifying.items()):
+            if name == adversary.site or name in adversarial:
+                continue
+            detected = handle.gateway.trust.detected_at.get(adversary.site)
+            if detected is None:
+                violations.append(
+                    f"byzantine-detection: site {name} never quarantined "
+                    f"{adversary.site} ({adversary.mode})")
+            elif detected - start > bound:
+                violations.append(
+                    f"byzantine-detection: site {name} took "
+                    f"{detected - start:.0f}s to quarantine "
+                    f"{adversary.site} (bound {bound:.0f}s)")
     return violations
 
 
@@ -138,6 +204,15 @@ def summarize(compiled: CompiledScenario) -> Dict[str, Any]:
                              else len(deployment.tracer.orphans())),
         },
     }
+    heights = deployment.chain_heights()
+    if heights:
+        summary["sharechain"] = {
+            "heights": dict(sorted(heights.items())),
+            "rejected": {site: dict(sorted(reasons.items()))
+                         for site, reasons in
+                         sorted(deployment.rejected_entries().items())},
+            "quarantine": deployment.quarantine_map(),
+        }
     return summary
 
 

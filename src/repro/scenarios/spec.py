@@ -24,6 +24,7 @@ import json
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from ..core.partition import BYZANTINE_MODES
 from ..gpu.specs import CATALOG
 from ..workloads.models import MODEL_CATALOG
 
@@ -469,6 +470,48 @@ class CrashSpec:
                 "downtime_minutes": self.downtime_minutes}
 
 
+@dataclass(frozen=True)
+class AdversarySpec:
+    """One Byzantine misbehavior window (compiles to a
+    :class:`~repro.core.partition.ByzantineWindow`).
+
+    Declaring any adversary turns share-chain ledger verification on
+    for the whole scenario — an unobserved adversary is just noise.
+    ``duration_hours=None`` misbehaves to the end of the run.
+    """
+
+    site: str
+    mode: str  # one of repro.core.partition.BYZANTINE_MODES
+    start_hour: float = 0.0
+    duration_hours: Optional[float] = None
+
+    def __post_init__(self):
+        if self.mode not in BYZANTINE_MODES:
+            raise ValueError(
+                f"mode must be one of {', '.join(BYZANTINE_MODES)}; "
+                f"got {self.mode!r}")
+        if self.start_hour < 0:
+            raise ValueError("start_hour must be >= 0")
+        if self.duration_hours is not None and self.duration_hours <= 0:
+            raise ValueError("duration_hours must be positive")
+
+    _FIELDS = {
+        "site": _parse_str,
+        "mode": _parse_str,
+        "start_hour": _parse_number,
+        "duration_hours": _optional(_parse_number),
+    }
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "adversary") -> "AdversarySpec":
+        return _parse_mapping(data, path, cls._FIELDS, cls)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"site": self.site, "mode": self.mode,
+                "start_hour": self.start_hour,
+                "duration_hours": self.duration_hours}
+
+
 # -- the scenario -----------------------------------------------------------
 
 
@@ -483,9 +526,14 @@ class ScenarioSpec:
     flash_crowds: Tuple[FlashCrowdSpec, ...] = ()
     outages: Tuple[OutageSpec, ...] = ()
     crashes: Tuple[CrashSpec, ...] = ()
+    adversaries: Tuple[AdversarySpec, ...] = ()
     max_forward_hops: int = 2
     admission_headroom_minutes: float = 0.0
     trace: bool = True
+    #: Turn on share-chain ledger verification even with no declared
+    #: adversary (the all-honest audit).  Off by default so existing
+    #: scenarios compile to bit-identical runs.
+    verify_ledger: bool = False
 
     def __post_init__(self):
         if not self.name:
@@ -532,6 +580,12 @@ class ScenarioSpec:
                     f"not a declared link")
         for crash in self.crashes:
             check_site("crash", crash.site)
+        for adversary in self.adversaries:
+            check_site("adversary", adversary.site)
+            if adversary.start_hour >= self.duration_hours:
+                raise ValueError(
+                    f"adversary at hour {adversary.start_hour:g} starts "
+                    f"after the scenario ends ({self.duration_hours:g}h)")
 
     _FIELDS = {
         "name": _parse_str,
@@ -541,9 +595,11 @@ class ScenarioSpec:
         "flash_crowds": _tuple_of(FlashCrowdSpec.from_dict),
         "outages": _tuple_of(OutageSpec.from_dict),
         "crashes": _tuple_of(CrashSpec.from_dict),
+        "adversaries": _tuple_of(AdversarySpec.from_dict),
         "max_forward_hops": _parse_int,
         "admission_headroom_minutes": _parse_number,
         "trace": _parse_bool,
+        "verify_ledger": _parse_bool,
     }
 
     @classmethod
@@ -561,9 +617,11 @@ class ScenarioSpec:
             "flash_crowds": [c.to_dict() for c in self.flash_crowds],
             "outages": [o.to_dict() for o in self.outages],
             "crashes": [c.to_dict() for c in self.crashes],
+            "adversaries": [a.to_dict() for a in self.adversaries],
             "max_forward_hops": self.max_forward_hops,
             "admission_headroom_minutes": self.admission_headroom_minutes,
             "trace": self.trace,
+            "verify_ledger": self.verify_ledger,
         }
 
     @classmethod

@@ -12,7 +12,8 @@ and check conservation after *every* operation, not just at the end.
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.federation import CreditLedger
+from repro.federation import CreditLedger, ShareChain, SiteKeyring
+from repro.federation.ledger import CreditEntry
 from repro.federation.policy import FederationConfig
 
 SITES = ["alpha", "bravo", "charlie", "delta", "echo"]
@@ -153,6 +154,130 @@ def test_full_relay_chain_settlement_charges_origin_once_per_hour(
         assert ledger.relay_fees_earned(relay) == pytest.approx(
             hours * fee_fraction)
     assert ledger.total() == pytest.approx(0.0, abs=1e-6)
+
+
+# -- share-chain verification under adversarial interleavings --------------
+
+OBSERVER = "omega"
+_author = st.integers(min_value=0, max_value=len(SITES) - 1)
+_chain_hours = st.floats(min_value=0.0, max_value=100.0,
+                         allow_nan=False, allow_infinity=False)
+
+_chain_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("honest"), _author,
+                  st.integers(min_value=0, max_value=len(SITES)),
+                  _chain_hours),
+        st.tuples(st.just("fee"), _author, _author, _chain_hours),
+        st.tuples(st.just("forge"), _author, _chain_hours),
+        st.tuples(st.just("replay"), _author),
+    ),
+    min_size=1, max_size=50,
+)
+
+
+@given(_chain_ops)
+@settings(max_examples=60, deadline=None)
+def test_sharechain_view_conserves_under_adversarial_interleavings(ops):
+    """One honest observer verifying five author chains under any
+    interleaving of honest settlements, forged bills, and replays.
+
+    The predicted outcome of every ingest is computable: a forge or
+    replay poisons the author's own chain linkage (its later entries
+    can no longer link onto the observer's accepted head), honest
+    entries from clean authors are accepted, and the observer's view
+    stays zero-sum with balances exactly equal to the fold over the
+    *accepted* subset — rejected entries never move a balance.
+    """
+    ring = SiteKeyring(7)
+    for site in (*SITES, OBSERVER):
+        ring.register(site)
+    observer = ShareChain(OBSERVER, ring)
+    chains = {site: ShareChain(site, ring) for site in SITES}
+    budgets = {}
+    expected = {site: 0.0 for site in (*SITES, OBSERVER)}
+    expected_rejected = {}
+
+    def cross_check(signed):
+        entry = signed.entry
+        if entry.beneficiary != OBSERVER or entry.kind != "donation":
+            return None  # not our job: nothing to refute it against
+        if entry.job_id not in budgets:
+            return "unknown-job"
+        return None
+
+    job_seq = 0
+    for op in ops:
+        author = SITES[op[1]]
+        chain = chains[author]
+        accepted_head = observer.heads().get(author, 0)
+        poisoned = chain.height() > accepted_head
+        if op[0] == "honest":
+            _, _a, b, hours = op
+            beneficiary = ([*SITES, OBSERVER][b])
+            if beneficiary == author:
+                beneficiary = OBSERVER
+            job_id = f"chain-job-{job_seq}"
+            job_seq += 1
+            if beneficiary == OBSERVER:
+                budgets[job_id] = hours
+            signed = chain.append(CreditEntry(
+                at=float(job_seq), donor=author, beneficiary=beneficiary,
+                gpu_hours=hours, job_id=job_id, kind="donation"))
+            predicted = "bad-linkage" if poisoned else None
+        elif op[0] == "fee":
+            _, _a, r, hours = op
+            relay = SITES[(r + 1) % len(SITES)]
+            if relay == author:
+                relay = SITES[(r + 2) % len(SITES)]
+            signed = chain.append(CreditEntry(
+                at=0.0, donor=relay, beneficiary=OBSERVER,
+                gpu_hours=hours, job_id=f"fee-{job_seq}",
+                kind="relay-fee"))
+            job_seq += 1
+            predicted = "bad-linkage" if poisoned else None
+        elif op[0] == "forge":
+            _, _a, hours = op
+            signed = chain.forge(CreditEntry(
+                at=0.0, donor=author, beneficiary=OBSERVER,
+                gpu_hours=hours, job_id=f"forged-{job_seq}",
+                kind="donation"))
+            job_seq += 1
+            predicted = "bad-linkage" if poisoned else "unknown-job"
+        else:  # replay
+            signed = chain.reissue(0)
+            if signed is None:
+                continue  # nothing issued yet: the attack needs history
+            predicted = "bad-linkage" if poisoned else "replay"
+
+        reason = observer.ingest(signed, cross_check=cross_check)
+        assert reason == predicted, \
+            f"{op[0]} by {author}: expected {predicted}, got {reason}"
+        if predicted is None:
+            entry = signed.entry
+            expected[entry.donor] += entry.gpu_hours
+            expected[entry.beneficiary] -= entry.gpu_hours
+        else:
+            expected_rejected[predicted] = (
+                expected_rejected.get(predicted, 0) + 1)
+
+        # Conservation and balance agreement after *every* ingest.
+        assert observer.view.total() == pytest.approx(0.0, abs=1e-6)
+        for site, balance in expected.items():
+            assert observer.view.balance(site) == pytest.approx(
+                balance, abs=1e-6)
+
+    # The evidence log counted exactly the predicted rejections, and
+    # every accepted balance is the fold over the accepted entries.
+    assert observer.rejected == expected_rejected
+    assert observer.rejected_total == sum(expected_rejected.values())
+    for site in (*SITES, OBSERVER):
+        folded = sum(e.gpu_hours for e in observer.view.entries
+                     if e.donor == site) - \
+            sum(e.gpu_hours for e in observer.view.entries
+                if e.beneficiary == site)
+        assert observer.view.balance(site) == pytest.approx(
+            folded, abs=1e-6)
 
 
 @given(st.floats(allow_nan=False, allow_infinity=False,

@@ -94,6 +94,25 @@ def render_dashboard(deployment, run_stats: dict, show_traces: bool) -> str:
                  f"duplicate executions: "
                  f"{run_stats.get('duplicate_executions', 0)}")
 
+    if "sharechain" in status:
+        lines.append(thin)
+        lines.append(" share-chain verification:")
+        lines.append("   campus        height  rejected  blocked peers")
+        for site, row in status["sharechain"].items():
+            blocked = ", ".join(
+                f"{peer} ({state})"
+                for peer, state in row["peer_states"].items()) or "-"
+            lines.append(f"   {site:<12} {row['height']:>7} "
+                         f"{row['rejected_total']:>9}  {blocked}")
+        reasons: dict = {}
+        for row in status["sharechain"].values():
+            for reason, count in row["rejected"].items():
+                reasons[reason] = reasons.get(reason, 0) + count
+        if reasons:
+            lines.append("   rejections by reason: " + ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(reasons.items())))
+
     if "traces" in status:
         traces = status["traces"]
         lines.append(thin)

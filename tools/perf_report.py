@@ -10,7 +10,10 @@ The trajectory file every perf-focused PR is measured against:
   engine (the reference is too slow to be worth timing end-to-end);
 * **wan_qos** — the WAN QoS saturation + link-flap scenario
   (``benchmarks/bench_wan_qos``): strict-priority control latency,
-  in-flight flow migration, and the bulk autorate loop.
+  in-flight flow migration, and the bulk autorate loop;
+* **byzantine_ledger** — one forging campus vs share-chain
+  verification: detection latency in gossip rounds and honest
+  throughput retention, gated deterministically.
 
 Usage::
 
@@ -59,6 +62,15 @@ HOOKS_OVERHEAD_MAX = 0.03
 #: each arm is compared, which strips scheduler noise far better than
 #: means at these sub-second scales.
 HOOKS_OVERHEAD_REPS = 3
+
+#: Every honest site must quarantine the forging campus within this
+#: many gossip rounds (measured: 2; forged entries self-propagate at
+#: gossip cadence, so detection latency is machine-independent).
+BYZANTINE_DETECTION_ROUNDS_MAX = 10
+
+#: Quarantining one of three campuses may not cost honest throughput
+#: more than this (completed jobs, adversarial run vs honest baseline).
+BYZANTINE_RETENTION_MIN = 0.9
 
 
 def measure_hooks_overhead(micro_params: dict) -> dict:
@@ -141,6 +153,12 @@ def run_suite(quick: bool) -> dict:
           f"{wan_qos['autorate']['backoffs']} autorate backoffs, "
           f"control mean latency {wan_qos['control_mean_latency']}s",
           flush=True)
+    byz_params = dict(seed=42, days=0.5 if quick else 1.0)
+    print(f"[perf] byzantine ledger: {byz_params}", flush=True)
+    byzantine = run_byzantine_suite(**byz_params)
+    print(f"[perf]   detected by all: {byzantine['detected_by_all']}, "
+          f"slowest {byzantine['max_detection_rounds']} gossip rounds, "
+          f"retention {byzantine['throughput_retention']:.3f}", flush=True)
     return {
         "micro_flow_churn": {
             "optimized": optimized,
@@ -151,6 +169,33 @@ def run_suite(quick: bool) -> dict:
         "hooks_overhead": hooks_overhead,
         "macro_relay_chaos": macro,
         "wan_qos": wan_qos,
+        "byzantine_ledger": byzantine,
+    }
+
+
+def run_byzantine_suite(seed: int, days: float) -> dict:
+    """The Byzantine-robustness arm: one forging campus vs the
+    all-honest verification baseline, reduced to the gate-relevant
+    deterministic simulation results."""
+    from repro.experiments import run_byzantine_experiment
+
+    result = run_byzantine_experiment(seed=seed, days=days)
+    finite = result.detected_by_all
+    return {
+        "seed": seed,
+        "days": days,
+        "byzantine_site": result.byzantine_site,
+        "mode": result.mode,
+        "detected_by_all": finite,
+        "max_detection_rounds": (round(result.max_detection_rounds, 2)
+                                 if finite else None),
+        "detection_rounds": {site: round(rounds, 2) for site, rounds
+                             in sorted(result.detection_rounds.items())},
+        "throughput_retention": round(result.throughput_retention, 4),
+        "baseline_completed": result.baseline_completed,
+        "byzantine_completed": result.byzantine_completed,
+        "baseline_rejected_total": result.baseline_rejected_total,
+        "rejected_by_reason": result.rejected_by_reason,
     }
 
 
@@ -210,6 +255,34 @@ def check_regression(results: dict, baseline_path: Path, mode: str) -> int:
                 print("[perf] REGRESSION: strict-priority control "
                       "latency degraded vs the committed baseline")
                 return 1
+    # Byzantine-ledger invariants are likewise pure simulation results
+    # and gate deterministically.
+    byzantine = results.get("byzantine_ledger")
+    if byzantine is not None:
+        rounds = byzantine["max_detection_rounds"]
+        retention = byzantine["throughput_retention"]
+        print(f"[perf] byzantine ledger: detected by all "
+              f"{byzantine['detected_by_all']}, slowest {rounds} rounds "
+              f"(gate: <= {BYZANTINE_DETECTION_ROUNDS_MAX}), retention "
+              f"{retention} (gate: >= {BYZANTINE_RETENTION_MIN})")
+        if not byzantine["detected_by_all"]:
+            print("[perf] REGRESSION: an honest site never quarantined "
+                  "the forging campus")
+            return 1
+        if rounds > BYZANTINE_DETECTION_ROUNDS_MAX:
+            print("[perf] REGRESSION: Byzantine detection latency "
+                  f"degraded to {rounds} gossip rounds")
+            return 1
+        if retention < BYZANTINE_RETENTION_MIN:
+            print("[perf] REGRESSION: quarantining the adversary cost "
+                  f"{(1 - retention) * 100:.1f}% of honest throughput")
+            return 1
+        if byzantine["baseline_rejected_total"] != 0:
+            print("[perf] REGRESSION: the all-honest verification "
+                  "baseline rejected "
+                  f"{byzantine['baseline_rejected_total']} entries — "
+                  "verification has false positives")
+            return 1
     return 0
 
 
